@@ -1,0 +1,91 @@
+// Command anywhere-shell is a minimal interactive SQL shell over the
+// engine. The database starts on demand and shuts down when the shell
+// exits (the embedded lifecycle of §1).
+//
+// Usage:
+//
+//	anywhere-shell [-dir path]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"anywheredb/internal/core"
+)
+
+func main() {
+	dir := flag.String("dir", "", "database directory (empty = in-memory)")
+	flag.Parse()
+
+	db, err := core.Open(core.Options{Dir: *dir, AutoShutdown: true})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	conn, err := db.Connect()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer conn.Close() // last disconnect shuts the server down
+
+	fmt.Println("anywheredb shell — end statements with ';', \\q to quit")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	for {
+		if buf.Len() == 0 {
+			fmt.Print("sql> ")
+		} else {
+			fmt.Print("...> ")
+		}
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == `\q` || line == "quit" || line == "exit" {
+			break
+		}
+		buf.WriteString(line)
+		buf.WriteString(" ")
+		if !strings.HasSuffix(line, ";") {
+			continue
+		}
+		sql := strings.TrimSuffix(strings.TrimSpace(buf.String()), ";")
+		buf.Reset()
+		runOne(conn, sql)
+	}
+}
+
+func runOne(conn *core.Conn, sql string) {
+	up := strings.ToUpper(strings.TrimSpace(sql))
+	if strings.HasPrefix(up, "SELECT") || strings.HasPrefix(up, "WITH") {
+		rows, err := conn.Query(sql)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Println(strings.Join(rows.Columns(), " | "))
+		n := 0
+		for rows.Next() {
+			var parts []string
+			for _, v := range rows.Row() {
+				parts = append(parts, v.String())
+			}
+			fmt.Println(strings.Join(parts, " | "))
+			n++
+		}
+		fmt.Printf("(%d rows)\n", n)
+		return
+	}
+	res, err := conn.Exec(sql)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("ok (%d rows affected)\n", res.RowsAffected)
+}

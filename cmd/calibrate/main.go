@@ -1,0 +1,46 @@
+// Command calibrate prints DTT cost-model curves: the built-in generic
+// model (Fig. 2a) and CALIBRATE DATABASE runs against the simulated disk
+// and flash devices (Fig. 2b, Fig. 3).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"anywheredb/internal/device"
+	"anywheredb/internal/dtt"
+	"anywheredb/internal/vclock"
+)
+
+func main() {
+	model := flag.String("device", "default", "default | hdd | sd")
+	flag.Parse()
+
+	var m *dtt.Model
+	switch *model {
+	case "default":
+		m = dtt.Default()
+	case "hdd":
+		clk := vclock.New()
+		m = dtt.Calibrate(device.NewHDD(device.Barracuda7200(), clk), clk, dtt.CalibrateConfig{Seed: 1})
+	case "sd":
+		clk := vclock.New()
+		m = dtt.Calibrate(device.NewFlash(device.SDCard512(), clk), clk, dtt.CalibrateConfig{
+			PageSizes: []int{2048, 4096},
+			Seed:      1,
+			DevPages:  512 << 20 / 4096,
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "unknown device %q\n", *model)
+		os.Exit(1)
+	}
+
+	fmt.Printf("DTT model %q\n", m.Name)
+	for _, c := range m.Curves() {
+		fmt.Printf("\n%s %dK pages (band -> µs/page):\n", c.Op, c.PageSize/1024)
+		for _, p := range c.Points {
+			fmt.Printf("  %10d  %10.1f\n", p.Band, p.Micros)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation (experiments E1–E16; see DESIGN.md for the index).
+//
+// Usage:
+//
+//	repro           # run everything
+//	repro -exp E5   # run one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"anywheredb/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (E1..E16); empty = all")
+	flag.Parse()
+
+	if *exp != "" {
+		r, err := experiments.ByID(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(r)
+		return
+	}
+	reports, err := experiments.All()
+	for _, r := range reports {
+		fmt.Println(r)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

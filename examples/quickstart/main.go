@@ -1,0 +1,68 @@
+// Quickstart: open an embedded database, create a schema, run queries.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"anywheredb"
+)
+
+func main() {
+	// An in-memory database; pass Dir to persist to ordinary OS files.
+	db, err := anywheredb.Open(anywheredb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	conn, err := db.Connect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+
+	must := func(sql string) {
+		if _, err := conn.Exec(sql); err != nil {
+			log.Fatalf("%s: %v", sql, err)
+		}
+	}
+	must("CREATE TABLE product (pid INT, name VARCHAR(40), price DOUBLE)")
+	must("CREATE TABLE sale (sid INT, pid INT, qty INT)")
+	must("CREATE UNIQUE INDEX product_pk ON product (pid)")
+
+	must(`INSERT INTO product VALUES
+		(1, 'anvil', 49.99), (2, 'rocket skates', 120.00), (3, 'tnt', 5.25)`)
+	for i := 0; i < 30; i++ {
+		if _, err := conn.Exec("INSERT INTO sale VALUES (?, ?, ?)",
+			anywheredb.Int(int64(i)), anywheredb.Int(int64(i%3+1)), anywheredb.Int(int64(i%5+1))); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	rows, err := conn.Query(`
+		SELECT name, SUM(qty) AS sold, SUM(qty) * price AS revenue
+		FROM sale, product
+		WHERE sale.pid = product.pid
+		GROUP BY name, price
+		ORDER BY revenue DESC`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(strings.Join(rows.Columns(), " | "))
+	for rows.Next() {
+		r := rows.Row()
+		fmt.Printf("%-14s | %4d | %8.2f\n", r[0].S, r[1].I, r[2].AsFloat())
+	}
+
+	// Transactions.
+	conn.Exec("BEGIN")
+	conn.Exec("UPDATE product SET price = price * 0.9 WHERE pid = 2")
+	conn.Exec("ROLLBACK")
+	rows, _ = conn.Query("SELECT price FROM product WHERE pid = 2")
+	rows.Next()
+	fmt.Printf("price after rollback: %.2f (unchanged)\n", rows.Row()[0].F)
+}

@@ -1,0 +1,3 @@
+module anywheredb
+
+go 1.24

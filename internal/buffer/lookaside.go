@@ -1,0 +1,81 @@
+package buffer
+
+import "sync/atomic"
+
+// lookaside is a lock-free bounded MPMC queue (Vyukov-style) of frame
+// indexes that can be reused immediately — typically frames whose heap or
+// temporary-table pages have been freed. §2.2: "The queue is implemented
+// using a lock-free array that allows a fast decision whether a page is
+// reusable. ... It is important that the queue be lock-free to avoid the
+// use of semaphores."
+type lookaside struct {
+	mask  uint64
+	cells []lookasideCell
+	head  atomic.Uint64 // dequeue position
+	tail  atomic.Uint64 // enqueue position
+}
+
+type lookasideCell struct {
+	seq atomic.Uint64
+	val int
+	_   [40]byte // pad to a cache line to avoid false sharing
+}
+
+// newLookaside returns a queue with capacity rounded up to a power of two.
+func newLookaside(capacity int) *lookaside {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	q := &lookaside{mask: uint64(n - 1), cells: make([]lookasideCell, n)}
+	for i := range q.cells {
+		q.cells[i].seq.Store(uint64(i))
+	}
+	return q
+}
+
+// push enqueues v; returns false when the queue is full (the caller then
+// leaves the frame to the clock algorithm — losing a lookaside entry is
+// always safe).
+func (q *lookaside) push(v int) bool {
+	pos := q.tail.Load()
+	for {
+		cell := &q.cells[pos&q.mask]
+		seq := cell.seq.Load()
+		switch {
+		case seq == pos:
+			if q.tail.CompareAndSwap(pos, pos+1) {
+				cell.val = v
+				cell.seq.Store(pos + 1)
+				return true
+			}
+			pos = q.tail.Load()
+		case seq < pos:
+			return false // full
+		default:
+			pos = q.tail.Load()
+		}
+	}
+}
+
+// pop dequeues a frame index, or returns (0, false) when empty.
+func (q *lookaside) pop() (int, bool) {
+	pos := q.head.Load()
+	for {
+		cell := &q.cells[pos&q.mask]
+		seq := cell.seq.Load()
+		switch {
+		case seq == pos+1:
+			if q.head.CompareAndSwap(pos, pos+1) {
+				v := cell.val
+				cell.seq.Store(pos + q.mask + 1)
+				return v, true
+			}
+			pos = q.head.Load()
+		case seq < pos+1:
+			return 0, false // empty
+		default:
+			pos = q.head.Load()
+		}
+	}
+}

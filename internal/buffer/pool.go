@@ -1,0 +1,519 @@
+// Package buffer implements the single heterogeneous buffer pool of §2: one
+// pool of same-sized frames holding table, index, undo/redo, bitmap, and
+// connection-heap pages, with a modified generalized clock replacement
+// algorithm (eight reference-time segments, exponentially decayed scores)
+// and a lock-free lookaside queue of immediately-reusable frames. The pool
+// can grow and shrink dynamically on demand from the cache-sizing governor.
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"anywheredb/internal/page"
+	"anywheredb/internal/store"
+)
+
+// segments is the number of reference-time segments the pool is divided
+// into (§2.2).
+const segments = 8
+
+// maxScore caps a frame's replacement score.
+const maxScore = 15
+
+// Frame is one buffer-pool frame. Data is valid while the frame is pinned.
+type Frame struct {
+	ID   store.PageID
+	Data page.Buf
+
+	mu      sync.RWMutex // content latch
+	pin     atomic.Int32
+	dirty   atomic.Bool
+	lastRef atomic.Uint64
+	score   atomic.Uint32
+	idx     int // position in pool.frames
+	valid   bool
+}
+
+// Lock latches the frame's contents exclusively.
+func (f *Frame) Lock() { f.mu.Lock() }
+
+// Unlock releases the exclusive latch.
+func (f *Frame) Unlock() { f.mu.Unlock() }
+
+// RLock latches the frame's contents shared.
+func (f *Frame) RLock() { f.mu.RLock() }
+
+// RUnlock releases the shared latch.
+func (f *Frame) RUnlock() { f.mu.RUnlock() }
+
+// MarkDirty records that the frame's contents changed and must be written
+// before the frame is reused.
+func (f *Frame) MarkDirty() { f.dirty.Store(true) }
+
+// Stats reports pool activity counters.
+type Stats struct {
+	Hits          uint64
+	Misses        uint64
+	Evictions     uint64
+	LookasideHits uint64
+	Writebacks    uint64
+}
+
+// Pool is the buffer pool. It is safe for concurrent use.
+type Pool struct {
+	st *store.Store
+
+	mu      sync.Mutex
+	frames  []*Frame
+	table   map[store.PageID]*Frame
+	free    []int // indexes of frames with no page
+	hand    int
+	limit   int // current pool size, in frames
+	minSize int
+	maxSize int
+
+	refSeq    atomic.Uint64
+	limitAtom atomic.Int64 // mirror of limit readable without p.mu
+	look      *lookaside
+
+	hits, misses, evictions, lookHits, writebacks atomic.Uint64
+}
+
+// ErrPoolExhausted is returned when every frame in the pool is pinned and
+// no victim can be found.
+var ErrPoolExhausted = errors.New("buffer: all frames pinned")
+
+// New creates a pool over st with the given initial size and hard bounds
+// (in frames). The bounds do not change during the lifetime of the pool;
+// only the current size moves between them.
+func New(st *store.Store, minFrames, initial, maxFrames int) *Pool {
+	if minFrames < 1 {
+		minFrames = 1
+	}
+	if initial < minFrames {
+		initial = minFrames
+	}
+	if maxFrames < initial {
+		maxFrames = initial
+	}
+	p := &Pool{
+		st:      st,
+		table:   make(map[store.PageID]*Frame),
+		limit:   initial,
+		minSize: minFrames,
+		maxSize: maxFrames,
+		look:    newLookaside(maxFrames),
+	}
+	p.limitAtom.Store(int64(initial))
+	p.frames = make([]*Frame, 0, maxFrames)
+	for i := 0; i < initial; i++ {
+		p.addFrameLocked()
+	}
+	return p
+}
+
+func (p *Pool) addFrameLocked() {
+	f := &Frame{idx: len(p.frames)}
+	p.frames = append(p.frames, f)
+	p.free = append(p.free, f.idx)
+}
+
+// SizePages reports the pool's current size in frames.
+func (p *Pool) SizePages() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.limit
+}
+
+// Bounds reports the pool's immutable lower and upper size bounds.
+func (p *Pool) Bounds() (minFrames, maxFrames int) { return p.minSize, p.maxSize }
+
+// Stats returns a snapshot of the activity counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Hits:          p.hits.Load(),
+		Misses:        p.misses.Load(),
+		Evictions:     p.evictions.Load(),
+		LookasideHits: p.lookHits.Load(),
+		Writebacks:    p.writebacks.Load(),
+	}
+}
+
+// touch records a reference: the frame moves to the newest reference-time
+// segment, and its score grows by the number of segment boundaries it had
+// aged across since its last reference (§2.2: "the score of a page is
+// incremented as it moves from segment to segment"). Adjacent references
+// during a table scan cross no boundary and leave the score unchanged,
+// which is how the algorithm distinguishes scan locality from re-use.
+func (p *Pool) touch(f *Frame) {
+	now := p.refSeq.Add(1)
+	segWidth := p.segWidth()
+	last := f.lastRef.Load()
+	if crossed := (now - last) / segWidth; crossed > 0 {
+		s := f.score.Load() + uint32(min64(int64(crossed), segments))
+		if s > maxScore {
+			s = maxScore
+		}
+		f.score.Store(s)
+	}
+	f.lastRef.Store(now)
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (p *Pool) segWidth() uint64 {
+	w := p.limitAtom.Load() / segments
+	if w < 1 {
+		w = 1
+	}
+	return uint64(w)
+}
+
+// Get pins the page, reading it from the store on a miss, and returns its
+// frame.
+func (p *Pool) Get(id store.PageID) (*Frame, error) {
+	p.mu.Lock()
+	if f, ok := p.table[id]; ok {
+		f.pin.Add(1)
+		p.mu.Unlock()
+		p.hits.Add(1)
+		p.touch(f)
+		return f, nil
+	}
+	f, err := p.grabFrameLocked()
+	if err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	f.ID = id
+	f.valid = true
+	f.pin.Store(1)
+	f.dirty.Store(false)
+	f.score.Store(0)
+	f.lastRef.Store(p.refSeq.Load()) // fresh occupant: no inherited age
+	p.table[id] = f
+	p.mu.Unlock()
+
+	p.misses.Add(1)
+	p.touch(f)
+	if err := p.st.Read(id, f.Data); err != nil {
+		p.mu.Lock()
+		delete(p.table, id)
+		f.valid = false
+		f.pin.Store(0)
+		p.free = append(p.free, f.idx)
+		p.mu.Unlock()
+		return nil, err
+	}
+	return f, nil
+}
+
+// NewPage allocates a fresh page in file fl, pins it, and formats it with
+// the given page type. No read is performed.
+func (p *Pool) NewPage(fl store.FileID, t page.Type) (*Frame, error) {
+	id, err := p.st.Alloc(fl)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	f, err := p.grabFrameLocked()
+	if err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	f.ID = id
+	f.valid = true
+	f.pin.Store(1)
+	f.dirty.Store(true)
+	f.score.Store(0)
+	f.lastRef.Store(p.refSeq.Load()) // fresh occupant: no inherited age
+	p.table[id] = f
+	p.mu.Unlock()
+	p.touch(f)
+	f.Data.Init(t)
+	return f, nil
+}
+
+// grabFrameLocked finds a frame for a new page: the free list first, then
+// the lookaside queue of immediately-reusable frames, then a clock victim.
+// Called with p.mu held.
+func (p *Pool) grabFrameLocked() (*Frame, error) {
+	// Free frames first.
+	if len(p.free) > 0 {
+		idx := p.free[len(p.free)-1]
+		p.free = p.free[:len(p.free)-1]
+		f := p.frames[idx]
+		if f.Data == nil {
+			f.Data = make(page.Buf, page.Size)
+		}
+		return f, nil
+	}
+	// Count usable frames; if below limit, materialize another frame.
+	if len(p.frames) < p.limit {
+		p.addFrameLocked()
+		idx := p.free[len(p.free)-1]
+		p.free = p.free[:len(p.free)-1]
+		f := p.frames[idx]
+		f.Data = make(page.Buf, page.Size)
+		return f, nil
+	}
+	// Lookaside queue: frames that were marked immediately reusable.
+	for {
+		idx, ok := p.look.pop()
+		if !ok {
+			break
+		}
+		f := p.frames[idx]
+		// The frame may have been re-used since it was queued; only take it
+		// if it is still invalid-and-unpinned or still marked reusable.
+		if f.pin.Load() == 0 && !f.valid {
+			p.lookHits.Add(1)
+			if f.Data == nil {
+				f.Data = make(page.Buf, page.Size)
+			}
+			return f, nil
+		}
+	}
+	return p.evictLocked()
+}
+
+// evictLocked runs the clock algorithm: sweep frames; each unpinned frame's
+// score is decayed exponentially by the number of reference-time segments
+// it has aged; the first frame whose decayed score reaches zero is the
+// victim. Called with p.mu held.
+func (p *Pool) evictLocked() (*Frame, error) {
+	n := len(p.frames)
+	// Halving needs up to log2(maxScore) visits per frame to drain a
+	// saturated score.
+	for pass := 0; pass < 6*n+1; pass++ {
+		p.hand = (p.hand + 1) % n
+		f := p.frames[p.hand]
+		if !f.valid || f.pin.Load() != 0 {
+			continue
+		}
+		decayed := f.score.Load()
+		if decayed == 0 {
+			// Victim found.
+			if err := p.cleanFrameLocked(f); err != nil {
+				return nil, err
+			}
+			delete(p.table, f.ID)
+			f.valid = false
+			p.evictions.Add(1)
+			if f.Data == nil {
+				f.Data = make(page.Buf, page.Size)
+			}
+			return f, nil
+		}
+		// Exponential decay: each sweep pass halves the score, so every
+		// page eventually becomes a candidate if not re-referenced.
+		f.score.Store(decayed / 2)
+	}
+	return nil, ErrPoolExhausted
+}
+
+// cleanFrameLocked writes back a dirty frame before reuse.
+func (p *Pool) cleanFrameLocked(f *Frame) error {
+	if f.dirty.Load() {
+		if err := p.st.Write(f.ID, f.Data); err != nil {
+			return err
+		}
+		p.writebacks.Add(1)
+		f.dirty.Store(false)
+	}
+	return nil
+}
+
+// Unpin releases a pin taken by Get or NewPage.
+func (p *Pool) Unpin(f *Frame, dirty bool) {
+	if dirty {
+		f.dirty.Store(true)
+	}
+	if f.pin.Add(-1) < 0 {
+		panic(fmt.Sprintf("buffer: unpin of unpinned frame %v", f.ID))
+	}
+}
+
+// Discard removes a page from the pool without writing it back and pushes
+// its frame onto the lookaside queue for immediate reuse. Used for freed
+// heap pages and dropped temporary tables, whose contents are dead. The
+// page must be unpinned.
+func (p *Pool) Discard(id store.PageID) {
+	p.mu.Lock()
+	f, ok := p.table[id]
+	if !ok || f.pin.Load() != 0 {
+		p.mu.Unlock()
+		return
+	}
+	delete(p.table, id)
+	f.valid = false
+	f.dirty.Store(false)
+	idx := f.idx
+	p.mu.Unlock()
+	if !p.look.push(idx) {
+		// Queue full: hand the frame back via the free list instead.
+		p.mu.Lock()
+		p.free = append(p.free, idx)
+		p.mu.Unlock()
+	}
+}
+
+// FlushPage writes the page back if it is dirty and cached.
+func (p *Pool) FlushPage(id store.PageID) error {
+	p.mu.Lock()
+	f, ok := p.table[id]
+	p.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	f.RLock()
+	defer f.RUnlock()
+	if f.dirty.Load() {
+		if err := p.st.Write(f.ID, f.Data); err != nil {
+			return err
+		}
+		p.writebacks.Add(1)
+		f.dirty.Store(false)
+	}
+	return nil
+}
+
+// FlushAll writes back every dirty page (checkpoint support).
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	dirty := make([]*Frame, 0)
+	for _, f := range p.frames {
+		if f.valid && f.dirty.Load() {
+			dirty = append(dirty, f)
+		}
+	}
+	p.mu.Unlock()
+	for _, f := range dirty {
+		f.RLock()
+		if f.valid && f.dirty.Load() {
+			if err := p.st.Write(f.ID, f.Data); err != nil {
+				f.RUnlock()
+				return err
+			}
+			p.writebacks.Add(1)
+			f.dirty.Store(false)
+		}
+		f.RUnlock()
+	}
+	return nil
+}
+
+// Resize sets the pool's size (in frames), clamped to the immutable
+// bounds. Shrinking evicts victims immediately, writing back dirty pages;
+// frames that cannot be evicted because they are pinned keep the pool
+// temporarily above target, and subsequent Resize calls retry. Returns the
+// achieved size.
+func (p *Pool) Resize(target int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if target < p.minSize {
+		target = p.minSize
+	}
+	if target > p.maxSize {
+		target = p.maxSize
+	}
+	if target >= p.limit {
+		p.limit = target
+		p.limitAtom.Store(int64(target))
+		return p.limit
+	}
+	// Shrink: evict until the number of occupied+free frames fits, dropping
+	// freed frame memory so the process footprint actually falls.
+	excess := len(p.frames) - target
+	for excess > 0 {
+		// Prefer empty frames.
+		if len(p.free) > 0 {
+			idx := p.free[len(p.free)-1]
+			p.free = p.free[:len(p.free)-1]
+			p.frames[idx].Data = nil // release memory
+			p.dropFrameLocked(idx)
+			excess--
+			continue
+		}
+		f, err := p.evictLocked()
+		if err != nil {
+			break // everything pinned; give up for now
+		}
+		f.Data = nil
+		p.dropFrameLocked(f.idx)
+		excess--
+	}
+	p.limit = len(p.frames)
+	if p.limit < target {
+		p.limit = target
+	}
+	p.limitAtom.Store(int64(p.limit))
+	return p.limit
+}
+
+// dropFrameLocked removes the frame at idx from the pool entirely by
+// swapping the last frame into its place.
+func (p *Pool) dropFrameLocked(idx int) {
+	last := len(p.frames) - 1
+	if idx != last {
+		moved := p.frames[last]
+		p.frames[idx] = moved
+		moved.idx = idx
+		// Fix the free list entry for the moved frame, if any.
+		for i, fi := range p.free {
+			if fi == last {
+				p.free[i] = idx
+				break
+			}
+		}
+	}
+	p.frames = p.frames[:last]
+	if p.hand >= len(p.frames) && len(p.frames) > 0 {
+		p.hand = 0
+	}
+}
+
+// PinnedCount reports how many frames are currently pinned (diagnostics).
+func (p *Pool) PinnedCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, f := range p.frames {
+		if f.valid && f.pin.Load() > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Contains reports whether the page is currently resident (used by the
+// cost model's table-residency statistics).
+func (p *Pool) Contains(id store.PageID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.table[id]
+	return ok
+}
+
+// ResidentPages counts resident pages owned by the given object, by
+// scanning frame headers. The cost model uses the fraction of a table
+// resident in the buffer pool when costing access methods (§3.2).
+func (p *Pool) ResidentPages(owner uint64) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, f := range p.frames {
+		if f.valid && f.Data != nil && f.Data.Owner() == owner {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,270 @@
+// Package catalog persists the database's metadata — tables, columns,
+// indexes, statistics, options, and the DTT cost model (§4.2 stores the
+// DTT model in the catalog so it can be altered or deployed with DDL) — in
+// a chain of catalog pages inside the main database file.
+package catalog
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+
+	"anywheredb/internal/buffer"
+	"anywheredb/internal/page"
+	"anywheredb/internal/store"
+	"anywheredb/internal/val"
+)
+
+// ColumnMeta describes one column.
+type ColumnMeta struct {
+	Name string
+	Kind val.Kind
+}
+
+// IndexMeta describes one index.
+type IndexMeta struct {
+	ID     uint64
+	Name   string
+	Cols   []int
+	Unique bool
+	Root   store.PageID
+}
+
+// TableMeta describes one table, including its persisted statistics.
+type TableMeta struct {
+	ID      uint64
+	Name    string
+	Columns []ColumnMeta
+	First   store.PageID
+	Indexes []IndexMeta
+	// Hists holds each column's encoded histogram (may be nil).
+	Hists [][]byte
+}
+
+// state is the serialized catalog image.
+type state struct {
+	NextID  uint64
+	Tables  map[string]*TableMeta
+	Options map[string]string
+	DTT     []byte
+}
+
+// Catalog is the in-memory catalog, persisted on demand.
+type Catalog struct {
+	pool *buffer.Pool
+	st   *store.Store
+
+	mu   sync.Mutex
+	s    state
+	root store.PageID
+}
+
+// Create allocates a fresh catalog in the main file and saves it. Call
+// before any other allocation so the catalog root lands on page 1, where
+// Load expects it.
+func Create(pool *buffer.Pool, st *store.Store) (*Catalog, error) {
+	f, err := pool.NewPage(store.MainFile, page.TypeCatalog)
+	if err != nil {
+		return nil, err
+	}
+	root := f.ID
+	pool.Unpin(f, true)
+	c := &Catalog{pool: pool, st: st, root: root}
+	c.s = state{NextID: 1, Tables: map[string]*TableMeta{}, Options: map[string]string{}}
+	return c, c.Save()
+}
+
+// RootPage is where Create places the catalog in the main file.
+var RootPage = store.MakePageID(store.MainFile, 1)
+
+// Load reads the catalog from its root page chain.
+func Load(pool *buffer.Pool, st *store.Store) (*Catalog, error) {
+	c := &Catalog{pool: pool, st: st, root: RootPage}
+	var blob []byte
+	cur := c.root
+	for cur != 0 {
+		f, err := pool.Get(cur)
+		if err != nil {
+			return nil, err
+		}
+		f.RLock()
+		if f.Data.Type() != page.TypeCatalog {
+			f.RUnlock()
+			pool.Unpin(f, false)
+			return nil, fmt.Errorf("catalog: page %v is %v, not catalog", cur, f.Data.Type())
+		}
+		if cell := f.Data.Cell(0); cell != nil {
+			blob = append(blob, cell...)
+		}
+		next := f.Data.Next()
+		f.RUnlock()
+		pool.Unpin(f, false)
+		cur = store.PageID(next)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&c.s); err != nil {
+		return nil, fmt.Errorf("catalog: decode: %w", err)
+	}
+	if c.s.Tables == nil {
+		c.s.Tables = map[string]*TableMeta{}
+	}
+	if c.s.Options == nil {
+		c.s.Options = map[string]string{}
+	}
+	return c, nil
+}
+
+// Save serializes the catalog into its page chain, extending it as needed.
+func (c *Catalog) Save() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&c.s); err != nil {
+		return fmt.Errorf("catalog: encode: %w", err)
+	}
+	blob := buf.Bytes()
+	const chunk = page.Size - page.HeaderSize - 64
+
+	// Gather the existing chain for reuse.
+	var existing []store.PageID
+	cur := c.root
+	for cur != 0 {
+		f, err := c.pool.Get(cur)
+		if err != nil {
+			return err
+		}
+		f.RLock()
+		next := f.Data.Next()
+		f.RUnlock()
+		c.pool.Unpin(f, false)
+		existing = append(existing, cur)
+		cur = store.PageID(next)
+	}
+
+	// Split the blob into chunks and write them, reusing chain pages and
+	// allocating more if needed. Surplus pages return to the free chain.
+	nChunks := (len(blob) + chunk - 1) / chunk
+	if nChunks == 0 {
+		nChunks = 1
+	}
+	ids := existing
+	for len(ids) < nChunks {
+		f, err := c.pool.NewPage(store.MainFile, page.TypeCatalog)
+		if err != nil {
+			return err
+		}
+		ids = append(ids, f.ID)
+		c.pool.Unpin(f, true)
+	}
+	for i := 0; i < nChunks; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > len(blob) {
+			hi = len(blob)
+		}
+		f, err := c.pool.Get(ids[i])
+		if err != nil {
+			return err
+		}
+		f.Lock()
+		f.Data.Init(page.TypeCatalog)
+		if i+1 < nChunks {
+			f.Data.SetNext(uint64(ids[i+1]))
+		}
+		f.Data.Insert(blob[lo:hi])
+		f.MarkDirty()
+		f.Unlock()
+		c.pool.Unpin(f, true)
+	}
+	for _, id := range ids[nChunks:] {
+		c.pool.Discard(id)
+		_ = c.st.Free(id)
+	}
+	return nil
+}
+
+// NextID hands out a fresh object id.
+func (c *Catalog) NextID() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.s.NextID
+	c.s.NextID++
+	return id
+}
+
+// PutTable installs or replaces a table's metadata.
+func (c *Catalog) PutTable(tm *TableMeta) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.Tables[tm.Name] = tm
+}
+
+// GetTable looks a table up by name.
+func (c *Catalog) GetTable(name string) (*TableMeta, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tm, ok := c.s.Tables[name]
+	return tm, ok
+}
+
+// DropTable removes a table's metadata.
+func (c *Catalog) DropTable(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.s.Tables, name)
+}
+
+// TableNames lists tables (unordered).
+func (c *Catalog) TableNames() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.s.Tables))
+	for n := range c.s.Tables {
+		out = append(out, n)
+	}
+	return out
+}
+
+// SetOption stores a database option.
+func (c *Catalog) SetOption(name, value string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.Options[name] = value
+}
+
+// Option reads a database option.
+func (c *Catalog) Option(name string) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.s.Options[name]
+	return v, ok
+}
+
+// Options returns a copy of all options.
+func (c *Catalog) Options() map[string]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]string, len(c.s.Options))
+	for k, v := range c.s.Options {
+		out[k] = v
+	}
+	return out
+}
+
+// SetDTT stores the encoded DTT model (CALIBRATE DATABASE persists its
+// result here).
+func (c *Catalog) SetDTT(encoded []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.DTT = append([]byte(nil), encoded...)
+}
+
+// DTT returns the stored DTT model encoding, nil if none.
+func (c *Catalog) DTT() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.s.DTT == nil {
+		return nil
+	}
+	return append([]byte(nil), c.s.DTT...)
+}

@@ -1,0 +1,379 @@
+package core
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"anywheredb/internal/catalog"
+	"anywheredb/internal/dtt"
+	"anywheredb/internal/exec"
+	"anywheredb/internal/opt"
+	"anywheredb/internal/sqlparse"
+	"anywheredb/internal/store"
+	"anywheredb/internal/table"
+	"anywheredb/internal/txn"
+	"anywheredb/internal/val"
+)
+
+// Conn is one connection: an explicit-transaction scope and a plan cache
+// (plans are cached on an LRU basis for each connection, §4.1).
+type Conn struct {
+	db        *DB
+	tx        *txn.Txn // explicit transaction, nil = autocommit
+	planCache *opt.PlanCache
+	closed    bool
+	// Workers overrides the database's default intra-query parallelism.
+	Workers int
+}
+
+// Result reports a statement's effect.
+type Result struct {
+	RowsAffected int64
+}
+
+// Rows is a query cursor.
+type Rows struct {
+	cols []string
+	rows []exec.Row
+	pos  int
+	plan *opt.Plan
+}
+
+// Columns names the result columns.
+func (r *Rows) Columns() []string { return r.cols }
+
+// Next advances the cursor, reporting whether a row is available.
+func (r *Rows) Next() bool {
+	if r.pos >= len(r.rows) {
+		return false
+	}
+	r.pos++
+	return true
+}
+
+// Row returns the current row.
+func (r *Rows) Row() []val.Value { return r.rows[r.pos-1] }
+
+// All returns every remaining row.
+func (r *Rows) All() [][]val.Value { return r.rows[r.pos:] }
+
+// Count reports the total number of rows.
+func (r *Rows) Count() int { return len(r.rows) }
+
+// Plan exposes the executed plan (EXPLAIN-style introspection).
+func (r *Rows) Plan() *opt.Plan { return r.plan }
+
+// Close releases the cursor.
+func (r *Rows) Close() {}
+
+// Close ends the connection (rolling back any open transaction). With
+// AutoShutdown, closing the last connection shuts the database down (§1).
+func (c *Conn) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.tx != nil {
+		c.tx.Rollback()
+		c.tx = nil
+	}
+	c.db.mu.Lock()
+	c.db.conns--
+	last := c.db.conns == 0
+	auto := c.db.opts.AutoShutdown
+	c.db.mu.Unlock()
+	if last && auto {
+		return c.db.Close()
+	}
+	return nil
+}
+
+// execCtx builds the execution context for one statement.
+func (c *Conn) execCtx(task interface {
+	Finish()
+}) *exec.Ctx {
+	workers := c.Workers
+	if workers <= 0 {
+		workers = c.db.opts.Workers
+	}
+	ctx := &exec.Ctx{
+		Pool:       c.db.pool,
+		St:         c.db.st,
+		Clk:        c.db.clk,
+		Tx:         c.tx,
+		Workers:    workers,
+		CPURowCost: c.db.opts.CPURowCost,
+	}
+	return ctx
+}
+
+// optEnv builds the optimizer environment reflecting current server state.
+func (c *Conn) optEnv() *opt.Env {
+	db := c.db
+	return &opt.Env{
+		DTT:          db.dttMod,
+		PoolPages:    db.pool.SizePages,
+		CPURowCostUS: float64(db.opts.CPURowCost),
+		SoftLimitPages: func() int {
+			return db.pool.SizePages() / db.memG.MPL()
+		},
+		Quota: db.opts.OptimizerQuota,
+	}
+}
+
+// Exec runs a statement that returns no rows.
+func (c *Conn) Exec(sql string, params ...val.Value) (Result, error) {
+	res, _, err := c.run(sql, params, false)
+	return res, err
+}
+
+// Query runs a statement returning rows.
+func (c *Conn) Query(sql string, params ...val.Value) (*Rows, error) {
+	_, rows, err := c.run(sql, params, true)
+	if err != nil {
+		return nil, err
+	}
+	if rows == nil {
+		rows = &Rows{}
+	}
+	return rows, nil
+}
+
+func (c *Conn) run(sql string, params []val.Value, wantRows bool) (Result, *Rows, error) {
+	if c.closed {
+		return Result{}, nil, fmt.Errorf("core: connection closed")
+	}
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return Result{}, nil, err
+	}
+
+	start := c.db.clk.Now()
+	var res Result
+	var rows *Rows
+	switch s := stmt.(type) {
+	case *sqlparse.Begin:
+		if c.tx != nil {
+			return Result{}, nil, fmt.Errorf("core: transaction already open")
+		}
+		c.tx = c.db.txns.Begin()
+	case *sqlparse.Commit:
+		if c.tx == nil {
+			return Result{}, nil, fmt.Errorf("core: no open transaction")
+		}
+		err = c.tx.Commit()
+		c.tx = nil
+	case *sqlparse.Rollback:
+		if c.tx == nil {
+			return Result{}, nil, fmt.Errorf("core: no open transaction")
+		}
+		err = c.tx.Rollback()
+		c.tx = nil
+	case *sqlparse.CreateTable:
+		err = c.createTable(s)
+	case *sqlparse.CreateIndex:
+		err = c.createIndex(s)
+	case *sqlparse.CreateStatistics:
+		err = c.createStatistics(s)
+	case *sqlparse.DropTable:
+		err = c.dropTable(s)
+	case *sqlparse.Calibrate:
+		err = c.calibrate()
+	case *sqlparse.LoadTable:
+		res, err = c.loadTable(s)
+	case *sqlparse.Insert:
+		res, err = c.execInsert(s, params)
+	case *sqlparse.Update:
+		res, err = c.execUpdate(s, params)
+	case *sqlparse.Delete:
+		res, err = c.execDelete(s, params)
+	case *sqlparse.Select:
+		rows, err = c.execSelect(sql, s, params)
+		if rows != nil {
+			res.RowsAffected = int64(rows.Count())
+		}
+	default:
+		err = fmt.Errorf("core: unsupported statement %T", stmt)
+	}
+	if err != nil {
+		return Result{}, nil, err
+	}
+
+	if tr := c.tracerRef(); tr != nil {
+		n := res.RowsAffected
+		tr.TraceStatement(sql, params, c.db.clk.Now()-start, n)
+	}
+	_ = wantRows
+	return res, rows, nil
+}
+
+func (c *Conn) tracerRef() StatementTracer {
+	c.db.mu.Lock()
+	defer c.db.mu.Unlock()
+	return c.db.tracer
+}
+
+// autoTxn returns the transaction for a DML statement and a done func:
+// inside an explicit transaction it is that transaction; otherwise a fresh
+// one committed (or rolled back) at statement end.
+func (c *Conn) autoTxn() (*txn.Txn, func(err error) error) {
+	if c.tx != nil {
+		return c.tx, func(err error) error { return err }
+	}
+	t := c.db.txns.Begin()
+	return t, func(err error) error {
+		if err != nil {
+			t.Rollback()
+			return err
+		}
+		return t.Commit()
+	}
+}
+
+// --- DDL -------------------------------------------------------------------
+
+func (c *Conn) createTable(s *sqlparse.CreateTable) error {
+	db := c.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, exists := db.tables[s.Name]; exists {
+		return fmt.Errorf("core: table %q already exists", s.Name)
+	}
+	cols := make([]table.Column, len(s.Cols))
+	metaCols := make([]catalog.ColumnMeta, len(s.Cols))
+	for i, cd := range s.Cols {
+		cols[i] = table.Column{Name: cd.Name, Kind: cd.Kind}
+		metaCols[i] = catalog.ColumnMeta{Name: cd.Name, Kind: cd.Kind}
+	}
+	id := db.cat.NextID()
+	tbl, err := table.Create(db.pool, db.st, store.MainFile, id, s.Name, cols)
+	if err != nil {
+		return err
+	}
+	db.tables[s.Name] = tbl
+	db.cat.PutTable(&catalog.TableMeta{ID: id, Name: s.Name, Columns: metaCols, First: tbl.FirstPage()})
+	return db.cat.Save()
+}
+
+func (c *Conn) createIndex(s *sqlparse.CreateIndex) error {
+	db := c.db
+	tbl, ok := db.Table(s.Table)
+	if !ok {
+		return fmt.Errorf("core: table %q not found", s.Table)
+	}
+	if tbl.IndexByName(s.Name) != nil {
+		return fmt.Errorf("core: index %q already exists", s.Name)
+	}
+	cols := make([]int, len(s.Cols))
+	for i, name := range s.Cols {
+		ci := tbl.ColumnIndex(name)
+		if ci < 0 {
+			return fmt.Errorf("core: column %q not found", name)
+		}
+		cols[i] = ci
+	}
+	id := db.cat.NextID()
+	if _, err := tbl.AddIndex(id, s.Name, cols, s.Unique); err != nil {
+		return err
+	}
+	// Index creation grows the database; the cache governor reacts with
+	// its fast sampling period (§2).
+	db.cacheG.NoteDBGrowth()
+	return nil
+}
+
+func (c *Conn) createStatistics(s *sqlparse.CreateStatistics) error {
+	tbl, ok := c.db.Table(s.Table)
+	if !ok {
+		return fmt.Errorf("core: table %q not found", s.Table)
+	}
+	return tbl.RebuildStatistics()
+}
+
+func (c *Conn) dropTable(s *sqlparse.DropTable) error {
+	db := c.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[s.Name]; !ok {
+		return fmt.Errorf("core: table %q not found", s.Name)
+	}
+	delete(db.tables, s.Name)
+	db.cat.DropTable(s.Name)
+	return db.cat.Save()
+}
+
+// calibrate runs CALIBRATE DATABASE: the read DTT curve is measured from
+// the device and the write curve approximated from it; the model is stored
+// in the catalog (§4.2).
+func (c *Conn) calibrate() error {
+	db := c.db
+	m := dtt.Calibrate(db.st.Device(), db.clk, dtt.CalibrateConfig{Seed: 1})
+	db.mu.Lock()
+	db.dttMod = m
+	db.mu.Unlock()
+	db.cat.SetDTT(m.Encode())
+	return db.cat.Save()
+}
+
+// loadTable bulk-loads CSV data; statistics are built during the load
+// (§3.2).
+func (c *Conn) loadTable(s *sqlparse.LoadTable) (Result, error) {
+	tbl, ok := c.db.Table(s.Table)
+	if !ok {
+		return Result{}, fmt.Errorf("core: table %q not found", s.Table)
+	}
+	f, err := os.Open(s.Path)
+	if err != nil {
+		return Result{}, err
+	}
+	defer f.Close()
+	rd := csv.NewReader(f)
+	recs, err := rd.ReadAll()
+	if err != nil {
+		return Result{}, err
+	}
+	tx, done := c.autoTxn()
+	var n int64
+	for _, rec := range recs {
+		if len(rec) != len(tbl.Columns) {
+			return Result{}, done(fmt.Errorf("core: CSV row has %d fields, want %d", len(rec), len(tbl.Columns)))
+		}
+		row := make([]val.Value, len(rec))
+		for i, cell := range rec {
+			row[i] = parseCell(cell, tbl.Columns[i].Kind)
+		}
+		if _, err := tbl.Insert(tx, row); err != nil {
+			return Result{}, done(err)
+		}
+		n++
+	}
+	if err := done(nil); err != nil {
+		return Result{}, err
+	}
+	c.db.cacheG.NoteDBGrowth()
+	return Result{RowsAffected: n}, tbl.RebuildStatistics()
+}
+
+func parseCell(s string, k val.Kind) val.Value {
+	if s == "" || strings.EqualFold(s, "null") {
+		return val.Null
+	}
+	switch k {
+	case val.KInt:
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return val.Null
+		}
+		return val.NewInt(n)
+	case val.KDouble:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return val.Null
+		}
+		return val.NewDouble(f)
+	}
+	return val.NewStr(s)
+}

@@ -1,0 +1,472 @@
+// Package core assembles the holistic self-managing database server: the
+// store, WAL, heterogeneous buffer pool, catalog, lock and transaction
+// managers, self-managing statistics, the cache-sizing and memory
+// governors, the cost-based optimizer with its plan cache, and the
+// adaptive executor — all working in concert, as the paper argues they
+// must (§1: "it is impossible to achieve effective self-management by
+// considering these technologies in isolation").
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"anywheredb/internal/btree"
+	"anywheredb/internal/buffer"
+	"anywheredb/internal/cachegov"
+	"anywheredb/internal/catalog"
+	"anywheredb/internal/device"
+	"anywheredb/internal/dtt"
+	"anywheredb/internal/lock"
+	"anywheredb/internal/mem"
+	"anywheredb/internal/opt"
+	"anywheredb/internal/osenv"
+	"anywheredb/internal/page"
+	"anywheredb/internal/stats"
+	"anywheredb/internal/store"
+	"anywheredb/internal/table"
+	"anywheredb/internal/txn"
+	"anywheredb/internal/val"
+	"anywheredb/internal/vclock"
+	"anywheredb/internal/wal"
+)
+
+// Options configures a database instance.
+type Options struct {
+	// Dir holds the database files; empty runs fully in memory.
+	Dir string
+	// Device simulates the storage device (nil = zero-latency RAM).
+	Device device.Device
+	// Clock is the virtual clock; nil creates a fresh one.
+	Clock *vclock.Clock
+
+	// Buffer pool bounds, in pages. The lower and upper bounds are fixed
+	// for the lifetime of the server (§2).
+	PoolMinPages, PoolInitPages, PoolMaxPages int
+
+	// TotalRAM is the simulated machine's physical memory (default 256 MB).
+	TotalRAM int64
+	// CEMode selects the Windows CE variant of the cache governor.
+	CEMode bool
+	// MPL is the server multiprogramming level (default 4).
+	MPL int
+	// Workers is the default intra-query parallelism (default 1).
+	Workers int
+	// CPURowCost is the virtual-microsecond CPU proxy charged per row.
+	CPURowCost int64
+	// AutoShutdown closes the database when the last connection closes
+	// (the embedded-deployment behaviour of §1).
+	AutoShutdown bool
+	// OptimizerQuota overrides the optimizer governor's visit quota.
+	OptimizerQuota int
+}
+
+func (o *Options) fill() {
+	if o.Clock == nil {
+		o.Clock = vclock.New()
+	}
+	if o.PoolMinPages <= 0 {
+		o.PoolMinPages = 16
+	}
+	if o.PoolInitPages <= 0 {
+		o.PoolInitPages = 256
+	}
+	if o.PoolMaxPages <= 0 {
+		o.PoolMaxPages = 4096
+	}
+	if o.TotalRAM <= 0 {
+		o.TotalRAM = 256 << 20
+	}
+	if o.MPL <= 0 {
+		o.MPL = 4
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+}
+
+// DB is an open database.
+type DB struct {
+	opts Options
+	clk  *vclock.Clock
+
+	st    *store.Store
+	log   *wal.Log
+	pool  *buffer.Pool
+	cat   *catalog.Catalog
+	locks *lock.Manager
+	txns  *txn.Manager
+
+	machine *osenv.Machine
+	cacheG  *cachegov.Governor
+	memG    *mem.Governor
+	dttMod  *dtt.Model
+
+	mu     sync.Mutex
+	tables map[string]*table.Table
+	conns  int
+	closed bool
+
+	// Tracer, when non-nil, records every statement (Application
+	// Profiling, §5).
+	tracer StatementTracer
+}
+
+// StatementTracer receives statement trace events (implemented by the
+// profile package; an interface here avoids a dependency cycle).
+type StatementTracer interface {
+	TraceStatement(sql string, params []val.Value, micros int64, rows int64)
+}
+
+// Open creates or opens a database.
+func Open(opts Options) (*DB, error) {
+	opts.fill()
+	db := &DB{opts: opts, clk: opts.Clock, tables: map[string]*table.Table{}}
+
+	st, err := store.Open(store.Options{Dir: opts.Dir, Device: opts.Device})
+	if err != nil {
+		return nil, err
+	}
+	db.st = st
+
+	logPath := ""
+	if opts.Dir != "" {
+		logPath = filepath.Join(opts.Dir, "anywhere.log")
+	}
+	log, err := wal.Open(logPath)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	db.log = log
+
+	db.pool = buffer.New(st, opts.PoolMinPages, opts.PoolInitPages, opts.PoolMaxPages)
+
+	fresh := st.PageCount(store.MainFile) == 1
+	if fresh {
+		db.cat, err = catalog.Create(db.pool, st)
+	} else {
+		db.cat, err = catalog.Load(db.pool, st)
+	}
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+
+	db.locks, err = lock.NewManager(db.pool, st)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	db.txns = txn.NewManager(log, db.locks)
+
+	// DTT model: calibrated model from the catalog, else the generic
+	// default (§4.2).
+	if enc := db.cat.DTT(); enc != nil {
+		if m, err := dtt.Decode(enc); err == nil {
+			db.dttMod = m
+		}
+	}
+	if db.dttMod == nil {
+		db.dttMod = dtt.Default()
+	}
+
+	// Attach tables from the catalog and recover statistics.
+	for _, name := range db.cat.TableNames() {
+		tm, _ := db.cat.GetTable(name)
+		if err := db.attachTable(tm); err != nil {
+			st.Close()
+			return nil, err
+		}
+	}
+
+	// Crash recovery: redo committed work, undo losers.
+	if !fresh {
+		if err := db.recover(); err != nil {
+			st.Close()
+			return nil, err
+		}
+	}
+
+	// The simulated machine and the cache-sizing feedback controller.
+	db.machine = osenv.New(db.clk, opts.TotalRAM, func() int64 {
+		return int64(db.pool.SizePages()) * page.Size
+	})
+	db.machine.SetDBExtra(8 << 20)
+	db.cacheG = cachegov.New(cachegov.Config{
+		Clock:    db.clk,
+		MinBytes: int64(opts.PoolMinPages) * page.Size,
+		MaxBytes: int64(opts.PoolMaxPages) * page.Size,
+		CEMode:   opts.CEMode,
+	}, cachegov.Inputs{
+		WorkingSet: db.machine.WorkingSet,
+		FreeMemory: db.machine.FreeMemory,
+		DBSize:     db.st.TotalBytes,
+		HeapBytes:  db.heapBytes,
+		PoolBytes:  func() int64 { return int64(db.pool.SizePages()) * page.Size },
+		Misses:     func() uint64 { return db.pool.Stats().Misses },
+		Resize: func(target int64) int64 {
+			got := db.pool.Resize(int(target / page.Size))
+			return int64(got) * page.Size
+		},
+	})
+
+	db.memG = mem.NewGovernor(
+		func() int { _, mx := db.pool.Bounds(); return mx },
+		db.pool.SizePages,
+		opts.MPL,
+	)
+	return db, nil
+}
+
+// heapBytes estimates the server's main heap: active tasks' pages.
+func (db *DB) heapBytes() int64 {
+	return int64(db.memG.ActiveRequests()+1) * 64 * page.Size / 8
+}
+
+// attachTable wires a catalog entry to a live table.
+func (db *DB) attachTable(tm *catalog.TableMeta) error {
+	cols := make([]table.Column, len(tm.Columns))
+	for i, c := range tm.Columns {
+		cols[i] = table.Column{Name: c.Name, Kind: c.Kind}
+	}
+	tbl, err := table.Attach(db.pool, db.st, tm.ID, tm.Name, cols, tm.First)
+	if err != nil {
+		return err
+	}
+	for i, enc := range tm.Hists {
+		if enc == nil || i >= len(tbl.Hists) {
+			continue
+		}
+		if h, err := stats.DecodeHistogram(enc); err == nil {
+			tbl.Hists[i] = h
+		}
+	}
+	for _, im := range tm.Indexes {
+		tree := btree.Attach(db.pool, db.st, im.Root, im.ID)
+		tbl.Indexes = append(tbl.Indexes, &table.Index{
+			ID: im.ID, Name: im.Name, Cols: im.Cols, Unique: im.Unique, Tree: tree,
+		})
+	}
+	db.tables[tm.Name] = tbl
+	return nil
+}
+
+// recover replays the WAL: committed data records are redone against the
+// pages, loser records are undone (reverse order).
+func (db *DB) recover() error {
+	plan, err := db.log.Analyze()
+	if err != nil {
+		return err
+	}
+	for _, r := range plan.Redo {
+		if err := db.applyRedo(r); err != nil {
+			return err
+		}
+	}
+	for _, r := range plan.Undo {
+		if err := db.applyUndo(r); err != nil {
+			return err
+		}
+	}
+	// Recovered state is the new baseline.
+	if err := db.pool.FlushAll(); err != nil {
+		return err
+	}
+	if err := db.st.Sync(); err != nil {
+		return err
+	}
+	return db.log.Truncate()
+}
+
+func (db *DB) tableByID(id uint64) *table.Table {
+	for _, t := range db.tables {
+		if t.ID == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// applyRedo re-applies a committed change if the page does not already
+// reflect it (idempotent page-level redo).
+func (db *DB) applyRedo(r *wal.Record) error {
+	f, err := db.pool.Get(r.Page)
+	if err != nil {
+		return nil // page gone (e.g. truncated file); nothing to redo onto
+	}
+	defer db.pool.Unpin(f, true)
+	f.Lock()
+	defer f.Unlock()
+	switch r.Type {
+	case wal.RecInsert, wal.RecUpdate:
+		cur := f.Data.Cell(int(r.Slot))
+		if cur != nil && string(cur) == string(r.After) {
+			return nil // already applied
+		}
+		if cur != nil {
+			f.Data.Update(int(r.Slot), r.After)
+		} else {
+			f.Data.InsertAt(int(r.Slot), r.After)
+		}
+		f.MarkDirty()
+	case wal.RecDelete:
+		if f.Data.Cell(int(r.Slot)) != nil {
+			f.Data.Delete(int(r.Slot))
+			f.MarkDirty()
+		}
+	}
+	return nil
+}
+
+// applyUndo compensates a loser's change if the page reflects it.
+func (db *DB) applyUndo(r *wal.Record) error {
+	f, err := db.pool.Get(r.Page)
+	if err != nil {
+		return nil
+	}
+	defer db.pool.Unpin(f, true)
+	f.Lock()
+	defer f.Unlock()
+	switch r.Type {
+	case wal.RecInsert:
+		cur := f.Data.Cell(int(r.Slot))
+		if cur != nil && string(cur) == string(r.After) {
+			f.Data.Delete(int(r.Slot))
+			f.MarkDirty()
+		}
+	case wal.RecDelete:
+		if f.Data.Cell(int(r.Slot)) == nil {
+			f.Data.InsertAt(int(r.Slot), r.Before)
+			f.MarkDirty()
+		}
+	case wal.RecUpdate:
+		cur := f.Data.Cell(int(r.Slot))
+		if cur != nil && string(cur) == string(r.After) {
+			f.Data.Update(int(r.Slot), r.Before)
+			f.MarkDirty()
+		}
+	}
+	return nil
+}
+
+// Table implements opt.Resolver.
+func (db *DB) Table(name string) (*table.Table, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[name]
+	return t, ok
+}
+
+// Clock exposes the virtual clock.
+func (db *DB) Clock() *vclock.Clock { return db.clk }
+
+// Pool exposes the buffer pool (experiments, monitoring).
+func (db *DB) Pool() *buffer.Pool { return db.pool }
+
+// Store exposes the page store.
+func (db *DB) Store() *store.Store { return db.st }
+
+// Machine exposes the simulated OS memory environment.
+func (db *DB) Machine() *osenv.Machine { return db.machine }
+
+// CacheGovernor exposes the buffer-pool-size feedback controller.
+func (db *DB) CacheGovernor() *cachegov.Governor { return db.cacheG }
+
+// MemGovernor exposes the per-task memory governor.
+func (db *DB) MemGovernor() *mem.Governor { return db.memG }
+
+// DTTModel reports the active cost model.
+func (db *DB) DTTModel() *dtt.Model { return db.dttMod }
+
+// Catalog exposes the catalog (profiling tools read options).
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+// SetTracer installs an Application Profiling statement tracer.
+func (db *DB) SetTracer(t StatementTracer) {
+	db.mu.Lock()
+	db.tracer = t
+	db.mu.Unlock()
+}
+
+// Checkpoint flushes dirty pages, persists statistics and the catalog, and
+// truncates the log.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	for name, tbl := range db.tables {
+		tm, ok := db.cat.GetTable(name)
+		if !ok {
+			continue
+		}
+		tm.Hists = make([][]byte, len(tbl.Hists))
+		for i, h := range tbl.Hists {
+			if h != nil {
+				tm.Hists[i] = h.Encode()
+			}
+		}
+		tm.First = tbl.FirstPage()
+		tm.Indexes = tm.Indexes[:0]
+		for _, ix := range tbl.Indexes {
+			tm.Indexes = append(tm.Indexes, catalog.IndexMeta{
+				ID: ix.ID, Name: ix.Name, Cols: ix.Cols, Unique: ix.Unique, Root: ix.Tree.Root(),
+			})
+		}
+		db.cat.PutTable(tm)
+	}
+	db.mu.Unlock()
+	if err := db.cat.Save(); err != nil {
+		return err
+	}
+	if err := db.pool.FlushAll(); err != nil {
+		return err
+	}
+	if err := db.st.Sync(); err != nil {
+		return err
+	}
+	db.log.Append(&wal.Record{Type: wal.RecCheckpoint})
+	if err := db.log.Flush(); err != nil {
+		return err
+	}
+	return db.log.Truncate()
+}
+
+// Close checkpoints and shuts the database down.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil
+	}
+	db.closed = true
+	db.mu.Unlock()
+	if err := db.Checkpoint(); err != nil {
+		return err
+	}
+	if err := db.log.Close(); err != nil {
+		return err
+	}
+	return db.st.Close()
+}
+
+// Closed reports whether the database has shut down.
+func (db *DB) Closed() bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.closed
+}
+
+// Connect opens a connection. The database can serve many connections;
+// with AutoShutdown it stops when the last one closes.
+func (db *DB) Connect() (*Conn, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, fmt.Errorf("core: database is closed")
+	}
+	db.conns++
+	return &Conn{
+		db:        db,
+		planCache: opt.NewPlanCache(32, 3),
+	}, nil
+}

@@ -1,0 +1,513 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"anywheredb/internal/exec"
+	"anywheredb/internal/mem"
+	"anywheredb/internal/opt"
+	"anywheredb/internal/sqlparse"
+	"anywheredb/internal/table"
+	"anywheredb/internal/val"
+)
+
+// execSelect optimizes (or reuses a cached plan for) and runs a query.
+// Each statement runs under a memory-governor task whose quotas follow
+// Eq. 4/5; exceeding the hard limit terminates the statement.
+func (c *Conn) execSelect(sql string, s *sqlparse.Select, params []val.Value) (*Rows, error) {
+	task := c.db.memG.Begin()
+	defer task.Finish()
+	ctx := c.execCtx(task)
+	ctx.Task = task
+
+	benv := &opt.BuildEnv{Env: c.optEnv(), Res: c.db, Ctx: ctx, Params: params}
+
+	var plan *opt.Plan
+	var err error
+	cacheable := len(s.With) == 0 && s.Union == nil && s.From != nil
+
+	if cacheable {
+		if steps, hit, verify := c.planCache.Lookup(sql); hit {
+			if verify {
+				// Periodic freshness check: re-optimize and compare.
+				fresh, ferr := opt.BuildSelect(s, benv)
+				if ferr == nil && fresh.Enum != nil {
+					if c.planCache.Verify(sql, fresh.Enum.Order) {
+						plan = fresh // identical plan; use it
+					}
+				}
+			}
+			if plan == nil {
+				plan, err = opt.BuildSelectWithOrder(s, benv, steps)
+				if err != nil {
+					// Cached skeleton no longer builds (schema drift):
+					// invalidate and re-optimize.
+					c.planCache.Invalidate(sql)
+					plan = nil
+				}
+			}
+		}
+	}
+	if plan == nil {
+		plan, err = opt.BuildSelect(s, benv)
+		if err != nil {
+			return nil, err
+		}
+		if cacheable && plan.Enum != nil {
+			c.planCache.Offer(sql, plan.Enum.Order)
+		}
+	}
+
+	rows, err := exec.Drain(ctx, plan.Root)
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{cols: plan.Columns, rows: rows, plan: plan}, nil
+}
+
+// simpleWhere recognizes the single-table DML shapes that bypass the
+// cost-based optimizer (§4.1): a conjunction of col-op-literal predicates.
+// It returns an access plan: an index-equality probe when possible, else a
+// scan, plus a residual filter closure.
+type simpleAccess struct {
+	index  *table.Index
+	key    []byte
+	filter func(row []val.Value) (bool, error)
+}
+
+// bindSimpleWhere compiles WHERE for heuristic DML against a single table.
+func bindSimpleWhere(tbl *table.Table, where sqlparse.Expr, params []val.Value) (*simpleAccess, error) {
+	acc := &simpleAccess{}
+	var preds []func(row []val.Value) (bool, error)
+
+	var visit func(e sqlparse.Expr) error
+	visit = func(e sqlparse.Expr) error {
+		if b, ok := e.(*sqlparse.BinOp); ok && b.Op == "AND" {
+			if err := visit(b.L); err != nil {
+				return err
+			}
+			return visit(b.R)
+		}
+		p, idxCol, idxVal, err := compileSimplePred(tbl, e, params)
+		if err != nil {
+			return err
+		}
+		// First equality on an indexed leading column becomes the access
+		// path.
+		if idxCol >= 0 && acc.index == nil {
+			for _, ix := range tbl.Indexes {
+				if len(ix.Cols) > 0 && ix.Cols[0] == idxCol {
+					acc.index = ix
+					acc.key = val.EncodeKey([]val.Value{idxVal})
+					break
+				}
+			}
+		}
+		preds = append(preds, p)
+		return nil
+	}
+	if where != nil {
+		if err := visit(where); err != nil {
+			return nil, err
+		}
+	}
+	acc.filter = func(row []val.Value) (bool, error) {
+		for _, p := range preds {
+			ok, err := p(row)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+		return true, nil
+	}
+	return acc, nil
+}
+
+// compileSimplePred compiles one heuristic predicate. When it is an
+// equality on a column it also reports (colIdx, value) for index matching.
+func compileSimplePred(tbl *table.Table, e sqlparse.Expr, params []val.Value) (func([]val.Value) (bool, error), int, val.Value, error) {
+	evalScalar := func(x sqlparse.Expr, row []val.Value) (val.Value, error) {
+		return evalSimpleScalar(tbl, x, row, params)
+	}
+	switch x := e.(type) {
+	case *sqlparse.BinOp:
+		op := x.Op
+		return func(row []val.Value) (bool, error) {
+				l, err := evalScalar(x.L, row)
+				if err != nil {
+					return false, err
+				}
+				r, err := evalScalar(x.R, row)
+				if err != nil {
+					return false, err
+				}
+				if l.IsNull() || r.IsNull() {
+					return false, nil
+				}
+				n := val.Compare(l, r)
+				switch op {
+				case "=":
+					return n == 0, nil
+				case "<>":
+					return n != 0, nil
+				case "<":
+					return n < 0, nil
+				case "<=":
+					return n <= 0, nil
+				case ">":
+					return n > 0, nil
+				case ">=":
+					return n >= 0, nil
+				}
+				return false, fmt.Errorf("core: operator %q in simple WHERE", op)
+			}, simpleEqIndexCol(tbl, x, params), simpleEqIndexVal(tbl, x, params),
+			nil
+	case *sqlparse.IsNull:
+		return func(row []val.Value) (bool, error) {
+			v, err := evalScalar(x.E, row)
+			if err != nil {
+				return false, err
+			}
+			return v.IsNull() != x.Neg, nil
+		}, -1, val.Null, nil
+	case *sqlparse.Like:
+		return func(row []val.Value) (bool, error) {
+			v, err := evalScalar(x.E, row)
+			if err != nil {
+				return false, err
+			}
+			p, err := evalScalar(x.Pattern, row)
+			if err != nil {
+				return false, err
+			}
+			if v.IsNull() || p.IsNull() {
+				return false, nil
+			}
+			return val.LikeMatch(v.String(), p.String()) != x.Neg, nil
+		}, -1, val.Null, nil
+	case *sqlparse.Between:
+		return func(row []val.Value) (bool, error) {
+			v, err := evalScalar(x.E, row)
+			if err != nil {
+				return false, err
+			}
+			lo, err := evalScalar(x.Lo, row)
+			if err != nil {
+				return false, err
+			}
+			hi, err := evalScalar(x.Hi, row)
+			if err != nil {
+				return false, err
+			}
+			if v.IsNull() || lo.IsNull() || hi.IsNull() {
+				return false, nil
+			}
+			in := val.Compare(v, lo) >= 0 && val.Compare(v, hi) <= 0
+			return in != x.Neg, nil
+		}, -1, val.Null, nil
+	case *sqlparse.InList:
+		return func(row []val.Value) (bool, error) {
+			v, err := evalScalar(x.E, row)
+			if err != nil {
+				return false, err
+			}
+			if v.IsNull() {
+				return false, nil
+			}
+			for _, le := range x.List {
+				lv, err := evalScalar(le, row)
+				if err != nil {
+					return false, err
+				}
+				if !lv.IsNull() && val.Compare(v, lv) == 0 {
+					return !x.Neg, nil
+				}
+			}
+			return x.Neg, nil
+		}, -1, val.Null, nil
+	}
+	return nil, -1, val.Null, fmt.Errorf("core: unsupported predicate %T in simple WHERE", e)
+}
+
+func simpleEqIndexCol(tbl *table.Table, b *sqlparse.BinOp, params []val.Value) int {
+	if b.Op != "=" {
+		return -1
+	}
+	if c, ok := b.L.(*sqlparse.ColRef); ok {
+		if _, isLit := constOf(b.R, params); isLit {
+			return tbl.ColumnIndex(c.Col)
+		}
+	}
+	if c, ok := b.R.(*sqlparse.ColRef); ok {
+		if _, isLit := constOf(b.L, params); isLit {
+			return tbl.ColumnIndex(c.Col)
+		}
+	}
+	return -1
+}
+
+func simpleEqIndexVal(tbl *table.Table, b *sqlparse.BinOp, params []val.Value) val.Value {
+	if _, ok := b.L.(*sqlparse.ColRef); ok {
+		if v, isLit := constOf(b.R, params); isLit {
+			return v
+		}
+	}
+	if _, ok := b.R.(*sqlparse.ColRef); ok {
+		if v, isLit := constOf(b.L, params); isLit {
+			return v
+		}
+	}
+	return val.Null
+}
+
+func constOf(e sqlparse.Expr, params []val.Value) (val.Value, bool) {
+	switch x := e.(type) {
+	case *sqlparse.Lit:
+		return x.Val, true
+	case *sqlparse.Param:
+		if x.Idx-1 < len(params) {
+			return params[x.Idx-1], true
+		}
+	case *sqlparse.UnOp:
+		if x.Op == "-" {
+			if v, ok := constOf(x.E, params); ok {
+				if v.Kind == val.KInt {
+					return val.NewInt(-v.I), true
+				}
+				return val.NewDouble(-v.AsFloat()), true
+			}
+		}
+	}
+	return val.Null, false
+}
+
+func evalSimpleScalar(tbl *table.Table, e sqlparse.Expr, row []val.Value, params []val.Value) (val.Value, error) {
+	if v, ok := constOf(e, params); ok {
+		return v, nil
+	}
+	switch x := e.(type) {
+	case *sqlparse.ColRef:
+		ci := tbl.ColumnIndex(x.Col)
+		if ci < 0 {
+			return val.Null, fmt.Errorf("core: column %q not found", x.Col)
+		}
+		return row[ci], nil
+	case *sqlparse.BinOp:
+		l, err := evalSimpleScalar(tbl, x.L, row, params)
+		if err != nil {
+			return val.Null, err
+		}
+		r, err := evalSimpleScalar(tbl, x.R, row, params)
+		if err != nil {
+			return val.Null, err
+		}
+		a := exec.Arith{Op: x.Op[0], L: exec.Const{V: l}, R: exec.Const{V: r}}
+		return a.Eval(nil)
+	}
+	return val.Null, fmt.Errorf("core: unsupported expression %T", e)
+}
+
+// collectTargets gathers the RIDs and rows matching a simple WHERE.
+func collectTargets(tbl *table.Table, acc *simpleAccess) ([]table.RID, [][]val.Value, error) {
+	var rids []table.RID
+	var rows [][]val.Value
+	if acc.index != nil {
+		it, err := acc.index.Tree.Seek(acc.key)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer it.Close()
+		for ; it.Valid() && hasKeyPrefix(it.Key(), acc.key); it.Next() {
+			rid := table.RIDFromBytes(it.Value())
+			row, err := tbl.Get(rid)
+			if err != nil {
+				return nil, nil, err
+			}
+			ok, err := acc.filter(row)
+			if err != nil {
+				return nil, nil, err
+			}
+			if ok {
+				rids = append(rids, rid)
+				rows = append(rows, row)
+			}
+		}
+		return rids, rows, it.Err()
+	}
+	err := tbl.Scan(func(rid table.RID, row []val.Value) (bool, error) {
+		ok, err := acc.filter(row)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			rids = append(rids, rid)
+			rows = append(rows, row)
+		}
+		return true, nil
+	})
+	return rids, rows, err
+}
+
+func hasKeyPrefix(k, p []byte) bool {
+	if len(k) < len(p) {
+		return false
+	}
+	for i := range p {
+		if k[i] != p[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// execInsert handles INSERT ... VALUES and INSERT ... SELECT.
+func (c *Conn) execInsert(s *sqlparse.Insert, params []val.Value) (Result, error) {
+	tbl, ok := c.db.Table(s.Table)
+	if !ok {
+		return Result{}, fmt.Errorf("core: table %q not found", s.Table)
+	}
+	// Column mapping.
+	colIdx := make([]int, len(tbl.Columns))
+	if len(s.Cols) == 0 {
+		for i := range colIdx {
+			colIdx[i] = i
+		}
+	} else {
+		for i := range colIdx {
+			colIdx[i] = -1
+		}
+		for pos, name := range s.Cols {
+			ci := tbl.ColumnIndex(name)
+			if ci < 0 {
+				return Result{}, fmt.Errorf("core: column %q not found", name)
+			}
+			colIdx[ci] = pos
+		}
+	}
+	buildRow := func(values []val.Value) []val.Value {
+		row := make([]val.Value, len(tbl.Columns))
+		for ci := range row {
+			if len(s.Cols) == 0 {
+				if ci < len(values) {
+					row[ci] = values[ci]
+				}
+			} else if colIdx[ci] >= 0 && colIdx[ci] < len(values) {
+				row[ci] = values[colIdx[ci]]
+			}
+		}
+		return row
+	}
+
+	var sourceRows [][]val.Value
+	if s.Query != nil {
+		rows, err := c.execSelect("", s.Query, params)
+		if err != nil {
+			return Result{}, err
+		}
+		sourceRows = rows.rows
+	} else {
+		for _, exprRow := range s.Rows {
+			values := make([]val.Value, len(exprRow))
+			for i, e := range exprRow {
+				v, ok := constOf(e, params)
+				if !ok {
+					// Allow simple arithmetic over constants.
+					ev, err := evalSimpleScalar(tbl, e, nil, params)
+					if err != nil {
+						return Result{}, fmt.Errorf("core: INSERT values must be constants: %w", err)
+					}
+					v = ev
+				}
+				values[i] = v
+			}
+			sourceRows = append(sourceRows, values)
+		}
+	}
+
+	tx, done := c.autoTxn()
+	var n int64
+	for _, values := range sourceRows {
+		if _, err := tbl.Insert(tx, buildRow(values)); err != nil {
+			return Result{}, done(err)
+		}
+		n++
+	}
+	return Result{RowsAffected: n}, done(nil)
+}
+
+// execUpdate handles single-table UPDATE via the heuristic bypass.
+func (c *Conn) execUpdate(s *sqlparse.Update, params []val.Value) (Result, error) {
+	tbl, ok := c.db.Table(s.Table)
+	if !ok {
+		return Result{}, fmt.Errorf("core: table %q not found", s.Table)
+	}
+	acc, err := bindSimpleWhere(tbl, s.Where, params)
+	if err != nil {
+		return Result{}, err
+	}
+	setCols := make([]int, len(s.Set))
+	for i, sc := range s.Set {
+		ci := tbl.ColumnIndex(sc.Col)
+		if ci < 0 {
+			return Result{}, fmt.Errorf("core: column %q not found", sc.Col)
+		}
+		setCols[i] = ci
+	}
+	rids, rows, err := collectTargets(tbl, acc)
+	if err != nil {
+		return Result{}, err
+	}
+	tx, done := c.autoTxn()
+	var n int64
+	for i, rid := range rids {
+		newRow := append([]val.Value(nil), rows[i]...)
+		for k, sc := range s.Set {
+			v, err := evalSimpleScalar(tbl, sc.Expr, rows[i], params)
+			if err != nil {
+				return Result{}, done(err)
+			}
+			newRow[setCols[k]] = v
+		}
+		if _, err := tbl.Update(tx, rid, newRow); err != nil {
+			return Result{}, done(err)
+		}
+		n++
+	}
+	return Result{RowsAffected: n}, done(nil)
+}
+
+// execDelete handles single-table DELETE via the heuristic bypass.
+func (c *Conn) execDelete(s *sqlparse.Delete, params []val.Value) (Result, error) {
+	tbl, ok := c.db.Table(s.Table)
+	if !ok {
+		return Result{}, fmt.Errorf("core: table %q not found", s.Table)
+	}
+	acc, err := bindSimpleWhere(tbl, s.Where, params)
+	if err != nil {
+		return Result{}, err
+	}
+	rids, _, err := collectTargets(tbl, acc)
+	if err != nil {
+		return Result{}, err
+	}
+	tx, done := c.autoTxn()
+	var n int64
+	for _, rid := range rids {
+		if err := tbl.Delete(tx, rid); err != nil {
+			if errors.Is(err, table.ErrNotFound) {
+				continue
+			}
+			return Result{}, done(err)
+		}
+		n++
+	}
+	return Result{RowsAffected: n}, done(nil)
+}
+
+// PlanCacheStats exposes the connection's plan cache counters.
+func (c *Conn) PlanCacheStats() (hits, misses, verifications, invalidations uint64) {
+	return c.planCache.Stats()
+}
+
+var _ = mem.ErrHardLimit // referenced by docs/tests

@@ -1,0 +1,249 @@
+// Package device provides parametric storage-device simulators.
+//
+// The paper's Disk Transfer Time (DTT) model summarizes a disk subsystem as
+// the amortized cost of reading one page randomly inside a "band" of the
+// disk: band size 1 is sequential I/O, larger bands approach full-stroke
+// random I/O. Reproducing Figures 2 and 3 requires a device whose latency
+// actually depends on band size the way a spinning disk's does (and a flash
+// device whose latency does not), so CALIBRATE DATABASE has something real
+// to measure. These simulators charge a shared virtual clock rather than
+// sleeping; the accumulated virtual time is the measured cost.
+package device
+
+import (
+	"math"
+	"sync"
+
+	"anywheredb/internal/vclock"
+)
+
+// Device models the latency behaviour of a storage device. Implementations
+// charge the virtual clock and return the cost of each access in
+// microseconds. Devices carry no data; the store layer keeps page contents.
+type Device interface {
+	// Read charges the cost of reading n bytes starting at byte offset off.
+	Read(off int64, n int) vclock.Micros
+	// Write charges the cost of writing n bytes at byte offset off. Writes
+	// may be buffered; cost is amortized across the eventual flush.
+	Write(off int64, n int) vclock.Micros
+	// Flush forces any buffered writes out and charges their cost.
+	Flush() vclock.Micros
+	// Name identifies the device model (for reports).
+	Name() string
+}
+
+// HDDParams describes a spinning disk.
+type HDDParams struct {
+	Name           string
+	RPM            int     // spindle speed
+	SeekMinUS      float64 // settle time for a 1-cylinder seek, µs
+	SeekFactorUS   float64 // seek µs grows as SeekFactorUS*sqrt(cylinders)
+	SeekMaxUS      float64 // full-stroke seek, µs (caps the curve)
+	TransferMBps   float64 // sequential media rate
+	BytesPerCyl    int64   // how many bytes pass under the head per cylinder
+	Cylinders      int64   // total cylinders
+	WriteCacheOps  int     // write-behind cache capacity, in requests
+	WritePenaltyUS float64 // per-write controller overhead, µs
+}
+
+// Barracuda7200 returns parameters resembling the paper's Seagate 7200 RPM
+// "Barracuda" drive on the Intel Bensley host of Figure 2(b).
+func Barracuda7200() HDDParams {
+	return HDDParams{
+		Name:           "barracuda-7200",
+		RPM:            7200,
+		SeekMinUS:      800,
+		SeekFactorUS:   28,
+		SeekMaxUS:      9000,
+		TransferMBps:   60,
+		BytesPerCyl:    512 * 1024,
+		Cylinders:      300_000,
+		WriteCacheOps:  64,
+		WritePenaltyUS: 40,
+	}
+}
+
+// HDD simulates a spinning disk: seek time grows with the square root of
+// the cylinder distance, a non-sequential access pays half a rotation on
+// average, and buffered writes are flushed in elevator order, which is why
+// the amortized write curve falls below the read curve at large band sizes
+// (§4.2 of the paper).
+type HDD struct {
+	p   HDDParams
+	clk *vclock.Clock
+
+	mu      sync.Mutex
+	headCyl int64
+	nextSeq int64 // byte offset that would continue the current sequential run
+	wbuf    []wreq
+}
+
+type wreq struct {
+	off int64
+	n   int
+}
+
+// NewHDD returns a spinning-disk simulator charging clk.
+func NewHDD(p HDDParams, clk *vclock.Clock) *HDD {
+	return &HDD{p: p, clk: clk, nextSeq: -1}
+}
+
+func (d *HDD) Name() string { return d.p.Name }
+
+// rotationUS is the time for a full revolution.
+func (d *HDD) rotationUS() float64 { return 60e6 / float64(d.p.RPM) }
+
+func (d *HDD) transferUS(n int) float64 {
+	return float64(n) / (d.p.TransferMBps * 1e6) * 1e6
+}
+
+func (d *HDD) seekUS(fromCyl, toCyl int64) float64 {
+	dist := toCyl - fromCyl
+	if dist < 0 {
+		dist = -dist
+	}
+	if dist == 0 {
+		return 0
+	}
+	s := d.p.SeekMinUS + d.p.SeekFactorUS*math.Sqrt(float64(dist))
+	return math.Min(s, d.p.SeekMaxUS)
+}
+
+func (d *HDD) cylOf(off int64) int64 {
+	c := off / d.p.BytesPerCyl
+	if c >= d.p.Cylinders {
+		c = d.p.Cylinders - 1
+	}
+	return c
+}
+
+// accessUS computes the cost of one read-style access and updates head state.
+func (d *HDD) accessUS(off int64, n int) float64 {
+	cyl := d.cylOf(off)
+	var cost float64
+	if off == d.nextSeq {
+		// Sequential continuation: media rate only.
+		cost = d.transferUS(n)
+	} else {
+		seek := d.seekUS(d.headCyl, cyl)
+		rot := d.rotationUS() / 2 // average rotational latency
+		cost = seek + rot + d.transferUS(n)
+	}
+	d.headCyl = cyl
+	d.nextSeq = off + int64(n)
+	return cost
+}
+
+// Read charges a synchronous read.
+func (d *HDD) Read(off int64, n int) vclock.Micros {
+	d.mu.Lock()
+	cost := vclock.Micros(d.accessUS(off, n))
+	d.mu.Unlock()
+	d.clk.Advance(cost)
+	return cost
+}
+
+// Write buffers the request; cost is charged at flush time in elevator
+// order, modelling the asynchronous, scheduler-optimized writes the paper
+// describes. The returned cost is the per-request overhead charged now.
+func (d *HDD) Write(off int64, n int) vclock.Micros {
+	d.mu.Lock()
+	d.wbuf = append(d.wbuf, wreq{off, n})
+	full := len(d.wbuf) >= d.p.WriteCacheOps
+	d.mu.Unlock()
+	cost := vclock.Micros(d.p.WritePenaltyUS)
+	d.clk.Advance(cost)
+	if full {
+		cost += d.Flush()
+	}
+	return cost
+}
+
+// Flush writes the buffered requests in ascending-offset (elevator) order.
+func (d *HDD) Flush() vclock.Micros {
+	d.mu.Lock()
+	if len(d.wbuf) == 0 {
+		d.mu.Unlock()
+		return 0
+	}
+	reqs := d.wbuf
+	d.wbuf = nil
+	// Elevator: service in ascending offset order from the current head.
+	sortWreqs(reqs)
+	var total float64
+	for _, r := range reqs {
+		total += d.accessUS(r.off, r.n)
+	}
+	d.mu.Unlock()
+	cost := vclock.Micros(total)
+	d.clk.Advance(cost)
+	return cost
+}
+
+func sortWreqs(r []wreq) {
+	// Insertion sort: write batches are small and often nearly sorted.
+	for i := 1; i < len(r); i++ {
+		for j := i; j > 0 && r[j].off < r[j-1].off; j-- {
+			r[j], r[j-1] = r[j-1], r[j]
+		}
+	}
+}
+
+// FlashParams describes a flash/SD-card style device with uniform random
+// access times (Figure 3).
+type FlashParams struct {
+	Name         string
+	ReadSetupUS  float64 // fixed per-read latency
+	WriteSetupUS float64 // fixed per-write latency (erase-before-write)
+	ReadMBps     float64
+	WriteMBps    float64
+}
+
+// SDCard512 returns parameters resembling the paper's 512 MB SD card on a
+// Pocket PC 2003 device: uniform access cost regardless of band size, with
+// writes considerably more expensive than reads.
+func SDCard512() FlashParams {
+	return FlashParams{
+		Name:         "sd-512mb",
+		ReadSetupUS:  180,
+		WriteSetupUS: 900,
+		ReadMBps:     8,
+		WriteMBps:    3,
+	}
+}
+
+// Flash simulates a flash device: no mechanical positioning, so cost is
+// independent of access pattern.
+type Flash struct {
+	p   FlashParams
+	clk *vclock.Clock
+}
+
+// NewFlash returns a flash-device simulator charging clk.
+func NewFlash(p FlashParams, clk *vclock.Clock) *Flash {
+	return &Flash{p: p, clk: clk}
+}
+
+func (d *Flash) Name() string { return d.p.Name }
+
+func (d *Flash) Read(off int64, n int) vclock.Micros {
+	cost := vclock.Micros(d.p.ReadSetupUS + float64(n)/(d.p.ReadMBps*1e6)*1e6)
+	d.clk.Advance(cost)
+	return cost
+}
+
+func (d *Flash) Write(off int64, n int) vclock.Micros {
+	cost := vclock.Micros(d.p.WriteSetupUS + float64(n)/(d.p.WriteMBps*1e6)*1e6)
+	d.clk.Advance(cost)
+	return cost
+}
+
+func (d *Flash) Flush() vclock.Micros { return 0 }
+
+// RAM is a zero-latency device used by tests that do not exercise I/O cost.
+type RAM struct{}
+
+func (RAM) Read(off int64, n int) vclock.Micros  { return 0 }
+func (RAM) Write(off int64, n int) vclock.Micros { return 0 }
+func (RAM) Flush() vclock.Micros                 { return 0 }
+func (RAM) Name() string                         { return "ram" }

@@ -1,0 +1,147 @@
+package device
+
+import (
+	"math/rand"
+	"testing"
+
+	"anywheredb/internal/vclock"
+)
+
+func TestHDDSequentialCheaperThanRandom(t *testing.T) {
+	clk := vclock.New()
+	d := NewHDD(Barracuda7200(), clk)
+
+	// Sequential run.
+	start := clk.Now()
+	off := int64(0)
+	d.Read(off, 4096) // first access pays a seek
+	for i := 1; i < 100; i++ {
+		d.Read(int64(i)*4096, 4096)
+	}
+	seq := clk.Now() - start
+
+	// Random accesses across the whole device.
+	rng := rand.New(rand.NewSource(1))
+	start = clk.Now()
+	for i := 0; i < 100; i++ {
+		d.Read(rng.Int63n(1<<30)/4096*4096, 4096)
+	}
+	rnd := clk.Now() - start
+
+	if rnd < 10*seq {
+		t.Fatalf("random reads (%dµs) should be far costlier than sequential (%dµs)", rnd, seq)
+	}
+}
+
+func TestHDDSeekGrowsWithDistance(t *testing.T) {
+	clk := vclock.New()
+	p := Barracuda7200()
+	d := NewHDD(p, clk)
+
+	d.Read(0, 4096) // park at cylinder 0
+	start := clk.Now()
+	d.Read(2*p.BytesPerCyl, 4096) // short seek
+	short := clk.Now() - start
+
+	d.Read(0, 4096)
+	start = clk.Now()
+	d.Read(100_000*p.BytesPerCyl, 4096) // long seek
+	long := clk.Now() - start
+
+	if long <= short {
+		t.Fatalf("long seek %dµs should exceed short seek %dµs", long, short)
+	}
+}
+
+func TestHDDWriteAmortizedBelowRandomRead(t *testing.T) {
+	clk := vclock.New()
+	d := NewHDD(Barracuda7200(), clk)
+	rng := rand.New(rand.NewSource(2))
+
+	const n = 256
+	offs := make([]int64, n)
+	for i := range offs {
+		offs[i] = rng.Int63n(1<<32) / 4096 * 4096
+	}
+
+	start := clk.Now()
+	for _, off := range offs {
+		d.Read(off, 4096)
+	}
+	readCost := clk.Now() - start
+
+	start = clk.Now()
+	for _, off := range offs {
+		d.Write(off, 4096)
+	}
+	d.Flush()
+	writeCost := clk.Now() - start
+
+	if writeCost >= readCost {
+		t.Fatalf("elevator-scheduled writes (%dµs) should be cheaper than random reads (%dµs)", writeCost, readCost)
+	}
+}
+
+func TestFlashUniformAccess(t *testing.T) {
+	clk := vclock.New()
+	d := NewFlash(SDCard512(), clk)
+
+	start := clk.Now()
+	for i := 0; i < 64; i++ {
+		d.Read(int64(i)*4096, 4096)
+	}
+	seq := clk.Now() - start
+
+	rng := rand.New(rand.NewSource(3))
+	start = clk.Now()
+	for i := 0; i < 64; i++ {
+		d.Read(rng.Int63n(512<<20)/4096*4096, 4096)
+	}
+	rnd := clk.Now() - start
+
+	if seq != rnd {
+		t.Fatalf("flash access should be pattern-independent: seq=%dµs rnd=%dµs", seq, rnd)
+	}
+}
+
+func TestFlashWriteCostlierThanRead(t *testing.T) {
+	clk := vclock.New()
+	d := NewFlash(SDCard512(), clk)
+	r := d.Read(0, 4096)
+	w := d.Write(0, 4096)
+	if w <= r {
+		t.Fatalf("flash write (%dµs) should exceed read (%dµs)", w, r)
+	}
+}
+
+func TestRAMIsFree(t *testing.T) {
+	var d RAM
+	if d.Read(0, 4096) != 0 || d.Write(0, 4096) != 0 || d.Flush() != 0 {
+		t.Fatal("RAM device must be free")
+	}
+}
+
+func TestHDDFlushEmptyIsFree(t *testing.T) {
+	clk := vclock.New()
+	d := NewHDD(Barracuda7200(), clk)
+	if c := d.Flush(); c != 0 {
+		t.Fatalf("empty flush cost %dµs, want 0", c)
+	}
+}
+
+func TestHDDWriteCacheAutoFlush(t *testing.T) {
+	clk := vclock.New()
+	p := Barracuda7200()
+	p.WriteCacheOps = 4
+	d := NewHDD(p, clk)
+	for i := 0; i < 4; i++ {
+		d.Write(int64(i)*1_000_000, 4096)
+	}
+	// Cache filled: buffer must be empty again.
+	d.mu.Lock()
+	n := len(d.wbuf)
+	d.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("write cache should have auto-flushed, %d requests remain", n)
+	}
+}

@@ -1,0 +1,358 @@
+// Package dtt implements the Disk Transfer Time cost model of §4.2.
+//
+// A DTT function summarizes a disk subsystem as the amortized cost of
+// reading one page randomly over a "band size" area of the disk: band size 1
+// is sequential I/O, larger bands are increasingly random. The optimizer
+// consults the model to cost access paths; a generic default model is built
+// in (Figure 2(a)), and CALIBRATE DATABASE can replace it with a curve
+// measured from the actual device (Figures 2(b) and 3). The model is stored
+// in the catalog and can be deployed to thousands of databases calibrated
+// from one representative device.
+package dtt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"anywheredb/internal/device"
+	"anywheredb/internal/vclock"
+)
+
+// Op distinguishes the read and write curves of a model.
+type Op uint8
+
+const (
+	Read Op = iota
+	Write
+)
+
+func (o Op) String() string {
+	if o == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// Point is one sample of a DTT curve: the amortized per-page cost in
+// microseconds when pages are accessed randomly within Band pages.
+type Point struct {
+	Band   int64
+	Micros float64
+}
+
+// Curve is a DTT curve for one (operation, page size) pair, sampled at
+// increasing band sizes.
+type Curve struct {
+	Op       Op
+	PageSize int
+	Points   []Point // sorted by Band ascending
+}
+
+type curveKey struct {
+	op       Op
+	pageSize int
+}
+
+// Model is a complete DTT model: a set of curves keyed by operation and
+// page size.
+type Model struct {
+	Name   string
+	curves map[curveKey]*Curve
+}
+
+// NewModel returns an empty model with the given name.
+func NewModel(name string) *Model {
+	return &Model{Name: name, curves: make(map[curveKey]*Curve)}
+}
+
+// Add installs a curve, replacing any existing curve for the same key.
+// Points are sorted by band size.
+func (m *Model) Add(c *Curve) {
+	sort.Slice(c.Points, func(i, j int) bool { return c.Points[i].Band < c.Points[j].Band })
+	m.curves[curveKey{c.Op, c.PageSize}] = c
+}
+
+// Curves returns all curves in a deterministic order (read before write,
+// smaller page sizes first).
+func (m *Model) Curves() []*Curve {
+	out := make([]*Curve, 0, len(m.curves))
+	for _, c := range m.curves {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Op != out[j].Op {
+			return out[i].Op < out[j].Op
+		}
+		return out[i].PageSize < out[j].PageSize
+	})
+	return out
+}
+
+// Cost returns the modelled amortized cost, in microseconds, of one page
+// access of the given kind at the given band size. Band sizes between
+// samples are interpolated on a logarithmic band axis, matching how the
+// curves flatten; bands outside the sampled range are clamped. If the exact
+// page size has no curve, the curve with the nearest page size is used.
+func (m *Model) Cost(op Op, pageSize int, band int64) float64 {
+	c := m.lookup(op, pageSize)
+	if c == nil || len(c.Points) == 0 {
+		return 0
+	}
+	if band < 1 {
+		band = 1
+	}
+	pts := c.Points
+	if band <= pts[0].Band {
+		return pts[0].Micros
+	}
+	last := pts[len(pts)-1]
+	if band >= last.Band {
+		return last.Micros
+	}
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].Band >= band })
+	lo, hi := pts[i-1], pts[i]
+	// Interpolate on log(band).
+	f := (math.Log(float64(band)) - math.Log(float64(lo.Band))) /
+		(math.Log(float64(hi.Band)) - math.Log(float64(lo.Band)))
+	return lo.Micros + f*(hi.Micros-lo.Micros)
+}
+
+func (m *Model) lookup(op Op, pageSize int) *Curve {
+	if c, ok := m.curves[curveKey{op, pageSize}]; ok {
+		return c
+	}
+	var best *Curve
+	bestDist := math.MaxInt64
+	for k, c := range m.curves {
+		if k.op != op {
+			continue
+		}
+		d := k.pageSize - pageSize
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDist {
+			bestDist, best = d, c
+		}
+	}
+	return best
+}
+
+// DefaultBands are the band sizes at which the built-in generic model is
+// sampled; they cover Figure 2(a)'s 1..3500 range on a roughly geometric
+// grid plus the large-band tail used by calibrated models.
+var DefaultBands = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 3500, 8192, 32768, 131072, 1048576, 10485760}
+
+// Default returns the generic DTT model of Figure 2(a): read and write
+// curves for 4 KB and 8 KB pages. Reads rise steeply with band size (each
+// retrieval is synchronous and increasingly likely to need a seek); writes
+// sit below reads at large band sizes because they are asynchronous and
+// benefit from shortest-seek scheduling.
+func Default() *Model {
+	m := NewModel("generic")
+	gen := func(op Op, ps int, base, span, tau float64) {
+		c := &Curve{Op: op, PageSize: ps}
+		for _, b := range DefaultBands {
+			cost := base + span*(1-math.Exp(-float64(b)/tau))
+			c.Points = append(c.Points, Point{Band: b, Micros: cost})
+		}
+		m.Add(c)
+	}
+	gen(Read, 4096, 60, 12000, 700)
+	gen(Read, 8192, 110, 15900, 700)
+	gen(Write, 4096, 45, 7800, 950)
+	gen(Write, 8192, 80, 10400, 950)
+	return m
+}
+
+// CalibrateConfig controls a CALIBRATE DATABASE run.
+type CalibrateConfig struct {
+	PageSizes []int   // page sizes to calibrate; default {4096}
+	Bands     []int64 // band sizes to sample; default DefaultBands
+	Samples   int     // accesses per sample point; default 64
+	Seed      int64   // RNG seed for offsets
+	DevPages  int64   // device size in pages of the largest page size; default 1<<24
+}
+
+func (c *CalibrateConfig) fill() {
+	if len(c.PageSizes) == 0 {
+		c.PageSizes = []int{4096}
+	}
+	if len(c.Bands) == 0 {
+		c.Bands = DefaultBands
+	}
+	if c.Samples <= 0 {
+		c.Samples = 64
+	}
+	if c.DevPages == 0 {
+		c.DevPages = 1 << 24
+	}
+}
+
+// Calibrate measures the read DTT curve of dev by timing random page reads
+// within bands of increasing size, and approximates the write curve using
+// the read curve as a baseline (anchored by measured write costs at the
+// smallest and largest band), exactly as §4.2 describes. The clock must be
+// the one the device charges.
+func Calibrate(dev device.Device, clk *vclock.Clock, cfg CalibrateConfig) *Model {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := NewModel("calibrated:" + dev.Name())
+	for _, ps := range cfg.PageSizes {
+		read := &Curve{Op: Read, PageSize: ps}
+		for _, band := range cfg.Bands {
+			cost := measure(dev, clk, rng, ps, band, cfg, false)
+			read.Points = append(read.Points, Point{Band: band, Micros: cost})
+		}
+		m.Add(read)
+
+		// Write anchors at the extremes of the band range.
+		smallBand, largeBand := cfg.Bands[0], cfg.Bands[len(cfg.Bands)-1]
+		wSmall := measure(dev, clk, rng, ps, smallBand, cfg, true)
+		wLarge := measure(dev, clk, rng, ps, largeBand, cfg, true)
+		rSmall, rLarge := read.Points[0].Micros, read.Points[len(read.Points)-1].Micros
+		ratioSmall, ratioLarge := safeRatio(wSmall, rSmall), safeRatio(wLarge, rLarge)
+
+		write := &Curve{Op: Write, PageSize: ps}
+		logSpan := math.Log(float64(largeBand)) - math.Log(float64(smallBand))
+		for _, p := range read.Points {
+			f := 0.0
+			if logSpan > 0 {
+				f = (math.Log(float64(p.Band)) - math.Log(float64(smallBand))) / logSpan
+			}
+			ratio := ratioSmall + f*(ratioLarge-ratioSmall)
+			write.Points = append(write.Points, Point{Band: p.Band, Micros: p.Micros * ratio})
+		}
+		m.Add(write)
+	}
+	return m
+}
+
+func safeRatio(a, b float64) float64 {
+	if b <= 0 {
+		return 1
+	}
+	return a / b
+}
+
+// measure times cfg.Samples accesses of ps bytes at random page offsets
+// within a band of the given size and returns the amortized per-access cost.
+func measure(dev device.Device, clk *vclock.Clock, rng *rand.Rand, ps int, band int64, cfg CalibrateConfig, write bool) float64 {
+	devBytes := cfg.DevPages * int64(ps)
+	bandBytes := band * int64(ps)
+	if bandBytes > devBytes {
+		bandBytes = devBytes
+	}
+	base := int64(0)
+	if devBytes > bandBytes {
+		base = rng.Int63n((devBytes-bandBytes)/int64(ps)) * int64(ps)
+	}
+	start := clk.Now()
+	for i := 0; i < cfg.Samples; i++ {
+		var off int64
+		if band <= 1 {
+			off = base + int64(i%int(cfg.DevPages))*int64(ps) // sequential run
+		} else {
+			off = base + rng.Int63n(band)*int64(ps)
+		}
+		if write {
+			dev.Write(off, ps)
+		} else {
+			dev.Read(off, ps)
+		}
+	}
+	if write {
+		dev.Flush()
+	}
+	return float64(clk.Now()-start) / float64(cfg.Samples)
+}
+
+// Encode serializes the model for storage in the catalog (the paper stores
+// the DTT model in the catalog so it can be altered or loaded with DDL).
+func (m *Model) Encode() []byte {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(len(m.Name)))
+	buf = append(buf, m.Name...)
+	curves := m.Curves()
+	buf = binary.AppendUvarint(buf, uint64(len(curves)))
+	for _, c := range curves {
+		buf = append(buf, byte(c.Op))
+		buf = binary.AppendUvarint(buf, uint64(c.PageSize))
+		buf = binary.AppendUvarint(buf, uint64(len(c.Points)))
+		for _, p := range c.Points {
+			buf = binary.AppendUvarint(buf, uint64(p.Band))
+			buf = binary.AppendUvarint(buf, math.Float64bits(p.Micros))
+		}
+	}
+	return buf
+}
+
+// Decode reverses Encode.
+func Decode(data []byte) (*Model, error) {
+	r := &reader{data: data}
+	nameLen := r.uvarint()
+	name := r.bytes(int(nameLen))
+	m := NewModel(string(name))
+	nCurves := r.uvarint()
+	for i := uint64(0); i < nCurves && r.err == nil; i++ {
+		c := &Curve{Op: Op(r.byte()), PageSize: int(r.uvarint())}
+		nPts := r.uvarint()
+		for j := uint64(0); j < nPts && r.err == nil; j++ {
+			band := int64(r.uvarint())
+			micros := math.Float64frombits(r.uvarint())
+			c.Points = append(c.Points, Point{Band: band, Micros: micros})
+		}
+		m.Add(c)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("dtt: decode: %w", r.err)
+	}
+	return m, nil
+}
+
+type reader struct {
+	data []byte
+	err  error
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data)
+	if n <= 0 {
+		r.err = fmt.Errorf("truncated varint")
+		return 0
+	}
+	r.data = r.data[n:]
+	return v
+}
+
+func (r *reader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.data) == 0 {
+		r.err = fmt.Errorf("truncated byte")
+		return 0
+	}
+	b := r.data[0]
+	r.data = r.data[1:]
+	return b
+}
+
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.data) < n {
+		r.err = fmt.Errorf("truncated bytes")
+		return nil
+	}
+	b := r.data[:n]
+	r.data = r.data[n:]
+	return b
+}

@@ -1,0 +1,149 @@
+package dtt
+
+import (
+	"testing"
+
+	"anywheredb/internal/device"
+	"anywheredb/internal/vclock"
+)
+
+func TestDefaultModelShape(t *testing.T) {
+	m := Default()
+
+	// Reads rise monotonically with band size.
+	prev := 0.0
+	for _, b := range DefaultBands {
+		c := m.Cost(Read, 4096, b)
+		if c < prev {
+			t.Fatalf("read 4K cost not monotone at band %d: %g < %g", b, c, prev)
+		}
+		prev = c
+	}
+
+	// 8K reads cost more than 4K reads.
+	if m.Cost(Read, 8192, 64) <= m.Cost(Read, 4096, 64) {
+		t.Fatal("8K read should cost more than 4K read")
+	}
+
+	// Writes amortize below reads at large band sizes (Fig. 2a).
+	if m.Cost(Write, 4096, 3500) >= m.Cost(Read, 4096, 3500) {
+		t.Fatal("write curve should sit below read curve at large bands")
+	}
+
+	// Sequential access is far cheaper than fully random.
+	if m.Cost(Read, 4096, 1)*20 > m.Cost(Read, 4096, 3500) {
+		t.Fatal("sequential read should be far cheaper than random")
+	}
+}
+
+func TestCostInterpolationAndClamping(t *testing.T) {
+	m := Default()
+	lo, hi := m.Cost(Read, 4096, 64), m.Cost(Read, 4096, 128)
+	mid := m.Cost(Read, 4096, 90)
+	if mid < lo || mid > hi {
+		t.Fatalf("interpolated cost %g outside [%g,%g]", mid, lo, hi)
+	}
+	if got := m.Cost(Read, 4096, 0); got != m.Cost(Read, 4096, 1) {
+		t.Fatal("band 0 should clamp to band 1")
+	}
+	if got := m.Cost(Read, 4096, 1<<40); got != m.Cost(Read, 4096, DefaultBands[len(DefaultBands)-1]) {
+		t.Fatalf("huge band should clamp to last sample, got %g", got)
+	}
+}
+
+func TestCostNearestPageSize(t *testing.T) {
+	m := Default()
+	// No 2K curve exists; must fall back to the nearest (4K).
+	if m.Cost(Read, 2048, 64) != m.Cost(Read, 4096, 64) {
+		t.Fatal("missing page size should use nearest curve")
+	}
+}
+
+func TestCostEmptyModel(t *testing.T) {
+	m := NewModel("empty")
+	if got := m.Cost(Read, 4096, 10); got != 0 {
+		t.Fatalf("empty model cost = %g, want 0", got)
+	}
+}
+
+func TestCalibrateHDDShape(t *testing.T) {
+	clk := vclock.New()
+	dev := device.NewHDD(device.Barracuda7200(), clk)
+	m := Calibrate(dev, clk, CalibrateConfig{
+		Bands:   []int64{1, 16, 256, 4096, 65536, 1048576},
+		Samples: 32,
+		Seed:    7,
+	})
+
+	small := m.Cost(Read, 4096, 1)
+	large := m.Cost(Read, 4096, 1048576)
+	if large < 5*small {
+		t.Fatalf("calibrated HDD should show strong band dependence: band1=%gµs band1M=%gµs", small, large)
+	}
+	// The approximated write curve exists and is positive.
+	if m.Cost(Write, 4096, 256) <= 0 {
+		t.Fatal("write curve should be approximated from the read curve")
+	}
+}
+
+func TestCalibrateFlashUniform(t *testing.T) {
+	clk := vclock.New()
+	dev := device.NewFlash(device.SDCard512(), clk)
+	m := Calibrate(dev, clk, CalibrateConfig{
+		Bands:    []int64{1, 200, 800, 4296},
+		Samples:  32,
+		Seed:     9,
+		DevPages: 512 << 20 / 4096,
+	})
+	small := m.Cost(Read, 4096, 1)
+	large := m.Cost(Read, 4096, 4296)
+	if small <= 0 {
+		t.Fatal("flash read cost must be positive")
+	}
+	ratio := large / small
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("flash DTT should be uniform across bands (Fig. 3): ratio %g", ratio)
+	}
+	if m.Cost(Write, 4096, 100) <= m.Cost(Read, 4096, 100) {
+		t.Fatal("flash writes should be costlier than reads")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := Default()
+	data := m.Encode()
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Name != m.Name {
+		t.Fatalf("name %q, want %q", got.Name, m.Name)
+	}
+	if len(got.Curves()) != len(m.Curves()) {
+		t.Fatalf("curve count %d, want %d", len(got.Curves()), len(m.Curves()))
+	}
+	for _, b := range []int64{1, 10, 100, 1000, 3500} {
+		for _, op := range []Op{Read, Write} {
+			for _, ps := range []int{4096, 8192} {
+				if got.Cost(op, ps, b) != m.Cost(op, ps, b) {
+					t.Fatalf("cost mismatch after round trip: op=%v ps=%d band=%d", op, ps, b)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	data := Default().Encode()
+	for _, n := range []int{0, 1, 5, len(data) / 2} {
+		if _, err := Decode(data[:n]); err == nil {
+			t.Fatalf("Decode of %d-byte prefix should fail", n)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Fatal("Op.String mismatch")
+	}
+}

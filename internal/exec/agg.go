@@ -1,0 +1,524 @@
+package exec
+
+import (
+	"fmt"
+
+	"anywheredb/internal/btree"
+	"anywheredb/internal/store"
+	"anywheredb/internal/val"
+)
+
+// AggFn enumerates aggregate functions.
+type AggFn uint8
+
+const (
+	AggCountStar AggFn = iota
+	AggCount
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+)
+
+// AggSpec is one aggregate computation.
+type AggSpec struct {
+	Fn       AggFn
+	Arg      Expr // nil for COUNT(*)
+	Distinct bool
+}
+
+// aggState accumulates one aggregate for one group.
+type aggState struct {
+	count int64
+	sum   float64
+	sumI  int64
+	isInt bool
+	min   val.Value
+	max   val.Value
+	seen  map[uint64]bool // for DISTINCT
+	init  bool
+}
+
+func newAggState(spec AggSpec) *aggState {
+	s := &aggState{isInt: true}
+	if spec.Distinct {
+		s.seen = map[uint64]bool{}
+	}
+	return s
+}
+
+func (s *aggState) add(spec AggSpec, row Row) error {
+	if spec.Fn == AggCountStar {
+		s.count++
+		return nil
+	}
+	v, err := spec.Arg.Eval(row)
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		return nil // aggregates ignore NULLs
+	}
+	if spec.Distinct {
+		h := val.Hash64(v)
+		if s.seen[h] {
+			return nil
+		}
+		s.seen[h] = true
+	}
+	s.count++
+	switch spec.Fn {
+	case AggSum, AggAvg:
+		if v.Kind == val.KInt && s.isInt {
+			s.sumI += v.I
+		} else {
+			if s.isInt {
+				s.sum = float64(s.sumI)
+				s.isInt = false
+			}
+			s.sum += v.AsFloat()
+		}
+	case AggMin:
+		if !s.init || val.Compare(v, s.min) < 0 {
+			s.min = v
+		}
+	case AggMax:
+		if !s.init || val.Compare(v, s.max) > 0 {
+			s.max = v
+		}
+	}
+	s.init = true
+	return nil
+}
+
+func (s *aggState) result(spec AggSpec) val.Value {
+	switch spec.Fn {
+	case AggCountStar, AggCount:
+		return val.NewInt(s.count)
+	case AggSum:
+		if s.count == 0 {
+			return val.Null
+		}
+		if s.isInt {
+			return val.NewInt(s.sumI)
+		}
+		return val.NewDouble(s.sum)
+	case AggAvg:
+		if s.count == 0 {
+			return val.Null
+		}
+		total := s.sum
+		if s.isInt {
+			total = float64(s.sumI)
+		}
+		return val.NewDouble(total / float64(s.count))
+	case AggMin:
+		if !s.init {
+			return val.Null
+		}
+		return s.min
+	case AggMax:
+		if !s.init {
+			return val.Null
+		}
+		return s.max
+	}
+	return val.Null
+}
+
+// encode/decode aggregate state rows for the low-memory fallback: the
+// partial state is flattened into a value row.
+func (s *aggState) encode(spec AggSpec) Row {
+	isInt := int64(0)
+	if s.isInt {
+		isInt = 1
+	}
+	init := int64(0)
+	if s.init {
+		init = 1
+	}
+	return Row{
+		val.NewInt(s.count), val.NewDouble(s.sum), val.NewInt(s.sumI),
+		val.NewInt(isInt), s.min, s.max, val.NewInt(init),
+	}
+}
+
+const aggStateWidth = 7
+
+func decodeAggState(spec AggSpec, r Row) *aggState {
+	return &aggState{
+		count: r[0].I, sum: r[1].F, sumI: r[2].I,
+		isInt: r[3].I == 1, min: r[4], max: r[5], init: r[6].I == 1,
+	}
+}
+
+// mergeAggState folds other into s (both must be non-DISTINCT; the
+// fallback never needs to merge DISTINCT state because groups re-aggregate
+// from scratch when reloaded).
+func (s *aggState) merge(spec AggSpec, o *aggState) {
+	s.count += o.count
+	if s.isInt && o.isInt {
+		s.sumI += o.sumI
+	} else {
+		if s.isInt {
+			s.sum = float64(s.sumI)
+			s.isInt = false
+		}
+		of := o.sum
+		if o.isInt {
+			of = float64(o.sumI)
+		}
+		s.sum += of
+	}
+	if o.init {
+		if !s.init || val.Compare(o.min, s.min) < 0 {
+			s.min = o.min
+		}
+		if !s.init || val.Compare(o.max, s.max) > 0 {
+			s.max = o.max
+		}
+		s.init = true
+	}
+}
+
+// HashGroupBy groups rows by key expressions and computes aggregates.
+// Output rows are key values followed by aggregate results.
+//
+// Low-memory fallback (§4.3): when the memory governor squeezes the
+// operator (ReleaseMemory), in-memory groups are flushed into a temporary
+// B+-tree indexed on the grouping columns, holding partially computed
+// groups; further flushes merge into it. This bounds memory at the price
+// of temp I/O, and is only used in extraordinary cases.
+type HashGroupBy struct {
+	Input Operator
+	Keys  []Expr
+	Aggs  []AggSpec
+	Depth int
+
+	groups     map[uint64][]*group
+	nGroups    int
+	fellBack   bool
+	fb         *btree.Tree
+	out        []Row
+	pos        int
+	done       bool
+	registered bool
+	inputOpen  bool
+	ctx        *Ctx
+	// MaxGroupsInMemory caps the hash table before a voluntary flush (the
+	// optimizer's page-quota annotation translates to this; 0 = unlimited).
+	MaxGroupsInMemory int
+}
+
+type group struct {
+	keys Row
+	aggs []*aggState
+}
+
+// FellBack reports whether the low-memory fallback engaged.
+func (g *HashGroupBy) FellBack() bool { return g.fellBack }
+
+// MemoryPages implements mem.Consumer (approximate: groups per page).
+func (g *HashGroupBy) MemoryPages() int { return g.nGroups/16 + 1 }
+
+// ReleaseMemory implements mem.Consumer: engage the low-memory fallback,
+// spilling all in-memory groups to the temp-file B+-tree.
+func (g *HashGroupBy) ReleaseMemory(want int) int {
+	if g.ctx == nil || g.nGroups == 0 || g.hasDistinctAgg() {
+		return 0
+	}
+	before := g.MemoryPages()
+	if err := g.flushToFallback(g.ctx); err != nil {
+		return 0
+	}
+	return before
+}
+
+func (g *HashGroupBy) Open(ctx *Ctx) error {
+	g.groups = map[uint64][]*group{}
+	g.nGroups = 0
+	g.fellBack = false
+	g.fb = nil
+	g.out = nil
+	g.pos = 0
+	g.done = false
+	g.ctx = ctx
+	if ctx.Task != nil && !g.registered {
+		ctx.Task.Register(g, g.Depth)
+		g.registered = true
+	}
+	if err := g.Input.Open(ctx); err != nil {
+		return err
+	}
+	g.inputOpen = true
+	for {
+		row, err := g.Input.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		ctx.ChargeRows(1)
+		if err := g.addRow(ctx, row); err != nil {
+			return err
+		}
+	}
+	g.inputOpen = false
+	if err := g.Input.Close(ctx); err != nil {
+		return err
+	}
+	return g.finalize(ctx)
+}
+
+func (g *HashGroupBy) addRow(ctx *Ctx, row Row) error {
+	keys := make(Row, len(g.Keys))
+	for i, e := range g.Keys {
+		v, err := e.Eval(row)
+		if err != nil {
+			return err
+		}
+		keys[i] = v
+	}
+	h := val.HashRow(keys)
+	var grp *group
+	for _, cand := range g.groups[h] {
+		if rowsEqualNullSafe(cand.keys, keys) {
+			grp = cand
+			break
+		}
+	}
+	if grp == nil {
+		grp = &group{keys: keys, aggs: make([]*aggState, len(g.Aggs))}
+		for i, spec := range g.Aggs {
+			grp.aggs[i] = newAggState(spec)
+		}
+		g.groups[h] = append(g.groups[h], grp)
+		g.nGroups++
+		if g.MaxGroupsInMemory > 0 && g.nGroups > g.MaxGroupsInMemory && !g.hasDistinctAgg() {
+			if err := g.flushToFallback(ctx); err != nil {
+				return err
+			}
+			// The fresh group was flushed too; re-create it empty so this
+			// row still lands somewhere.
+			grp = &group{keys: keys, aggs: make([]*aggState, len(g.Aggs))}
+			for i, spec := range g.Aggs {
+				grp.aggs[i] = newAggState(spec)
+			}
+			g.groups[h] = append(g.groups[h], grp)
+			g.nGroups++
+		}
+	}
+	for i, spec := range g.Aggs {
+		if err := grp.aggs[i].add(spec, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rowsEqualNullSafe compares group keys with NULL = NULL (SQL GROUP BY
+// treats NULLs as one group).
+func rowsEqualNullSafe(a, b Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		an, bn := a[i].IsNull(), b[i].IsNull()
+		if an != bn {
+			return false
+		}
+		if !an && val.Compare(a[i], b[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// hasDistinctAgg reports whether any aggregate is DISTINCT; their seen-sets
+// cannot be spilled, so the fallback is unavailable (memory is then bounded
+// only by the hard limit).
+func (g *HashGroupBy) hasDistinctAgg() bool {
+	for _, s := range g.Aggs {
+		if s.Distinct {
+			return true
+		}
+	}
+	return false
+}
+
+// flushToFallback moves every in-memory group into the temp-file B+-tree
+// of partial groups, keyed on the grouping columns.
+func (g *HashGroupBy) flushToFallback(ctx *Ctx) error {
+	if g.hasDistinctAgg() {
+		return fmt.Errorf("exec: cannot spill DISTINCT aggregate state")
+	}
+	if g.fb == nil {
+		t, err := btree.Create(ctx.Pool, ctx.St, store.TempFile, 0)
+		if err != nil {
+			return err
+		}
+		g.fb = t
+		g.fellBack = true
+	}
+	for h, grps := range g.groups {
+		for _, grp := range grps {
+			key := val.EncodeKey(grp.keys)
+			// Merge with any existing partial group.
+			if existing, found, err := g.fb.Search(key); err != nil {
+				return err
+			} else if found {
+				stored, err := val.DecodeRow(existing)
+				if err != nil {
+					return err
+				}
+				merged := g.decodeGroup(grp.keys, stored)
+				for i, spec := range g.Aggs {
+					merged.aggs[i].merge(spec, grp.aggs[i])
+				}
+				grp = merged
+				if _, err := g.fb.Delete(key, nil); err != nil {
+					return err
+				}
+			}
+			var flat Row
+			for i, spec := range g.Aggs {
+				flat = append(flat, grp.aggs[i].encode(spec)...)
+			}
+			flat = append(flat, grp.keys...)
+			if err := g.fb.Insert(key, val.EncodeRow(flat)); err != nil {
+				return err
+			}
+		}
+		delete(g.groups, h)
+	}
+	g.nGroups = 0
+	return nil
+}
+
+func (g *HashGroupBy) decodeGroup(keys Row, stored Row) *group {
+	grp := &group{keys: keys, aggs: make([]*aggState, len(g.Aggs))}
+	for i, spec := range g.Aggs {
+		grp.aggs[i] = decodeAggState(spec, stored[i*aggStateWidth:(i+1)*aggStateWidth])
+	}
+	return grp
+}
+
+// finalize materializes output rows from memory and the fallback tree.
+func (g *HashGroupBy) finalize(ctx *Ctx) error {
+	if g.fb != nil {
+		// Push remaining in-memory groups through the fallback so each key
+		// appears exactly once.
+		if err := g.flushToFallback(ctx); err != nil {
+			return err
+		}
+		it, err := g.fb.First()
+		if err != nil {
+			return err
+		}
+		defer it.Close()
+		for ; it.Valid(); it.Next() {
+			stored, err := val.DecodeRow(it.Value())
+			if err != nil {
+				return err
+			}
+			nKeys := len(stored) - len(g.Aggs)*aggStateWidth
+			keys := stored[len(g.Aggs)*aggStateWidth:]
+			if nKeys < 0 {
+				return fmt.Errorf("exec: corrupt fallback group")
+			}
+			grp := g.decodeGroup(keys, stored)
+			g.out = append(g.out, g.resultRow(grp))
+		}
+		if err := it.Err(); err != nil {
+			return err
+		}
+		return nil
+	}
+	for _, grps := range g.groups {
+		for _, grp := range grps {
+			g.out = append(g.out, g.resultRow(grp))
+		}
+	}
+	// Global aggregate with no input rows and no keys: one row of
+	// identity aggregates.
+	if len(g.Keys) == 0 && len(g.out) == 0 {
+		grp := &group{aggs: make([]*aggState, len(g.Aggs))}
+		for i, spec := range g.Aggs {
+			grp.aggs[i] = newAggState(spec)
+		}
+		g.out = append(g.out, g.resultRow(grp))
+	}
+	return nil
+}
+
+func (g *HashGroupBy) resultRow(grp *group) Row {
+	out := make(Row, 0, len(grp.keys)+len(g.Aggs))
+	out = append(out, grp.keys...)
+	for i, spec := range g.Aggs {
+		out = append(out, grp.aggs[i].result(spec))
+	}
+	return out
+}
+
+func (g *HashGroupBy) Next(ctx *Ctx) (Row, error) {
+	if g.pos >= len(g.out) {
+		return nil, nil
+	}
+	r := g.out[g.pos]
+	g.pos++
+	return r, nil
+}
+
+func (g *HashGroupBy) Close(ctx *Ctx) error {
+	if ctx.Task != nil && g.registered {
+		ctx.Task.Unregister(g)
+		g.registered = false
+	}
+	g.groups = nil
+	g.out = nil
+	g.fb = nil
+	if g.inputOpen {
+		g.inputOpen = false
+		return g.Input.Close(ctx)
+	}
+	return nil
+}
+
+// HashDistinct removes duplicate rows.
+type HashDistinct struct {
+	Input Operator
+	seen  map[uint64][]Row
+}
+
+func (d *HashDistinct) Open(ctx *Ctx) error {
+	d.seen = map[uint64][]Row{}
+	return d.Input.Open(ctx)
+}
+
+func (d *HashDistinct) Next(ctx *Ctx) (Row, error) {
+	for {
+		row, err := d.Input.Next(ctx)
+		if err != nil || row == nil {
+			return nil, err
+		}
+		h := val.HashRow(row)
+		dup := false
+		for _, prev := range d.seen[h] {
+			if rowsEqualNullSafe(prev, row) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		d.seen[h] = append(d.seen[h], row)
+		return row, nil
+	}
+}
+
+func (d *HashDistinct) Close(ctx *Ctx) error {
+	d.seen = nil
+	return d.Input.Close(ctx)
+}

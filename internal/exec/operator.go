@@ -1,0 +1,405 @@
+package exec
+
+import (
+	"anywheredb/internal/buffer"
+	"anywheredb/internal/mem"
+	"anywheredb/internal/store"
+	"anywheredb/internal/table"
+	"anywheredb/internal/txn"
+	"anywheredb/internal/val"
+	"anywheredb/internal/vclock"
+)
+
+// Ctx carries everything an operator tree needs at run time.
+type Ctx struct {
+	Pool *buffer.Pool
+	St   *store.Store
+	Clk  *vclock.Clock
+	Task *mem.Task // memory governor task; may be nil
+	Tx   *txn.Txn  // may be nil
+	// Params are the statement's positional parameters (1-based in SQL,
+	// 0-based here).
+	Params []val.Value
+	// Workers is the target degree of intra-query parallelism; operators
+	// re-read it between phases, so it can be changed mid-query (§4.4).
+	Workers int
+	// CPURowCost is a CPU proxy: virtual µs charged to the clock per row
+	// processed, so "actual cost" measurements include CPU. 0 disables it.
+	CPURowCost int64
+}
+
+// ChargeRows adds the CPU proxy cost of n rows to the virtual clock.
+func (c *Ctx) ChargeRows(n int) {
+	if c.CPURowCost > 0 && c.Clk != nil && n > 0 {
+		c.Clk.Advance(int64(n) * c.CPURowCost)
+	}
+}
+
+// Operator is a Volcano-style iterator.
+type Operator interface {
+	Open(ctx *Ctx) error
+	Next(ctx *Ctx) (Row, error) // (nil, nil) at end of input
+	Close(ctx *Ctx) error
+}
+
+// --- Scan -----------------------------------------------------------------
+
+// TableScan reads a table heap in chain order.
+type TableScan struct {
+	Table *table.Table
+
+	rows []Row // materialized page batch
+	pos  int
+	err  error
+	rids []table.RID
+	// WithRIDs makes the scan append a hidden RID handle column (used by
+	// UPDATE/DELETE plans); see RIDOf.
+	cur table.RID
+}
+
+func (s *TableScan) Open(ctx *Ctx) error {
+	s.pos = 0
+	s.rows = s.rows[:0]
+	s.rids = s.rids[:0]
+	return s.Table.Scan(func(rid table.RID, row Row) (bool, error) {
+		s.rows = append(s.rows, row)
+		s.rids = append(s.rids, rid)
+		return true, nil
+	})
+}
+
+func (s *TableScan) Next(ctx *Ctx) (Row, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	r := s.rows[s.pos]
+	s.cur = s.rids[s.pos]
+	s.pos++
+	ctx.ChargeRows(1)
+	return r, nil
+}
+
+// RIDOf reports the RID of the most recently returned row.
+func (s *TableScan) RIDOf() table.RID { return s.cur }
+
+func (s *TableScan) Close(ctx *Ctx) error {
+	s.rows = nil
+	s.rids = nil
+	return nil
+}
+
+// IndexScan reads rows via an index range [Lo, Hi] (nil = open) and
+// fetches the base rows.
+type IndexScan struct {
+	Table *table.Table
+	Index *table.Index
+	Lo    []byte // encoded key lower bound, inclusive; nil = from start
+	Hi    []byte // encoded key upper bound; nil = to end
+	HiInc bool
+
+	rows []Row
+	rids []table.RID
+	pos  int
+	cur  table.RID
+}
+
+func (s *IndexScan) Open(ctx *Ctx) error {
+	s.rows = s.rows[:0]
+	s.rids = s.rids[:0]
+	s.pos = 0
+	var it interface {
+		Valid() bool
+		Key() []byte
+		Value() []byte
+		Next()
+		Close()
+		Err() error
+	}
+	var err error
+	if s.Lo != nil {
+		it, err = s.Index.Tree.Seek(s.Lo)
+	} else {
+		it, err = s.Index.Tree.First()
+	}
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	for ; it.Valid(); it.Next() {
+		if s.Hi != nil {
+			c := compareBytes(it.Key(), s.Hi)
+			if c > 0 || (c == 0 && !s.HiInc) {
+				// Past the range end... but for multi-column prefixes, a key
+				// beginning with Hi counts as equal when HiInc.
+				if !(s.HiInc && hasPrefix(it.Key(), s.Hi)) {
+					break
+				}
+			}
+		}
+		rid := table.RIDFromBytes(it.Value())
+		row, err := s.Table.Get(rid)
+		if err != nil {
+			return err
+		}
+		s.rows = append(s.rows, row)
+		s.rids = append(s.rids, rid)
+	}
+	return it.Err()
+}
+
+func compareBytes(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+func hasPrefix(k, p []byte) bool {
+	if len(k) < len(p) {
+		return false
+	}
+	for i := range p {
+		if k[i] != p[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *IndexScan) Next(ctx *Ctx) (Row, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	r := s.rows[s.pos]
+	s.cur = s.rids[s.pos]
+	s.pos++
+	ctx.ChargeRows(1)
+	return r, nil
+}
+
+// RIDOf reports the RID of the most recently returned row.
+func (s *IndexScan) RIDOf() table.RID { return s.cur }
+
+func (s *IndexScan) Close(ctx *Ctx) error { return nil }
+
+// --- Filter, Project, Limit ----------------------------------------------
+
+// Observer receives execution feedback: rows matched out of rows tested.
+// The optimizer wires observers that update the self-managing histograms
+// (§3.2: evaluation of almost any predicate can update the histogram).
+type Observer func(matched, tested float64)
+
+// Filter passes rows satisfying the predicate, optionally reporting
+// observed selectivity on Close.
+type Filter struct {
+	Input Operator
+	Pred  Pred
+	Obs   Observer
+
+	matched, tested float64
+}
+
+func (f *Filter) Open(ctx *Ctx) error {
+	f.matched, f.tested = 0, 0
+	return f.Input.Open(ctx)
+}
+
+func (f *Filter) Next(ctx *Ctx) (Row, error) {
+	for {
+		row, err := f.Input.Next(ctx)
+		if err != nil || row == nil {
+			return nil, err
+		}
+		f.tested++
+		v, err := f.Pred.Test(row)
+		if err != nil {
+			return nil, err
+		}
+		if v == True {
+			f.matched++
+			return row, nil
+		}
+	}
+}
+
+func (f *Filter) Close(ctx *Ctx) error {
+	if f.Obs != nil && f.tested > 0 {
+		f.Obs(f.matched, f.tested)
+	}
+	return f.Input.Close(ctx)
+}
+
+// Project evaluates expressions over input rows.
+type Project struct {
+	Input Operator
+	Exprs []Expr
+}
+
+func (p *Project) Open(ctx *Ctx) error { return p.Input.Open(ctx) }
+
+func (p *Project) Next(ctx *Ctx) (Row, error) {
+	row, err := p.Input.Next(ctx)
+	if err != nil || row == nil {
+		return nil, err
+	}
+	out := make(Row, len(p.Exprs))
+	for i, e := range p.Exprs {
+		out[i], err = e.Eval(row)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (p *Project) Close(ctx *Ctx) error { return p.Input.Close(ctx) }
+
+// Limit stops after N rows.
+type Limit struct {
+	Input Operator
+	N     int64
+	seen  int64
+}
+
+func (l *Limit) Open(ctx *Ctx) error {
+	l.seen = 0
+	return l.Input.Open(ctx)
+}
+
+func (l *Limit) Next(ctx *Ctx) (Row, error) {
+	if l.seen >= l.N {
+		return nil, nil
+	}
+	row, err := l.Input.Next(ctx)
+	if err != nil || row == nil {
+		return nil, err
+	}
+	l.seen++
+	return row, nil
+}
+
+func (l *Limit) Close(ctx *Ctx) error { return l.Input.Close(ctx) }
+
+// UnionAll concatenates inputs (columns must align).
+type UnionAll struct {
+	Inputs []Operator
+	cur    int
+}
+
+func (u *UnionAll) Open(ctx *Ctx) error {
+	u.cur = 0
+	for _, in := range u.Inputs {
+		if err := in.Open(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (u *UnionAll) Next(ctx *Ctx) (Row, error) {
+	for u.cur < len(u.Inputs) {
+		row, err := u.Inputs[u.cur].Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if row != nil {
+			return row, nil
+		}
+		u.cur++
+	}
+	return nil, nil
+}
+
+func (u *UnionAll) Close(ctx *Ctx) error {
+	var first error
+	for _, in := range u.Inputs {
+		if err := in.Close(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Values emits fixed rows (VALUES lists, SELECT without FROM).
+type Values struct {
+	Rows [][]Expr
+	pos  int
+}
+
+func (v *Values) Open(ctx *Ctx) error { v.pos = 0; return nil }
+
+func (v *Values) Next(ctx *Ctx) (Row, error) {
+	if v.pos >= len(v.Rows) {
+		return nil, nil
+	}
+	exprs := v.Rows[v.pos]
+	v.pos++
+	out := make(Row, len(exprs))
+	var err error
+	for i, e := range exprs {
+		out[i], err = e.Eval(nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (v *Values) Close(ctx *Ctx) error { return nil }
+
+// Materialized replays rows captured earlier (used by CTEs and subquery
+// caches).
+type Materialized struct {
+	RowsData []Row
+	pos      int
+}
+
+func (m *Materialized) Open(ctx *Ctx) error { m.pos = 0; return nil }
+
+func (m *Materialized) Next(ctx *Ctx) (Row, error) {
+	if m.pos >= len(m.RowsData) {
+		return nil, nil
+	}
+	r := m.RowsData[m.pos]
+	m.pos++
+	return r, nil
+}
+
+func (m *Materialized) Close(ctx *Ctx) error { return nil }
+
+// Drain runs an operator to completion, returning all rows. If Open fails
+// partway through a tree, Close still runs so operators release their
+// buffer-pool pins and temp pages.
+func Drain(ctx *Ctx, op Operator) ([]Row, error) {
+	if err := op.Open(ctx); err != nil {
+		op.Close(ctx)
+		return nil, err
+	}
+	defer op.Close(ctx)
+	var out []Row
+	for {
+		row, err := op.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			return out, nil
+		}
+		out = append(out, row)
+	}
+}

@@ -1,0 +1,113 @@
+package exec
+
+import (
+	"anywheredb/internal/page"
+	"anywheredb/internal/store"
+	"anywheredb/internal/val"
+)
+
+// run is a sequence of serialized rows in temporary-file pages: the unit of
+// spilling for hash operations and external sorting. Pages are unpinned as
+// they fill, so a run consumes one buffer frame while being written or
+// read; its contents live in the temp file.
+type run struct {
+	pages []store.PageID
+	rows  int
+}
+
+// runWriter appends rows to a run.
+type runWriter struct {
+	ctx *Ctx
+	r   run
+	cur *frameRef
+}
+
+type frameRef struct {
+	f  interface{ MarkDirty() }
+	id store.PageID
+}
+
+func newRunWriter(ctx *Ctx) *runWriter { return &runWriter{ctx: ctx} }
+
+func (w *runWriter) add(row Row) error {
+	enc := val.EncodeRow(row)
+	for attempt := 0; attempt < 2; attempt++ {
+		if len(w.r.pages) > 0 {
+			last := w.r.pages[len(w.r.pages)-1]
+			f, err := w.ctx.Pool.Get(last)
+			if err != nil {
+				return err
+			}
+			slot := f.Data.Insert(enc)
+			if slot >= 0 {
+				f.MarkDirty()
+				w.ctx.Pool.Unpin(f, true)
+				w.r.rows++
+				return nil
+			}
+			w.ctx.Pool.Unpin(f, false)
+		}
+		// Need a fresh page.
+		f, err := w.ctx.Pool.NewPage(store.TempFile, page.TypeTemp)
+		if err != nil {
+			return err
+		}
+		w.r.pages = append(w.r.pages, f.ID)
+		w.ctx.Pool.Unpin(f, true)
+	}
+	return errRowTooBig
+}
+
+var errRowTooBig = errTooBig{}
+
+type errTooBig struct{}
+
+func (errTooBig) Error() string { return "exec: spilled row exceeds page capacity" }
+
+func (w *runWriter) finish() run { return w.r }
+
+// each iterates the run's rows in order.
+func (r *run) each(ctx *Ctx, fn func(Row) error) error {
+	for _, id := range r.pages {
+		f, err := ctx.Pool.Get(id)
+		if err != nil {
+			return err
+		}
+		f.RLock()
+		var rows []Row
+		for s := 0; s < f.Data.NumSlots(); s++ {
+			cell := f.Data.Cell(s)
+			if cell == nil {
+				continue
+			}
+			row, err := val.DecodeRow(cell)
+			if err != nil {
+				f.RUnlock()
+				ctx.Pool.Unpin(f, false)
+				return err
+			}
+			rows = append(rows, row)
+		}
+		f.RUnlock()
+		ctx.Pool.Unpin(f, false)
+		for _, row := range rows {
+			if err := fn(row); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// rowsCount reports the number of rows written to the run.
+func (r *run) rowsCount() int64 { return int64(r.rows) }
+
+// free discards the run's pages (lookaside-queue fast path).
+func (r *run) free(ctx *Ctx) {
+	for _, id := range r.pages {
+		ctx.Pool.Discard(id)
+		_ = ctx.St.Free(id)
+	}
+	r.pages = nil
+	r.rows = 0
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"anywheredb/internal/device"
+	"anywheredb/internal/dtt"
+	"anywheredb/internal/vclock"
+)
+
+func curveTable(m *dtt.Model, bands []int64, pageSizes []int) string {
+	var sb strings.Builder
+	sb.WriteString("band")
+	for _, ps := range pageSizes {
+		fmt.Fprintf(&sb, "  read%dK  write%dK", ps/1024, ps/1024)
+	}
+	sb.WriteString("   (µs/page)\n")
+	for _, b := range bands {
+		fmt.Fprintf(&sb, "%8d", b)
+		for _, ps := range pageSizes {
+			fmt.Fprintf(&sb, "  %8.0f  %8.0f", m.Cost(dtt.Read, ps, b), m.Cost(dtt.Write, ps, b))
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// E2DefaultDTT prints the generic default DTT model of Figure 2(a).
+func E2DefaultDTT() (*Report, error) {
+	m := dtt.Default()
+	bands := []int64{1, 4, 16, 64, 256, 1024, 2048, 3500}
+	return &Report{
+		ID:    "E2",
+		Title: "Default DTT model (Fig. 2a)",
+		Table: curveTable(m, bands, []int{4096, 8192}),
+		Metrics: map[string]float64{
+			"read4k_band1":     m.Cost(dtt.Read, 4096, 1),
+			"read4k_band3500":  m.Cost(dtt.Read, 4096, 3500),
+			"write4k_band3500": m.Cost(dtt.Write, 4096, 3500),
+			"read8k_band3500":  m.Cost(dtt.Read, 8192, 3500),
+		},
+	}, nil
+}
+
+// E3CalibrateHDD runs CALIBRATE DATABASE against the simulated 7200 RPM
+// Barracuda drive (Fig. 2b): the read curve is measured, the write curve
+// approximated from it.
+func E3CalibrateHDD() (*Report, error) {
+	clk := vclock.New()
+	dev := device.NewHDD(device.Barracuda7200(), clk)
+	bands := []int64{1, 10, 100, 1000, 10000, 100000, 1000000, 10000000}
+	m := dtt.Calibrate(dev, clk, dtt.CalibrateConfig{Bands: bands, Samples: 48, Seed: 7})
+	return &Report{
+		ID:    "E3",
+		Title: "Calibrated DTT, simulated Barracuda 7200 RPM (Fig. 2b, log band axis)",
+		Table: curveTable(m, bands, []int{4096}),
+		Metrics: map[string]float64{
+			"read4k_band1":   m.Cost(dtt.Read, 4096, 1),
+			"read4k_band1M":  m.Cost(dtt.Read, 4096, 1_000_000),
+			"rand_seq_ratio": m.Cost(dtt.Read, 4096, 1_000_000) / m.Cost(dtt.Read, 4096, 1),
+		},
+	}, nil
+}
+
+// E4CalibrateSD calibrates the simulated 512 MB SD card (Fig. 3): uniform
+// random access times, writes costlier than reads.
+func E4CalibrateSD() (*Report, error) {
+	clk := vclock.New()
+	dev := device.NewFlash(device.SDCard512(), clk)
+	bands := []int64{1, 200, 800, 1237, 1674, 2548, 4296}
+	m := dtt.Calibrate(dev, clk, dtt.CalibrateConfig{
+		PageSizes: []int{2048, 4096},
+		Bands:     bands,
+		Samples:   48,
+		Seed:      9,
+		DevPages:  512 << 20 / 4096,
+	})
+	return &Report{
+		ID:    "E4",
+		Title: "DTT for a 512 MB SD card (Fig. 3): uniform random access",
+		Table: curveTable(m, bands, []int{2048, 4096}),
+		Metrics: map[string]float64{
+			"read4k_band1":    m.Cost(dtt.Read, 4096, 1),
+			"read4k_band4296": m.Cost(dtt.Read, 4096, 4296),
+			"uniformity":      m.Cost(dtt.Read, 4096, 4296) / m.Cost(dtt.Read, 4096, 1),
+			"write_read":      m.Cost(dtt.Write, 4096, 800) / m.Cost(dtt.Read, 4096, 800),
+		},
+	}, nil
+}

@@ -1,0 +1,89 @@
+// Package experiments regenerates every figure and quantitative claim of
+// the paper's evaluation: the cache-sizing feedback traces (Fig. 1 /
+// E1/E7/E16), the DTT models (Fig. 2a, 2b, 3 / E2–E4), the cost-model
+// rank-preservation property (Eq. 3 / E5), the 100-way join claim (E6),
+// the optimizer-governor ablations (E8), histogram feedback (E9), adaptive
+// hash join (E10), the memory governor and low-memory fallbacks (E11),
+// intra-query parallelism (E12), page replacement (E13), the plan cache
+// (E14), the Index Consultant (E15), and the CE-mode governor (E16).
+//
+// Each experiment returns a Report: a paper-shaped table plus the key
+// metrics asserted by the benchmarks in bench_test.go and summarized in
+// EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is one experiment's outcome.
+type Report struct {
+	ID      string
+	Title   string
+	Table   string // formatted rows/series, as the paper reports them
+	Metrics map[string]float64
+}
+
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n%s\n", r.ID, r.Title, r.Table)
+	if len(r.Metrics) > 0 {
+		sb.WriteString("metrics:")
+		for _, k := range sortedKeys(r.Metrics) {
+			fmt.Fprintf(&sb, " %s=%.4g", k, r.Metrics[k])
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// All runs every experiment in order.
+func All() ([]*Report, error) {
+	runs := []func() (*Report, error){
+		E1CacheGovernor, E2DefaultDTT, E3CalibrateHDD, E4CalibrateSD,
+		E5RankPreservation, E6HundredWayJoin, E7DampingAblation,
+		E8GovernorQuota, E9HistogramFeedback, E10AdaptiveHashJoin,
+		E11LowMemory, E12Parallelism, E13Replacement, E14PlanCache,
+		E15IndexConsultant, E16CEMode,
+	}
+	var out []*Report
+	for _, run := range runs {
+		r, err := run()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ByID runs one experiment by id ("E1".."E16").
+func ByID(id string) (*Report, error) {
+	m := map[string]func() (*Report, error){
+		"E1": E1CacheGovernor, "E2": E2DefaultDTT, "E3": E3CalibrateHDD,
+		"E4": E4CalibrateSD, "E5": E5RankPreservation, "E6": E6HundredWayJoin,
+		"E7": E7DampingAblation, "E8": E8GovernorQuota, "E9": E9HistogramFeedback,
+		"E10": E10AdaptiveHashJoin, "E11": E11LowMemory, "E12": E12Parallelism,
+		"E13": E13Replacement, "E14": E14PlanCache, "E15": E15IndexConsultant,
+		"E16": E16CEMode,
+	}
+	run, ok := m[strings.ToUpper(id)]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q", id)
+	}
+	return run()
+}

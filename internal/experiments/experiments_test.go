@@ -1,0 +1,144 @@
+package experiments
+
+import "testing"
+
+// The cheap experiments run in every test pass and their headline metrics
+// are asserted directionally; the expensive ones (E1, E5, E6, E8, E12,
+// E14) are exercised by the benchmarks and by `cmd/repro`, and here only
+// when not in -short mode.
+
+func metrics(t *testing.T, run func() (*Report, error)) map[string]float64 {
+	t.Helper()
+	r, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Table == "" {
+		t.Fatal("empty report table")
+	}
+	return r.Metrics
+}
+
+func TestE2Shape(t *testing.T) {
+	m := metrics(t, E2DefaultDTT)
+	if m["read4k_band3500"] <= 50*m["read4k_band1"] {
+		t.Fatalf("default DTT should rise steeply with band size: %v", m)
+	}
+	if m["write4k_band3500"] >= m["read4k_band3500"] {
+		t.Fatal("writes should amortize below reads at large bands (Fig. 2a)")
+	}
+	if m["read8k_band3500"] <= m["read4k_band3500"] {
+		t.Fatal("8K reads should cost more than 4K reads")
+	}
+}
+
+func TestE3HDDBandDependence(t *testing.T) {
+	m := metrics(t, E3CalibrateHDD)
+	if m["rand_seq_ratio"] < 5 {
+		t.Fatalf("calibrated HDD should show strong band dependence: %v", m)
+	}
+}
+
+func TestE4FlashUniform(t *testing.T) {
+	m := metrics(t, E4CalibrateSD)
+	if m["uniformity"] < 0.9 || m["uniformity"] > 1.1 {
+		t.Fatalf("flash DTT must be uniform (Fig. 3): %v", m)
+	}
+	if m["write_read"] <= 1 {
+		t.Fatal("flash writes must cost more than reads")
+	}
+}
+
+func TestE7DampingKnob(t *testing.T) {
+	m := metrics(t, E7DampingAblation)
+	if m["osc_damped05_mb"] >= m["osc_undamped_mb"] {
+		t.Fatalf("damping must reduce pool movement: %v", m)
+	}
+	if m["osc_damped09_mb"] > m["osc_undamped_mb"]*1.05 {
+		t.Fatalf("Eq.2 damping must not increase movement: %v", m)
+	}
+}
+
+func TestE9FeedbackImproves(t *testing.T) {
+	m := metrics(t, E9HistogramFeedback)
+	if m["improvement"] < 2 {
+		t.Fatalf("feedback should cut q-error at least 2x: %v", m)
+	}
+}
+
+func TestE10AdaptiveSwitch(t *testing.T) {
+	m := metrics(t, E10AdaptiveHashJoin)
+	if m["switched_small"] != 1 || m["stayed_hash_large"] != 1 {
+		t.Fatalf("adaptive hash join crossover broken: %v", m)
+	}
+}
+
+func TestE11Correctness(t *testing.T) {
+	m := metrics(t, E11LowMemory)
+	if m["results_correct"] != 1 {
+		t.Fatalf("results must be correct under memory pressure: %v", m)
+	}
+	if m["spills_at_4_pages"] == 0 {
+		t.Fatalf("tight soft limit must evict partitions: %v", m)
+	}
+}
+
+func TestE13ClockBeatsLRU(t *testing.T) {
+	m := metrics(t, E13Replacement)
+	if m["clock_hit_rate"] <= m["lru_hit_rate"] {
+		t.Fatalf("clock-with-scores should beat LRU on scan pollution: %v", m)
+	}
+	if m["lookaside_hits"] == 0 {
+		t.Fatal("lookaside queue unused")
+	}
+}
+
+func TestE16CEBehaviour(t *testing.T) {
+	m := metrics(t, E16CEMode)
+	if m["pool_mb_grown"] < 2 {
+		t.Fatalf("CE pool should grow with free memory: %v", m)
+	}
+	if m["pool_mb_shrunk"] >= m["pool_mb_grown"] {
+		t.Fatalf("CE pool should shrink under external allocation: %v", m)
+	}
+}
+
+func TestExpensiveExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive experiments: run without -short or via cmd/repro")
+	}
+	for _, id := range []string{"E1", "E5", "E6", "E8", "E12", "E14", "E15"} {
+		r, err := ByID(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		switch id {
+		case "E5":
+			if r.Metrics["decisive_concordance"] < 0.6 {
+				t.Fatalf("E5 decisive concordance too low: %v", r.Metrics)
+			}
+		case "E6":
+			if r.Metrics["count"] != 3 {
+				t.Fatalf("E6 wrong result: %v", r.Metrics)
+			}
+		case "E8":
+			if r.Metrics["nopruning_visits"] <= r.Metrics["exhaustive_visits"] {
+				t.Fatalf("E8 pruning ineffective: %v", r.Metrics)
+			}
+		case "E14":
+			if r.Metrics["visits_cached"] >= r.Metrics["visits_always"] {
+				t.Fatalf("E14 cache ineffective: %v", r.Metrics)
+			}
+		case "E15":
+			if r.Metrics["client_side_join"] != 1 || r.Metrics["recommendations"] < 1 {
+				t.Fatalf("E15 detection failed: %v", r.Metrics)
+			}
+		}
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, err := ByID("E99"); err == nil {
+		t.Fatal("unknown id should error")
+	}
+}

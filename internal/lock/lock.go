@@ -1,0 +1,407 @@
+// Package lock implements the long-term lock manager. Locks are stored in
+// a disk-based extensible hash table (§2.1), which eliminates the need to
+// configure a lock-table size or lock-escalation thresholds: the table
+// grows by splitting bucket pages in the temporary file.
+package lock
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"anywheredb/internal/buffer"
+	"anywheredb/internal/page"
+	"anywheredb/internal/store"
+)
+
+// Mode is a lock mode.
+type Mode uint8
+
+const (
+	// Shared permits concurrent readers.
+	Shared Mode = iota
+	// Exclusive permits a single writer.
+	Exclusive
+)
+
+func (m Mode) String() string {
+	if m == Shared {
+		return "S"
+	}
+	return "X"
+}
+
+// ErrTimeout reports that a lock wait exceeded its deadline — the engine's
+// deadlock resolution policy.
+var ErrTimeout = errors.New("lock: wait timeout (possible deadlock)")
+
+// entry is one lock record stored in a bucket page.
+type entry struct {
+	obj  uint64
+	key  []byte
+	txn  uint64
+	mode Mode
+}
+
+func encodeEntry(e entry) []byte {
+	b := binary.AppendUvarint(nil, e.obj)
+	b = binary.AppendUvarint(b, e.txn)
+	b = append(b, byte(e.mode))
+	b = binary.AppendUvarint(b, uint64(len(e.key)))
+	b = append(b, e.key...)
+	return b
+}
+
+func decodeEntry(c []byte) entry {
+	var e entry
+	var n int
+	e.obj, n = binary.Uvarint(c)
+	c = c[n:]
+	e.txn, n = binary.Uvarint(c)
+	c = c[n:]
+	e.mode = Mode(c[0])
+	c = c[1:]
+	kl, n := binary.Uvarint(c)
+	c = c[n:]
+	e.key = append([]byte(nil), c[:kl]...)
+	return e
+}
+
+// Manager is the lock manager. It is safe for concurrent use.
+type Manager struct {
+	pool *buffer.Pool
+	st   *store.Store
+
+	mu        sync.Mutex
+	dir       []store.PageID // extensible hashing directory
+	depth     uint           // global depth
+	localDep  map[store.PageID]uint
+	broadcast chan struct{} // closed and replaced whenever locks are released
+	// Timeout bounds lock waits; exceeded waits fail with ErrTimeout.
+	Timeout time.Duration
+}
+
+// NewManager creates a lock manager with a single bucket.
+func NewManager(pool *buffer.Pool, st *store.Store) (*Manager, error) {
+	m := &Manager{
+		pool:      pool,
+		st:        st,
+		localDep:  make(map[store.PageID]uint),
+		broadcast: make(chan struct{}),
+		Timeout:   2 * time.Second,
+	}
+	f, err := pool.NewPage(store.TempFile, page.TypeLockTable)
+	if err != nil {
+		return nil, err
+	}
+	id := f.ID
+	pool.Unpin(f, true)
+	m.dir = []store.PageID{id}
+	m.depth = 0
+	m.localDep[id] = 0
+	return m, nil
+}
+
+func hashLock(obj uint64, key []byte) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], obj)
+	h.Write(b[:])
+	h.Write(key)
+	return h.Sum64()
+}
+
+func (m *Manager) bucketFor(h uint64) store.PageID {
+	return m.dir[h&((1<<m.depth)-1)]
+}
+
+// readBucket returns the entries of a bucket page.
+func (m *Manager) readBucket(id store.PageID) ([]entry, error) {
+	f, err := m.pool.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	defer m.pool.Unpin(f, false)
+	f.RLock()
+	defer f.RUnlock()
+	var es []entry
+	for i := 0; i < f.Data.NumSlots(); i++ {
+		if c := f.Data.Cell(i); c != nil {
+			es = append(es, decodeEntry(c))
+		}
+	}
+	return es, nil
+}
+
+// writeBucket rewrites a bucket page with the given entries; it reports
+// false if they no longer fit (caller must split).
+func (m *Manager) writeBucket(id store.PageID, es []entry) (bool, error) {
+	f, err := m.pool.Get(id)
+	if err != nil {
+		return false, err
+	}
+	defer m.pool.Unpin(f, true)
+	f.Lock()
+	defer f.Unlock()
+	f.Data.Init(page.TypeLockTable)
+	for _, e := range es {
+		if f.Data.Insert(encodeEntry(e)) < 0 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// addEntry inserts a lock record, splitting buckets as needed (extensible
+// hashing: local depth grows; when it exceeds global depth the directory
+// doubles). Called with m.mu held.
+func (m *Manager) addEntry(e entry) error {
+	for {
+		h := hashLock(e.obj, e.key)
+		id := m.bucketFor(h)
+		es, err := m.readBucket(id)
+		if err != nil {
+			return err
+		}
+		es = append(es, e)
+		ok, err := m.writeBucket(id, es)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return nil
+		}
+		// Restore without the new entry, then split and retry.
+		if _, err := m.writeBucket(id, es[:len(es)-1]); err != nil {
+			return err
+		}
+		if err := m.splitBucket(id); err != nil {
+			return err
+		}
+	}
+}
+
+func (m *Manager) splitBucket(id store.PageID) error {
+	ld := m.localDep[id]
+	if ld == m.depth {
+		// Double the directory.
+		if m.depth >= 20 {
+			return fmt.Errorf("lock: hash directory too deep")
+		}
+		m.dir = append(m.dir, m.dir...)
+		m.depth++
+	}
+	// Allocate the sibling bucket.
+	f, err := m.pool.NewPage(store.TempFile, page.TypeLockTable)
+	if err != nil {
+		return err
+	}
+	sib := f.ID
+	m.pool.Unpin(f, true)
+	newLD := ld + 1
+	m.localDep[id] = newLD
+	m.localDep[sib] = newLD
+
+	// Redistribute entries between id and sib on bit ld.
+	es, err := m.readBucket(id)
+	if err != nil {
+		return err
+	}
+	var keep, move []entry
+	for _, e := range es {
+		if hashLock(e.obj, e.key)>>ld&1 == 1 {
+			move = append(move, e)
+		} else {
+			keep = append(keep, e)
+		}
+	}
+	if _, err := m.writeBucket(id, keep); err != nil {
+		return err
+	}
+	if _, err := m.writeBucket(sib, move); err != nil {
+		return err
+	}
+	// Update directory pointers: slots whose bit ld is 1 and that pointed
+	// at id now point at sib.
+	for i := range m.dir {
+		if m.dir[i] == id && uint(i)>>ld&1 == 1 {
+			m.dir[i] = sib
+		}
+	}
+	return nil
+}
+
+// compatible reports whether txn may take mode given the existing holders.
+func compatible(es []entry, obj uint64, key []byte, txn uint64, mode Mode) bool {
+	for _, e := range es {
+		if e.obj != obj || !bytes.Equal(e.key, key) || e.txn == txn {
+			continue
+		}
+		if mode == Exclusive || e.mode == Exclusive {
+			return false
+		}
+	}
+	return true
+}
+
+// held reports whether txn already holds a lock of at least the given mode.
+func held(es []entry, obj uint64, key []byte, txn uint64, mode Mode) bool {
+	for _, e := range es {
+		if e.obj == obj && bytes.Equal(e.key, key) && e.txn == txn {
+			if mode == Shared || e.mode == Exclusive {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Lock acquires (or upgrades to) the given mode for txn, waiting up to
+// Timeout for conflicting holders to release.
+func (m *Manager) Lock(txn, obj uint64, key []byte, mode Mode) error {
+	deadline := time.Now().Add(m.Timeout)
+	for {
+		m.mu.Lock()
+		h := hashLock(obj, key)
+		id := m.bucketFor(h)
+		es, err := m.readBucket(id)
+		if err != nil {
+			m.mu.Unlock()
+			return err
+		}
+		if held(es, obj, key, txn, mode) {
+			m.mu.Unlock()
+			return nil
+		}
+		if compatible(es, obj, key, txn, mode) {
+			// Upgrade: drop our weaker lock first.
+			kept := es[:0]
+			for _, e := range es {
+				if !(e.obj == obj && bytes.Equal(e.key, key) && e.txn == txn) {
+					kept = append(kept, e)
+				}
+			}
+			if len(kept) != len(es) {
+				if _, err := m.writeBucket(id, kept); err != nil {
+					m.mu.Unlock()
+					return err
+				}
+			}
+			err := m.addEntry(entry{obj: obj, key: append([]byte(nil), key...), txn: txn, mode: mode})
+			m.mu.Unlock()
+			return err
+		}
+		ch := m.broadcast
+		m.mu.Unlock()
+
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return ErrTimeout
+		}
+		select {
+		case <-ch:
+			// Locks were released somewhere; retry.
+		case <-time.After(remain):
+			return ErrTimeout
+		}
+	}
+}
+
+// Unlock releases one lock held by txn.
+func (m *Manager) Unlock(txn, obj uint64, key []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := hashLock(obj, key)
+	id := m.bucketFor(h)
+	es, err := m.readBucket(id)
+	if err != nil {
+		return err
+	}
+	kept := es[:0]
+	for _, e := range es {
+		if !(e.obj == obj && bytes.Equal(e.key, key) && e.txn == txn) {
+			kept = append(kept, e)
+		}
+	}
+	if _, err := m.writeBucket(id, kept); err != nil {
+		return err
+	}
+	m.wake()
+	return nil
+}
+
+// ReleaseAll drops every lock held by txn (commit/rollback).
+func (m *Manager) ReleaseAll(txn uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	seen := map[store.PageID]bool{}
+	for _, id := range m.dir {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		es, err := m.readBucket(id)
+		if err != nil {
+			return err
+		}
+		kept := es[:0]
+		for _, e := range es {
+			if e.txn != txn {
+				kept = append(kept, e)
+			}
+		}
+		if len(kept) != len(es) {
+			if _, err := m.writeBucket(id, kept); err != nil {
+				return err
+			}
+		}
+	}
+	m.wake()
+	return nil
+}
+
+// wake signals waiters that locks were released. Called with m.mu held.
+func (m *Manager) wake() {
+	close(m.broadcast)
+	m.broadcast = make(chan struct{})
+}
+
+// Held counts the locks held by txn (for tests and monitoring).
+func (m *Manager) Held(txn uint64) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	seen := map[store.PageID]bool{}
+	for _, id := range m.dir {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		es, err := m.readBucket(id)
+		if err != nil {
+			return 0, err
+		}
+		for _, e := range es {
+			if e.txn == txn {
+				n++
+			}
+		}
+	}
+	return n, nil
+}
+
+// Buckets reports the number of bucket pages (grows without any
+// configuration as lock volume grows).
+func (m *Manager) Buckets() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	seen := map[store.PageID]bool{}
+	for _, id := range m.dir {
+		seen[id] = true
+	}
+	return len(seen)
+}

@@ -1,0 +1,191 @@
+package lock
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"anywheredb/internal/buffer"
+	"anywheredb/internal/store"
+)
+
+func newManager(t *testing.T) *Manager {
+	t.Helper()
+	st, err := store.Open(store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	pool := buffer.New(st, 4, 128, 256)
+	m, err := NewManager(pool, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSharedLocksCompatible(t *testing.T) {
+	m := newManager(t)
+	if err := m.Lock(1, 10, []byte("row1"), Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, 10, []byte("row1"), Shared); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := m.Held(1)
+	if n != 1 {
+		t.Fatalf("txn1 holds %d", n)
+	}
+}
+
+func TestExclusiveConflicts(t *testing.T) {
+	m := newManager(t)
+	m.Timeout = 50 * time.Millisecond
+	if err := m.Lock(1, 10, []byte("row1"), Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, 10, []byte("row1"), Shared); err != ErrTimeout {
+		t.Fatalf("want timeout, got %v", err)
+	}
+	if err := m.Lock(2, 10, []byte("row1"), Exclusive); err != ErrTimeout {
+		t.Fatalf("want timeout, got %v", err)
+	}
+	// Different row: no conflict.
+	if err := m.Lock(2, 10, []byte("row2"), Exclusive); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReacquireAndUpgrade(t *testing.T) {
+	m := newManager(t)
+	m.Timeout = 50 * time.Millisecond
+	if err := m.Lock(1, 10, []byte("r"), Shared); err != nil {
+		t.Fatal(err)
+	}
+	// Re-acquiring the same or weaker mode is a no-op.
+	if err := m.Lock(1, 10, []byte("r"), Shared); err != nil {
+		t.Fatal(err)
+	}
+	// Upgrade succeeds while sole holder.
+	if err := m.Lock(1, 10, []byte("r"), Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := m.Held(1)
+	if n != 1 {
+		t.Fatalf("after upgrade txn1 holds %d entries, want 1", n)
+	}
+	// Now a reader must block.
+	if err := m.Lock(2, 10, []byte("r"), Shared); err != ErrTimeout {
+		t.Fatalf("want timeout after upgrade, got %v", err)
+	}
+}
+
+func TestUpgradeBlockedByOtherReader(t *testing.T) {
+	m := newManager(t)
+	m.Timeout = 50 * time.Millisecond
+	m.Lock(1, 10, []byte("r"), Shared)
+	m.Lock(2, 10, []byte("r"), Shared)
+	if err := m.Lock(1, 10, []byte("r"), Exclusive); err != ErrTimeout {
+		t.Fatalf("upgrade with another reader should time out, got %v", err)
+	}
+}
+
+func TestWaiterWakesOnRelease(t *testing.T) {
+	m := newManager(t)
+	m.Timeout = 5 * time.Second
+	m.Lock(1, 10, []byte("r"), Exclusive)
+	got := make(chan error, 1)
+	go func() { got <- m.Lock(2, 10, []byte("r"), Exclusive) }()
+	time.Sleep(20 * time.Millisecond)
+	if err := m.ReleaseAll(1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never woke")
+	}
+}
+
+func TestUnlockSingle(t *testing.T) {
+	m := newManager(t)
+	m.Lock(1, 10, []byte("a"), Exclusive)
+	m.Lock(1, 10, []byte("b"), Exclusive)
+	if err := m.Unlock(1, 10, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := m.Held(1)
+	if n != 1 {
+		t.Fatalf("held %d, want 1", n)
+	}
+}
+
+func TestManyLocksGrowBuckets(t *testing.T) {
+	// The extensible hash table must grow without any tuning knob: take
+	// thousands of row locks in one transaction.
+	m := newManager(t)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if err := m.Lock(1, uint64(i%7), []byte(fmt.Sprintf("row-%d", i)), Exclusive); err != nil {
+			t.Fatalf("lock %d: %v", i, err)
+		}
+	}
+	held, err := m.Held(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if held != n {
+		t.Fatalf("held %d, want %d", held, n)
+	}
+	if m.Buckets() < 8 {
+		t.Fatalf("buckets = %d, expected the table to have split many times", m.Buckets())
+	}
+	if err := m.ReleaseAll(1); err != nil {
+		t.Fatal(err)
+	}
+	held, _ = m.Held(1)
+	if held != 0 {
+		t.Fatalf("still holding %d after ReleaseAll", held)
+	}
+	// Table still functional after mass release.
+	if err := m.Lock(2, 1, []byte("post"), Exclusive); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentDisjointLocks(t *testing.T) {
+	m := newManager(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := []byte(fmt.Sprintf("w%d-row%d", w, i))
+				if err := m.Lock(uint64(w+1), 5, key, Exclusive); err != nil {
+					errs <- err
+					return
+				}
+			}
+			if err := m.ReleaseAll(uint64(w + 1)); err != nil {
+				errs <- err
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Shared.String() != "S" || Exclusive.String() != "X" {
+		t.Fatal("Mode.String")
+	}
+}

@@ -1,0 +1,246 @@
+// Package mem implements the per-task memory governor of §4.3.
+//
+// Each task (unit of work) receives two quotas: a hard limit of
+// ¾·(maximum buffer pool size)/(active requests) — exceeding it terminates
+// the statement with an error (Eq. 4) — and a soft limit of
+// (current buffer pool size)/(server multiprogramming level) (Eq. 5) that
+// query processing algorithms should not exceed. When a task reaches the
+// soft limit the governor asks its memory-intensive operators to free
+// memory, starting at the highest consuming operator in the execution tree
+// and moving down, so an input operator is never starved by its consumer.
+package mem
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrHardLimit is returned when a task exceeds its hard memory limit; the
+// statement must be terminated with an error.
+var ErrHardLimit = errors.New("mem: statement exceeds hard memory limit")
+
+// Consumer is a memory-intensive operator (hash join, hash group by, hash
+// distinct, sort) registered with its task. Depth orders operators within
+// the plan: 0 is the root; larger depths are further down the tree.
+type Consumer interface {
+	// MemoryPages reports the operator's current memory use in pages.
+	MemoryPages() int
+	// ReleaseMemory asks the operator to free at least want pages (by
+	// spilling a partition, switching to a low-memory fallback, etc.). It
+	// returns the number of pages actually freed.
+	ReleaseMemory(want int) int
+}
+
+// Governor hands out task quotas. Pool sizes are supplied by callbacks so
+// the quotas track the dynamically-resized buffer pool.
+type Governor struct {
+	maxPoolPages func() int
+	curPoolPages func() int
+
+	mu     sync.Mutex
+	mpl    int // server multiprogramming level
+	active int // currently active requests
+}
+
+// NewGovernor builds a governor. mpl is the server multiprogramming level
+// (must be ≥ 1).
+func NewGovernor(maxPoolPages, curPoolPages func() int, mpl int) *Governor {
+	if mpl < 1 {
+		mpl = 1
+	}
+	return &Governor{maxPoolPages: maxPoolPages, curPoolPages: curPoolPages, mpl: mpl}
+}
+
+// SetMPL changes the multiprogramming level (a future-work item in the
+// paper is adapting it dynamically; the setter is the hook for that).
+func (g *Governor) SetMPL(mpl int) {
+	if mpl < 1 {
+		mpl = 1
+	}
+	g.mu.Lock()
+	g.mpl = mpl
+	g.mu.Unlock()
+}
+
+// MPL reports the multiprogramming level.
+func (g *Governor) MPL() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.mpl
+}
+
+// ActiveRequests reports the number of active tasks.
+func (g *Governor) ActiveRequests() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.active
+}
+
+// Begin registers a new active task.
+func (g *Governor) Begin() *Task {
+	g.mu.Lock()
+	g.active++
+	g.mu.Unlock()
+	return &Task{gov: g}
+}
+
+// Task tracks one statement's memory against its quotas.
+type Task struct {
+	gov *Governor
+
+	mu        sync.Mutex
+	used      int // pages currently accounted to the task
+	peak      int
+	consumers []taskConsumer
+	finished  bool
+}
+
+type taskConsumer struct {
+	c     Consumer
+	depth int
+}
+
+// Finish releases the task; it must be called exactly once.
+func (t *Task) Finish() {
+	t.mu.Lock()
+	if t.finished {
+		t.mu.Unlock()
+		return
+	}
+	t.finished = true
+	t.mu.Unlock()
+	t.gov.mu.Lock()
+	t.gov.active--
+	t.gov.mu.Unlock()
+}
+
+// HardLimitPages is Eq. 4: ¾·maxPool / activeRequests.
+func (t *Task) HardLimitPages() int {
+	g := t.gov
+	g.mu.Lock()
+	active := g.active
+	g.mu.Unlock()
+	if active < 1 {
+		active = 1
+	}
+	return 3 * g.maxPoolPages() / 4 / active
+}
+
+// SoftLimitPages is Eq. 5: curPool / multiprogramming level.
+func (t *Task) SoftLimitPages() int {
+	g := t.gov
+	g.mu.Lock()
+	mpl := g.mpl
+	g.mu.Unlock()
+	return g.curPoolPages() / mpl
+}
+
+// PredictedSoftLimitPages is the soft limit the optimizer uses when costing
+// a plan and annotating memory-intensive operators with page quotas. It is
+// the same law evaluated at optimization time.
+func (t *Task) PredictedSoftLimitPages() int { return t.SoftLimitPages() }
+
+// Register adds a memory-intensive operator at the given plan depth
+// (0 = root).
+func (t *Task) Register(c Consumer, depth int) {
+	t.mu.Lock()
+	t.consumers = append(t.consumers, taskConsumer{c, depth})
+	// Keep sorted by depth ascending: release starts at the highest
+	// consumer in the tree and moves down.
+	sort.SliceStable(t.consumers, func(i, j int) bool {
+		return t.consumers[i].depth < t.consumers[j].depth
+	})
+	t.mu.Unlock()
+}
+
+// Unregister removes an operator (when it closes).
+func (t *Task) Unregister(c Consumer) {
+	t.mu.Lock()
+	kept := t.consumers[:0]
+	for _, tc := range t.consumers {
+		if tc.c != c {
+			kept = append(kept, tc)
+		}
+	}
+	t.consumers = kept
+	t.mu.Unlock()
+}
+
+// UsedPages reports the pages currently accounted to the task.
+func (t *Task) UsedPages() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.used
+}
+
+// PeakPages reports the task's high-water mark.
+func (t *Task) PeakPages() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.peak
+}
+
+// Alloc accounts n pages to the task. If the soft limit is exceeded, the
+// governor requests operators to relinquish memory, highest consumer
+// first; if after that the hard limit is still exceeded, ErrHardLimit is
+// returned and the statement must terminate.
+func (t *Task) Alloc(n int) error {
+	if n < 0 {
+		return fmt.Errorf("mem: negative alloc %d", n)
+	}
+	t.mu.Lock()
+	t.used += n
+	if t.used > t.peak {
+		t.peak = t.used
+	}
+	used := t.used
+	t.mu.Unlock()
+
+	soft := t.SoftLimitPages()
+	if used > soft {
+		t.requestRelease(used - soft)
+	}
+
+	t.mu.Lock()
+	used = t.used
+	t.mu.Unlock()
+	if hard := t.HardLimitPages(); hard > 0 && used > hard {
+		// The request is refused: roll the accounting back so the caller
+		// (which will terminate the statement) does not leak quota.
+		t.Free(n)
+		return ErrHardLimit
+	}
+	return nil
+}
+
+// Free returns n pages to the governor.
+func (t *Task) Free(n int) {
+	t.mu.Lock()
+	t.used -= n
+	if t.used < 0 {
+		t.used = 0
+	}
+	t.mu.Unlock()
+}
+
+// OverSoftLimit reports whether the task currently exceeds its soft limit
+// (operators consult this while building hash tables, §4.3).
+func (t *Task) OverSoftLimit() bool {
+	return t.UsedPages() > t.SoftLimitPages()
+}
+
+// requestRelease walks consumers from the top of the execution tree down,
+// asking each to free memory, until want pages have been relinquished.
+func (t *Task) requestRelease(want int) {
+	t.mu.Lock()
+	consumers := append([]taskConsumer(nil), t.consumers...)
+	t.mu.Unlock()
+	for _, tc := range consumers {
+		if want <= 0 {
+			return
+		}
+		want -= tc.c.ReleaseMemory(want)
+	}
+}

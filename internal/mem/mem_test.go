@@ -1,0 +1,234 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+)
+
+func gov(maxPool, curPool, mpl int) *Governor {
+	return NewGovernor(func() int { return maxPool }, func() int { return curPool }, mpl)
+}
+
+func TestHardLimitEq4(t *testing.T) {
+	g := gov(1000, 800, 4)
+	t1 := g.Begin()
+	defer t1.Finish()
+	// One active request: ¾·1000/1 = 750.
+	if got := t1.HardLimitPages(); got != 750 {
+		t.Fatalf("hard limit %d, want 750", got)
+	}
+	t2 := g.Begin()
+	defer t2.Finish()
+	// Two active: 750/2 = 375.
+	if got := t1.HardLimitPages(); got != 375 {
+		t.Fatalf("hard limit with 2 active %d, want 375", got)
+	}
+}
+
+func TestSoftLimitEq5(t *testing.T) {
+	g := gov(1000, 800, 4)
+	tk := g.Begin()
+	defer tk.Finish()
+	if got := tk.SoftLimitPages(); got != 200 {
+		t.Fatalf("soft limit %d, want 800/4=200", got)
+	}
+	g.SetMPL(8)
+	if got := tk.SoftLimitPages(); got != 100 {
+		t.Fatalf("soft limit after mpl=8: %d, want 100", got)
+	}
+	if tk.PredictedSoftLimitPages() != tk.SoftLimitPages() {
+		t.Fatal("optimizer prediction should match the law")
+	}
+}
+
+func TestAllocWithinLimits(t *testing.T) {
+	g := gov(1000, 800, 4)
+	tk := g.Begin()
+	defer tk.Finish()
+	if err := tk.Alloc(100); err != nil {
+		t.Fatal(err)
+	}
+	if tk.UsedPages() != 100 {
+		t.Fatalf("used %d", tk.UsedPages())
+	}
+	tk.Free(40)
+	if tk.UsedPages() != 60 {
+		t.Fatalf("used after free %d", tk.UsedPages())
+	}
+	if tk.PeakPages() != 100 {
+		t.Fatalf("peak %d", tk.PeakPages())
+	}
+	if err := tk.Alloc(-1); err == nil {
+		t.Fatal("negative alloc should error")
+	}
+}
+
+func TestHardLimitTerminatesStatement(t *testing.T) {
+	g := gov(100, 100, 1)
+	tk := g.Begin()
+	defer tk.Finish()
+	// Hard limit = 75. No consumers to release.
+	if err := tk.Alloc(80); !errors.Is(err, ErrHardLimit) {
+		t.Fatalf("want ErrHardLimit, got %v", err)
+	}
+}
+
+// fakeConsumer releases up to avail pages when asked.
+type fakeConsumer struct {
+	task     *Task
+	avail    int
+	asked    int
+	released int
+}
+
+func (f *fakeConsumer) MemoryPages() int { return f.avail }
+func (f *fakeConsumer) ReleaseMemory(want int) int {
+	f.asked++
+	n := want
+	if n > f.avail {
+		n = f.avail
+	}
+	f.avail -= n
+	f.released += n
+	f.task.Free(n)
+	return n
+}
+
+func TestSoftLimitTriggersRelease(t *testing.T) {
+	g := gov(10000, 400, 4) // soft = 100, hard = 7500
+	tk := g.Begin()
+	defer tk.Finish()
+	c := &fakeConsumer{task: tk, avail: 500}
+	tk.Register(c, 1)
+
+	if err := tk.Alloc(90); err != nil {
+		t.Fatal(err)
+	}
+	if c.asked != 0 {
+		t.Fatal("release should not fire under the soft limit")
+	}
+	if err := tk.Alloc(60); err != nil { // 150 > 100
+		t.Fatal(err)
+	}
+	if c.asked != 1 {
+		t.Fatalf("release asked %d times, want 1", c.asked)
+	}
+	if c.released != 50 {
+		t.Fatalf("released %d pages, want 50 (down to the soft limit)", c.released)
+	}
+	if tk.UsedPages() != 100 {
+		t.Fatalf("used %d after release, want 100", tk.UsedPages())
+	}
+	if tk.OverSoftLimit() {
+		t.Fatal("should be at, not over, the soft limit")
+	}
+}
+
+func TestReleaseOrderTopDown(t *testing.T) {
+	g := gov(10000, 40, 4) // soft = 10
+	tk := g.Begin()
+	defer tk.Finish()
+
+	var order []string
+	mk := func(name string, avail int) *namedConsumer {
+		return &namedConsumer{name: name, avail: avail, order: &order, task: tk}
+	}
+	leaf := mk("leaf", 100)
+	root := mk("root", 100)
+	// Register out of order; depth must govern.
+	tk.Register(leaf, 3)
+	tk.Register(root, 0)
+
+	tk.Alloc(15) // exceed soft by 5: root (highest consumer) is asked first
+	if len(order) == 0 || order[0] != "root" {
+		t.Fatalf("release order %v, want root first", order)
+	}
+
+	// Exhaust root's memory; the next overage moves down the tree.
+	root.avail = 0
+	tk.Alloc(20)
+	found := false
+	for _, n := range order {
+		if n == "leaf" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("release never reached the leaf: %v", order)
+	}
+}
+
+type namedConsumer struct {
+	name  string
+	avail int
+	order *[]string
+	task  *Task
+}
+
+func (n *namedConsumer) MemoryPages() int { return n.avail }
+func (n *namedConsumer) ReleaseMemory(want int) int {
+	*n.order = append(*n.order, n.name)
+	got := want
+	if got > n.avail {
+		got = n.avail
+	}
+	n.avail -= got
+	n.task.Free(got)
+	return got
+}
+
+func TestUnregister(t *testing.T) {
+	g := gov(10000, 40, 4)
+	tk := g.Begin()
+	defer tk.Finish()
+	c := &fakeConsumer{task: tk, avail: 100}
+	tk.Register(c, 0)
+	tk.Unregister(c)
+	tk.Alloc(50) // over soft, but no consumers remain
+	if c.asked != 0 {
+		t.Fatal("unregistered consumer was asked to release")
+	}
+}
+
+func TestFinishIdempotentAndActiveCount(t *testing.T) {
+	g := gov(100, 100, 1)
+	a := g.Begin()
+	b := g.Begin()
+	if g.ActiveRequests() != 2 {
+		t.Fatalf("active %d", g.ActiveRequests())
+	}
+	a.Finish()
+	a.Finish() // second call is a no-op
+	if g.ActiveRequests() != 1 {
+		t.Fatalf("active after double finish %d, want 1", g.ActiveRequests())
+	}
+	b.Finish()
+	if g.ActiveRequests() != 0 {
+		t.Fatalf("active %d", g.ActiveRequests())
+	}
+}
+
+func TestQuotasTrackPoolResize(t *testing.T) {
+	cur := 800
+	g := NewGovernor(func() int { return 1000 }, func() int { return cur }, 4)
+	tk := g.Begin()
+	defer tk.Finish()
+	if tk.SoftLimitPages() != 200 {
+		t.Fatal("initial soft limit")
+	}
+	cur = 400 // governor shrank the pool
+	if tk.SoftLimitPages() != 100 {
+		t.Fatal("soft limit must track the live pool size")
+	}
+}
+
+func TestMPLFloor(t *testing.T) {
+	g := gov(100, 100, 0)
+	if g.MPL() != 1 {
+		t.Fatal("mpl must be at least 1")
+	}
+	g.SetMPL(-5)
+	if g.MPL() != 1 {
+		t.Fatal("SetMPL must floor at 1")
+	}
+}

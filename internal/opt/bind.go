@@ -1,0 +1,632 @@
+// Package opt implements the cost-based query optimizer of §4.1: semantic
+// binding, predicate analysis with histogram-based selectivity estimation,
+// a branch-and-bound depth-first left-deep join enumerator under an
+// optimizer governor that distributes a quota of search effort, a Disk
+// Transfer Time cost model, memory-aware operator annotations, and a plan
+// cache with a training period and decaying-logarithmic re-verification.
+package opt
+
+import (
+	"fmt"
+	"strings"
+
+	"anywheredb/internal/sqlparse"
+	"anywheredb/internal/stats"
+	"anywheredb/internal/table"
+	"anywheredb/internal/val"
+)
+
+// Quant is one quantifier (table reference) in the query.
+type Quant struct {
+	Idx   int
+	Alias string
+	Table *table.Table // nil for materialized sources (CTEs)
+	// Rows/Cols back a materialized source.
+	Rows [][]val.Value
+	Cols []table.Column
+	// NullSupplied marks the null-supplied side of a LEFT OUTER JOIN; it
+	// must be placed after every quantifier it depends on.
+	NullSupplied bool
+	// OuterDeps are quantifier indexes that must precede this one (the
+	// preserved side of its outer join).
+	OuterDeps []int
+}
+
+// Columns reports the quantifier's column metadata.
+func (q *Quant) Columns() []table.Column {
+	if q.Table != nil {
+		return q.Table.Columns
+	}
+	return q.Cols
+}
+
+// Cardinality estimates the quantifier's base row count.
+func (q *Quant) Cardinality() float64 {
+	if q.Table != nil {
+		return float64(q.Table.RowCount())
+	}
+	return float64(len(q.Rows))
+}
+
+// PredClass classifies a conjunct.
+type PredClass int
+
+const (
+	// LocalPred references a single quantifier.
+	LocalPred PredClass = iota
+	// EquiJoinPred is q1.c = q2.c.
+	EquiJoinPred
+	// ComplexPred references several quantifiers without being a simple
+	// equijoin.
+	ComplexPred
+)
+
+// Conjunct is one analyzed predicate conjunct.
+type Conjunct struct {
+	Expr  sqlparse.Expr
+	Class PredClass
+	// Quants is the set of referenced quantifier indexes.
+	Quants map[int]bool
+	// For EquiJoinPred: the two column references.
+	LQ, LC int
+	RQ, RC int
+	// FromOn marks ON-clause conjuncts of an outer join (they must not be
+	// pushed below the join for the preserved side, and they bind to the
+	// join itself).
+	FromOn bool
+	// OnRight is the null-supplied quantifier for FromOn conjuncts.
+	OnRight int
+}
+
+// Query is the bound query block.
+type Query struct {
+	Quants  []*Quant
+	Conj    []*Conjunct
+	Select  *sqlparse.Select
+	binder  *binder
+	Net     map[int]map[int]bool // equijoin connectivity graph
+	Catalog Resolver
+
+	// Memoized estimates: join histograms and local cardinalities are
+	// stable for the duration of one optimization, and the enumerator
+	// prices thousands of candidates.
+	selCache  map[*Conjunct]float64
+	cardCache map[int]float64
+}
+
+// Resolver looks tables up by name.
+type Resolver interface {
+	Table(name string) (*table.Table, bool)
+}
+
+// binder resolves column names to (quantifier, column) pairs.
+type binder struct {
+	quants []*Quant
+}
+
+func (b *binder) resolve(c *sqlparse.ColRef) (int, int, error) {
+	if c.Table != "" {
+		for _, q := range b.quants {
+			if strings.EqualFold(q.Alias, c.Table) {
+				for ci, col := range q.Columns() {
+					if strings.EqualFold(col.Name, c.Col) {
+						return q.Idx, ci, nil
+					}
+				}
+				return 0, 0, fmt.Errorf("opt: column %s.%s not found", c.Table, c.Col)
+			}
+		}
+		return 0, 0, fmt.Errorf("opt: unknown table alias %q", c.Table)
+	}
+	found := -1
+	foundCol := -1
+	for _, q := range b.quants {
+		for ci, col := range q.Columns() {
+			if strings.EqualFold(col.Name, c.Col) {
+				if found >= 0 {
+					return 0, 0, fmt.Errorf("opt: ambiguous column %q", c.Col)
+				}
+				found, foundCol = q.Idx, ci
+			}
+		}
+	}
+	if found < 0 {
+		return 0, 0, fmt.Errorf("opt: column %q not found", c.Col)
+	}
+	return found, foundCol, nil
+}
+
+// Bind performs semantic analysis of a SELECT: it flattens the FROM tree
+// into quantifiers, gathers WHERE and ON conjuncts, and classifies them.
+// cteSources maps CTE names to materialized rows.
+func Bind(sel *sqlparse.Select, res Resolver, cteSources map[string]*MaterializedCTE) (*Query, error) {
+	q := &Query{Select: sel, Net: map[int]map[int]bool{}, Catalog: res}
+	b := &binder{}
+	q.binder = b
+
+	var onConjs []*Conjunct
+	var flatten func(fi sqlparse.FromItem) ([]int, error)
+	flatten = func(fi sqlparse.FromItem) ([]int, error) {
+		switch f := fi.(type) {
+		case *sqlparse.BaseTable:
+			alias := f.Alias
+			if alias == "" {
+				alias = f.Name
+			}
+			quant := &Quant{Idx: len(b.quants), Alias: alias}
+			if cte, ok := cteSources[strings.ToLower(f.Name)]; ok {
+				quant.Rows = cte.Rows
+				quant.Cols = cte.Cols
+			} else {
+				tbl, ok := res.Table(f.Name)
+				if !ok {
+					return nil, fmt.Errorf("opt: table %q not found", f.Name)
+				}
+				quant.Table = tbl
+			}
+			b.quants = append(b.quants, quant)
+			q.Quants = append(q.Quants, quant)
+			return []int{quant.Idx}, nil
+		case *sqlparse.Join:
+			left, err := flatten(f.Left)
+			if err != nil {
+				return nil, err
+			}
+			right, err := flatten(f.Right)
+			if err != nil {
+				return nil, err
+			}
+			if f.Kind == sqlparse.LeftOuterJoin {
+				if len(right) != 1 {
+					return nil, fmt.Errorf("opt: LEFT OUTER JOIN right side must be a single table")
+				}
+				rq := q.Quants[right[0]]
+				rq.NullSupplied = true
+				rq.OuterDeps = append(rq.OuterDeps, left...)
+			}
+			if f.On != nil {
+				for _, c := range splitConjuncts(f.On) {
+					cj, err := q.analyze(c)
+					if err != nil {
+						return nil, err
+					}
+					if f.Kind == sqlparse.LeftOuterJoin {
+						cj.FromOn = true
+						cj.OnRight = right[0]
+					}
+					onConjs = append(onConjs, cj)
+				}
+			}
+			return append(left, right...), nil
+		}
+		return nil, fmt.Errorf("opt: unsupported FROM item %T", fi)
+	}
+
+	if sel.From != nil {
+		if _, err := flatten(sel.From); err != nil {
+			return nil, err
+		}
+	}
+	q.Conj = append(q.Conj, onConjs...)
+	if sel.Where != nil {
+		for _, c := range splitConjuncts(sel.Where) {
+			cj, err := q.analyze(c)
+			if err != nil {
+				return nil, err
+			}
+			q.Conj = append(q.Conj, cj)
+		}
+	}
+	// Connectivity graph from equijoins (used for Cartesian deferral).
+	for _, cj := range q.Conj {
+		if cj.Class == EquiJoinPred {
+			addEdge(q.Net, cj.LQ, cj.RQ)
+		} else if cj.Class == ComplexPred {
+			var qs []int
+			for qi := range cj.Quants {
+				qs = append(qs, qi)
+			}
+			for i := 0; i < len(qs); i++ {
+				for k := i + 1; k < len(qs); k++ {
+					addEdge(q.Net, qs[i], qs[k])
+				}
+			}
+		}
+	}
+	return q, nil
+}
+
+// MaterializedCTE is a evaluated common table expression usable as a
+// quantifier source.
+type MaterializedCTE struct {
+	Cols []table.Column
+	Rows [][]val.Value
+}
+
+func addEdge(net map[int]map[int]bool, a, b int) {
+	if net[a] == nil {
+		net[a] = map[int]bool{}
+	}
+	if net[b] == nil {
+		net[b] = map[int]bool{}
+	}
+	net[a][b] = true
+	net[b][a] = true
+}
+
+// splitConjuncts flattens a predicate into AND-ed conjuncts.
+func splitConjuncts(e sqlparse.Expr) []sqlparse.Expr {
+	if b, ok := e.(*sqlparse.BinOp); ok && b.Op == "AND" {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []sqlparse.Expr{e}
+}
+
+// analyze classifies one conjunct.
+func (q *Query) analyze(e sqlparse.Expr) (*Conjunct, error) {
+	cj := &Conjunct{Expr: e, Quants: map[int]bool{}}
+	if err := q.collectQuants(e, cj.Quants); err != nil {
+		return nil, err
+	}
+	switch len(cj.Quants) {
+	case 0, 1:
+		cj.Class = LocalPred
+	default:
+		cj.Class = ComplexPred
+	}
+	// Equijoin pattern: col = col across two quantifiers.
+	if b, ok := e.(*sqlparse.BinOp); ok && b.Op == "=" && len(cj.Quants) == 2 {
+		lc, lok := b.L.(*sqlparse.ColRef)
+		rc, rok := b.R.(*sqlparse.ColRef)
+		if lok && rok {
+			lq, lci, err := q.binder.resolve(lc)
+			if err != nil {
+				return nil, err
+			}
+			rq, rci, err := q.binder.resolve(rc)
+			if err != nil {
+				return nil, err
+			}
+			if lq != rq {
+				cj.Class = EquiJoinPred
+				cj.LQ, cj.LC, cj.RQ, cj.RC = lq, lci, rq, rci
+			}
+		}
+	}
+	return cj, nil
+}
+
+// collectQuants walks an expression recording referenced quantifiers.
+func (q *Query) collectQuants(e sqlparse.Expr, out map[int]bool) error {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *sqlparse.ColRef:
+		qi, _, err := q.binder.resolve(x)
+		if err != nil {
+			return err
+		}
+		out[qi] = true
+	case *sqlparse.Lit, *sqlparse.Param:
+	case *sqlparse.BinOp:
+		if err := q.collectQuants(x.L, out); err != nil {
+			return err
+		}
+		return q.collectQuants(x.R, out)
+	case *sqlparse.UnOp:
+		return q.collectQuants(x.E, out)
+	case *sqlparse.IsNull:
+		return q.collectQuants(x.E, out)
+	case *sqlparse.Between:
+		if err := q.collectQuants(x.E, out); err != nil {
+			return err
+		}
+		if err := q.collectQuants(x.Lo, out); err != nil {
+			return err
+		}
+		return q.collectQuants(x.Hi, out)
+	case *sqlparse.Like:
+		if err := q.collectQuants(x.E, out); err != nil {
+			return err
+		}
+		return q.collectQuants(x.Pattern, out)
+	case *sqlparse.InList:
+		if err := q.collectQuants(x.E, out); err != nil {
+			return err
+		}
+		for _, le := range x.List {
+			if err := q.collectQuants(le, out); err != nil {
+				return err
+			}
+		}
+	case *sqlparse.InSelect:
+		// Correlation is detected at build time; the outer reference set
+		// here covers only the probe expression.
+		return q.collectQuants(x.E, out)
+	case *sqlparse.Exists:
+		// Treated as a filter over its correlated quantifiers at build
+		// time; no outer columns directly.
+	case *sqlparse.FuncCall:
+		for _, a := range x.Args {
+			if err := q.collectQuants(a, out); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("opt: unsupported expression %T", e)
+	}
+	return nil
+}
+
+// LocalConjunctsOf returns the local conjuncts of quantifier qi, excluding
+// outer-join ON conjuncts belonging to other joins. wherePreds excludes
+// ON-clause predicates when the quantifier is null-supplied (those must
+// stay at the join).
+func (q *Query) LocalConjunctsOf(qi int, includeOn bool) []*Conjunct {
+	var out []*Conjunct
+	for _, cj := range q.Conj {
+		if cj.Class != LocalPred || !cj.Quants[qi] {
+			continue
+		}
+		if cj.FromOn && cj.OnRight != qi {
+			continue
+		}
+		if cj.FromOn && !includeOn {
+			continue
+		}
+		if !cj.FromOn && q.Quants[qi].NullSupplied {
+			// WHERE predicates on a null-supplied side apply after the
+			// join, not at the scan.
+			continue
+		}
+		out = append(out, cj)
+	}
+	return out
+}
+
+// Selectivity estimates a conjunct's selectivity from the self-managing
+// statistics.
+func (q *Query) Selectivity(cj *Conjunct) float64 {
+	switch x := cj.Expr.(type) {
+	case *sqlparse.BinOp:
+		if col, lit, op, ok := colOpLit(q, x); ok {
+			h := q.histOf(col)
+			if h == nil {
+				return defaultSel(op)
+			}
+			switch op {
+			case "=":
+				return h.SelEq(lit)
+			case "<>":
+				return 1 - h.SelEq(lit)
+			case "<":
+				return h.SelRange(nil, &lit, false, false)
+			case "<=":
+				return h.SelRange(nil, &lit, false, true)
+			case ">":
+				return h.SelRange(&lit, nil, false, false)
+			case ">=":
+				return h.SelRange(&lit, nil, true, false)
+			}
+		}
+		return defaultSel("cmp")
+	case *sqlparse.IsNull:
+		if col, ok := singleCol(q, x.E); ok {
+			if h := q.histOf(col); h != nil {
+				s := h.SelIsNull()
+				if x.Neg {
+					return 1 - s
+				}
+				return s
+			}
+		}
+		return 0.05
+	case *sqlparse.Between:
+		if col, ok := singleCol(q, x.E); ok {
+			lo, lok := litOf(x.Lo)
+			hi, hok := litOf(x.Hi)
+			if lok && hok {
+				if h := q.histOf(col); h != nil {
+					s := h.SelRange(&lo, &hi, true, true)
+					if x.Neg {
+						return 1 - s
+					}
+					return s
+				}
+			}
+		}
+		return 0.1
+	case *sqlparse.Like:
+		if col, ok := singleCol(q, x.E); ok {
+			if pat, pok := litOf(x.Pattern); pok {
+				if ss := q.strStatsOf(col); ss != nil {
+					if s, found := ss.EstimateLike(pat.S); found {
+						if x.Neg {
+							return 1 - s
+						}
+						return s
+					}
+				}
+			}
+		}
+		return 0.1
+	case *sqlparse.InList:
+		if col, ok := singleCol(q, x.E); ok {
+			if h := q.histOf(col); h != nil {
+				s := 0.0
+				for _, le := range x.List {
+					if lit, lok := litOf(le); lok {
+						s += h.SelEq(lit)
+					}
+				}
+				if s > 1 {
+					s = 1
+				}
+				if x.Neg {
+					return 1 - s
+				}
+				return s
+			}
+		}
+		return 0.2
+	}
+	return 0.25
+}
+
+type colRefID struct{ Q, C int }
+
+func singleCol(q *Query, e sqlparse.Expr) (colRefID, bool) {
+	c, ok := e.(*sqlparse.ColRef)
+	if !ok {
+		return colRefID{}, false
+	}
+	qi, ci, err := q.binder.resolve(c)
+	if err != nil {
+		return colRefID{}, false
+	}
+	return colRefID{qi, ci}, true
+}
+
+func litOf(e sqlparse.Expr) (val.Value, bool) {
+	switch x := e.(type) {
+	case *sqlparse.Lit:
+		return x.Val, true
+	case *sqlparse.UnOp:
+		if x.Op == "-" {
+			if v, ok := litOf(x.E); ok {
+				if v.Kind == val.KInt {
+					return val.NewInt(-v.I), true
+				}
+				return val.NewDouble(-v.AsFloat()), true
+			}
+		}
+	}
+	return val.Null, false
+}
+
+// colOpLit matches col <op> literal (either orientation, normalizing the
+// operator).
+func colOpLit(q *Query, b *sqlparse.BinOp) (colRefID, val.Value, string, bool) {
+	if col, ok := singleCol(q, b.L); ok {
+		if lit, lok := litOf(b.R); lok {
+			return col, lit, b.Op, true
+		}
+	}
+	if col, ok := singleCol(q, b.R); ok {
+		if lit, lok := litOf(b.L); lok {
+			return col, lit, flipOp(b.Op), true
+		}
+	}
+	return colRefID{}, val.Null, "", false
+}
+
+func flipOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op
+}
+
+func defaultSel(op string) float64 {
+	if op == "=" {
+		return 0.05
+	}
+	return 0.3
+}
+
+func (q *Query) histOf(c colRefID) *stats.Histogram {
+	qt := q.Quants[c.Q]
+	if qt.Table == nil || c.C >= len(qt.Table.Hists) {
+		return nil
+	}
+	return qt.Table.Hists[c.C]
+}
+
+func (q *Query) strStatsOf(c colRefID) *stats.StringStats {
+	qt := q.Quants[c.Q]
+	if qt.Table == nil || c.C >= len(qt.Table.StrStats) {
+		return nil
+	}
+	return qt.Table.StrStats[c.C]
+}
+
+// LocalCardinality estimates quantifier qi's cardinality after its local
+// predicates (memoized).
+func (q *Query) LocalCardinality(qi int) float64 {
+	if q.cardCache == nil {
+		q.cardCache = map[int]float64{}
+	}
+	if c, ok := q.cardCache[qi]; ok {
+		return c
+	}
+	card := q.Quants[qi].Cardinality()
+	for _, cj := range q.LocalConjunctsOf(qi, true) {
+		card *= q.Selectivity(cj)
+	}
+	if card < 1 {
+		card = 1
+	}
+	q.cardCache[qi] = card
+	return card
+}
+
+// JoinSelectivityBetween estimates the combined selectivity of every
+// equijoin conjunct connecting placed set `placed` with quantifier qi,
+// using join histograms computed on the fly (§3.2). Returns 1 when no join
+// predicate applies (Cartesian product).
+func (q *Query) JoinSelectivityBetween(placed map[int]bool, qi int) float64 {
+	sel := 1.0
+	connected := false
+	for _, cj := range q.Conj {
+		if cj.Class != EquiJoinPred {
+			continue
+		}
+		var other int
+		switch {
+		case cj.LQ == qi && placed[cj.RQ]:
+			other = cj.RQ
+		case cj.RQ == qi && placed[cj.LQ]:
+			other = cj.LQ
+		default:
+			continue
+		}
+		connected = true
+		if q.selCache == nil {
+			q.selCache = map[*Conjunct]float64{}
+		}
+		s, ok := q.selCache[cj]
+		if !ok {
+			h1, h2 := q.histOf(colRefID{cj.LQ, cj.LC}), q.histOf(colRefID{cj.RQ, cj.RC})
+			if h1 != nil && h2 != nil {
+				s = stats.JoinSelectivity(h1, h2)
+				if s <= 0 {
+					s = 1e-9
+				}
+			} else {
+				// Fall back to 1/max(card) containment.
+				c1, c2 := q.Quants[qi].Cardinality(), q.Quants[other].Cardinality()
+				mx := c1
+				if c2 > mx {
+					mx = c2
+				}
+				if mx < 1 {
+					mx = 1
+				}
+				s = 1 / mx
+			}
+			q.selCache[cj] = s
+		}
+		sel *= s
+	}
+	if !connected {
+		return 1
+	}
+	return sel
+}

@@ -1,0 +1,1469 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"anywheredb/internal/exec"
+	"anywheredb/internal/sqlparse"
+	"anywheredb/internal/stats"
+	"anywheredb/internal/table"
+	"anywheredb/internal/val"
+)
+
+// Plan is an executable physical plan.
+type Plan struct {
+	Root    exec.Operator
+	Columns []string
+	Cost    float64
+	Enum    *EnumResult
+	// HashJoins lists the plan's hash joins (for adaptive-behaviour
+	// inspection in tests and experiments).
+	HashJoins []*exec.HashJoin
+	// orderHandled marks that ORDER BY was applied inside the block (below
+	// or above the projection), so buildQueryBlock must not re-apply it.
+	orderHandled bool
+}
+
+// BuildEnv carries everything plan construction needs.
+type BuildEnv struct {
+	Env *Env
+	Res Resolver
+	// Ctx is used at build time to materialize CTEs and uncorrelated
+	// subqueries.
+	Ctx    *exec.Ctx
+	Params []val.Value
+}
+
+// BuildSelect optimizes and builds a SELECT statement.
+func BuildSelect(sel *sqlparse.Select, benv *BuildEnv) (*Plan, error) {
+	benv.Env.fill()
+	ctes := map[string]*MaterializedCTE{}
+	for _, cte := range sel.With {
+		m, err := buildCTE(&cte, benv, ctes)
+		if err != nil {
+			return nil, err
+		}
+		ctes[strings.ToLower(cte.Name)] = m
+	}
+	return buildQueryBlock(sel, benv, ctes)
+}
+
+// BuildSelectWithOrder builds a SELECT using a previously chosen join
+// order (a cached plan skeleton), skipping enumeration entirely. It only
+// applies to single-block queries without CTEs or unions — exactly the
+// shape the plan cache serves; anything else falls back to a fresh
+// optimization.
+func BuildSelectWithOrder(sel *sqlparse.Select, benv *BuildEnv, order []Step) (*Plan, error) {
+	benv.Env.fill()
+	if len(sel.With) > 0 || sel.Union != nil || sel.From == nil {
+		return BuildSelect(sel, benv)
+	}
+	forced := order
+	plan, err := buildSingleForced(sel, benv, map[string]*MaterializedCTE{}, forced)
+	if err != nil {
+		return nil, err
+	}
+	if len(sel.OrderBy) > 0 {
+		b := &blockBuilder{benv: benv, sel: sel}
+		keys := make([]exec.SortKey, 0, len(sel.OrderBy))
+		for _, oi := range sel.OrderBy {
+			e, err := b.compileOutputExpr(oi.Expr, plan)
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, exec.SortKey{Expr: e, Desc: oi.Desc})
+		}
+		plan.Root = &exec.Sort{Input: plan.Root, Keys: keys}
+	}
+	if sel.Limit >= 0 {
+		plan.Root = &exec.Limit{Input: plan.Root, N: sel.Limit}
+	}
+	return plan, nil
+}
+
+// buildCTE evaluates one CTE (recursive or not) into rows.
+func buildCTE(cte *sqlparse.CTE, benv *BuildEnv, outer map[string]*MaterializedCTE) (*MaterializedCTE, error) {
+	if !cte.Recursive {
+		p, err := buildQueryBlock(cte.Query, benv, outer)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := exec.Drain(benv.Ctx, p.Root)
+		if err != nil {
+			return nil, err
+		}
+		return &MaterializedCTE{Cols: cteCols(cte, p.Columns, rows), Rows: rows}, nil
+	}
+	// Recursive: base UNION ALL recursive-part.
+	if cte.Query.Union == nil || !cte.Query.UnionAll {
+		return nil, fmt.Errorf("opt: recursive CTE %q must be base UNION ALL recursive", cte.Name)
+	}
+	base := *cte.Query
+	base.Union = nil
+	recursive := cte.Query.Union
+
+	basePlan, err := buildQueryBlock(&base, benv, outer)
+	if err != nil {
+		return nil, err
+	}
+	baseRows, err := exec.Drain(benv.Ctx, basePlan.Root)
+	if err != nil {
+		return nil, err
+	}
+	cols := cteCols(cte, basePlan.Columns, baseRows)
+
+	ru := &exec.RecursiveUnion{
+		Base: &exec.Materialized{RowsData: baseRows},
+		Recursive: func(prev *exec.Materialized) exec.Operator {
+			inner := map[string]*MaterializedCTE{}
+			for k, v := range outer {
+				inner[k] = v
+			}
+			inner[strings.ToLower(cte.Name)] = &MaterializedCTE{Cols: cols, Rows: prev.RowsData}
+			p, err := buildQueryBlock(recursive, benv, inner)
+			if err != nil {
+				return &errOp{err}
+			}
+			return p.Root
+		},
+	}
+	rows, err := exec.Drain(benv.Ctx, ru)
+	if err != nil {
+		return nil, err
+	}
+	return &MaterializedCTE{Cols: cols, Rows: rows}, nil
+}
+
+func cteCols(cte *sqlparse.CTE, names []string, rows [][]val.Value) []table.Column {
+	width := len(names)
+	if len(rows) > 0 {
+		width = len(rows[0])
+	}
+	cols := make([]table.Column, width)
+	for i := range cols {
+		name := fmt.Sprintf("c%d", i)
+		if i < len(cte.Cols) {
+			name = cte.Cols[i]
+		} else if i < len(names) && names[i] != "" {
+			name = names[i]
+		}
+		kind := val.KInt
+		if len(rows) > 0 && i < len(rows[0]) {
+			kind = rows[0][i].Kind
+		}
+		cols[i] = table.Column{Name: name, Kind: kind}
+	}
+	return cols
+}
+
+// errOp propagates a build error through the operator interface.
+type errOp struct{ err error }
+
+func (e *errOp) Open(*exec.Ctx) error             { return e.err }
+func (e *errOp) Next(*exec.Ctx) (exec.Row, error) { return nil, e.err }
+func (e *errOp) Close(*exec.Ctx) error            { return nil }
+
+// buildQueryBlock handles one SELECT block plus its UNION chain.
+func buildQueryBlock(sel *sqlparse.Select, benv *BuildEnv, ctes map[string]*MaterializedCTE) (*Plan, error) {
+	plan, err := buildSingle(sel, benv, ctes)
+	if err != nil {
+		return nil, err
+	}
+	if sel.Union != nil {
+		rest := *sel.Union
+		restPlan, err := buildQueryBlock(&rest, benv, ctes)
+		if err != nil {
+			return nil, err
+		}
+		var root exec.Operator = &exec.UnionAll{Inputs: []exec.Operator{plan.Root, restPlan.Root}}
+		if !sel.UnionAll {
+			root = &exec.HashDistinct{Input: root}
+		}
+		plan.Root = root
+		plan.HashJoins = append(plan.HashJoins, restPlan.HashJoins...)
+	}
+	// ORDER BY / LIMIT attach to the whole chain (parser hangs them on the
+	// first block). Single blocks sort inside buildSingle, where input
+	// columns not in the projection are still addressable.
+	if len(sel.OrderBy) > 0 && !plan.orderHandled {
+		b := &blockBuilder{benv: benv, sel: sel}
+		keys := make([]exec.SortKey, 0, len(sel.OrderBy))
+		for _, oi := range sel.OrderBy {
+			e, err := b.compileOutputExpr(oi.Expr, plan)
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, exec.SortKey{Expr: e, Desc: oi.Desc})
+		}
+		plan.Root = &exec.Sort{Input: plan.Root, Keys: keys}
+	}
+	if sel.Limit >= 0 {
+		plan.Root = &exec.Limit{Input: plan.Root, N: sel.Limit}
+	}
+	return plan, nil
+}
+
+// blockBuilder builds one SELECT block.
+type blockBuilder struct {
+	benv *BuildEnv
+	sel  *sqlparse.Select
+	q    *Query
+	// layout is the quantifier order of the current pipeline; offsets maps
+	// quantifier index -> starting row ordinal.
+	layout  []int
+	offsets map[int]int
+	widths  map[int]int
+	// groupCols maps canonical group-by expression strings to output
+	// ordinals after aggregation; aggCols maps canonical aggregate calls.
+	groupCols  map[string]int
+	aggCols    map[string]int
+	aggregated bool
+	aggWidth   int
+}
+
+func buildSingle(sel *sqlparse.Select, benv *BuildEnv, ctes map[string]*MaterializedCTE) (*Plan, error) {
+	b := &blockBuilder{benv: benv, sel: sel}
+
+	// SELECT without FROM: a single Values row.
+	if sel.From == nil {
+		exprs := make([]exec.Expr, 0, len(sel.Items))
+		names := make([]string, 0, len(sel.Items))
+		for i, item := range sel.Items {
+			if item.Star {
+				return nil, fmt.Errorf("opt: SELECT * requires FROM")
+			}
+			e, err := b.compileScalar(item.Expr, nil)
+			if err != nil {
+				return nil, err
+			}
+			exprs = append(exprs, e)
+			names = append(names, itemName(item, i))
+		}
+		var root exec.Operator = &exec.Values{Rows: [][]exec.Expr{exprs}}
+		if sel.Where != nil {
+			p, err := b.compilePred(sel.Where, nil)
+			if err != nil {
+				return nil, err
+			}
+			root = &exec.Filter{Input: root, Pred: p}
+		}
+		return &Plan{Root: root, Columns: names}, nil
+	}
+
+	q, err := Bind(sel, benv.Res, ctes)
+	if err != nil {
+		return nil, err
+	}
+	b.q = q
+
+	res, err := Enumerate(q, benv.Env)
+	if err != nil {
+		return nil, err
+	}
+	return b.finishPlan(res, res.Order)
+}
+
+// buildSingleForced is buildSingle with a pre-chosen join order (cached
+// plan skeleton); enumeration is skipped.
+func buildSingleForced(sel *sqlparse.Select, benv *BuildEnv, ctes map[string]*MaterializedCTE, order []Step) (*Plan, error) {
+	b := &blockBuilder{benv: benv, sel: sel}
+	q, err := Bind(sel, benv.Res, ctes)
+	if err != nil {
+		return nil, err
+	}
+	b.q = q
+	if len(order) != len(q.Quants) {
+		return nil, fmt.Errorf("opt: cached order covers %d of %d quantifiers", len(order), len(q.Quants))
+	}
+	return b.finishPlan(nil, order)
+}
+
+// finishPlan builds the physical plan above the chosen join order.
+func (b *blockBuilder) finishPlan(res *EnumResult, order []Step) (*Plan, error) {
+	sel := b.sel
+	q := b.q
+	plan := &Plan{Enum: res}
+	if res != nil {
+		plan.Cost = res.Cost
+	}
+	root, err := b.buildPipeline(order, plan)
+	if err != nil {
+		return nil, err
+	}
+
+	// Aggregation.
+	root, err = b.buildAggregation(root)
+	if err != nil {
+		return nil, err
+	}
+
+	// HAVING.
+	if sel.Having != nil {
+		p, err := b.compileOutputPred(sel.Having)
+		if err != nil {
+			return nil, err
+		}
+		root = &exec.Filter{Input: root, Pred: p}
+	}
+
+	// Projection.
+	var exprs []exec.Expr
+	var names []string
+	for i, item := range sel.Items {
+		if item.Star {
+			for _, qi := range b.layout {
+				qt := q.Quants[qi]
+				for ci, col := range qt.Columns() {
+					exprs = append(exprs, exec.Col{Idx: b.offsets[qi] + ci})
+					names = append(names, col.Name)
+				}
+			}
+			continue
+		}
+		e, err := b.compileOutputExprInternal(item.Expr)
+		if err != nil {
+			return nil, err
+		}
+		exprs = append(exprs, e)
+		names = append(names, itemName(item, i))
+	}
+	// ORDER BY for a single block: keys may reference projection aliases,
+	// output positions, or any input column (sorted below the projection).
+	if len(sel.OrderBy) > 0 && sel.Union == nil {
+		keys := make([]exec.SortKey, 0, len(sel.OrderBy))
+		ok := true
+		for _, oi := range sel.OrderBy {
+			e, err := b.sortKeyExpr(oi.Expr, sel.Items, names)
+			if err != nil {
+				ok = false
+				break
+			}
+			keys = append(keys, exec.SortKey{Expr: e, Desc: oi.Desc})
+		}
+		if ok {
+			root = &exec.Sort{Input: root, Keys: keys}
+			plan.orderHandled = true
+		}
+		// On failure, fall through: buildQueryBlock tries output-column
+		// resolution and reports the error.
+	}
+
+	root = &exec.Project{Input: root, Exprs: exprs}
+
+	if sel.Distinct {
+		root = &exec.HashDistinct{Input: root}
+	}
+
+	plan.Root = root
+	plan.Columns = names
+	return plan, nil
+}
+
+// sortKeyExpr compiles an ORDER BY key against the pre-projection row:
+// aliases resolve to their select expressions, integer literals to output
+// positions, everything else against the pipeline (or aggregated) layout.
+func (b *blockBuilder) sortKeyExpr(e sqlparse.Expr, items []sqlparse.SelectItem, names []string) (exec.Expr, error) {
+	if lit, ok := e.(*sqlparse.Lit); ok && lit.Val.Kind == val.KInt {
+		idx := int(lit.Val.I) - 1
+		if idx < 0 || idx >= len(items) || items[idx].Star {
+			return nil, fmt.Errorf("opt: ORDER BY position %d out of range", lit.Val.I)
+		}
+		return b.compileOutputExprInternal(items[idx].Expr)
+	}
+	if c, ok := e.(*sqlparse.ColRef); ok && c.Table == "" {
+		for i, name := range names {
+			if strings.EqualFold(name, c.Col) && !items[i].Star && items[i].Expr != nil {
+				return b.compileOutputExprInternal(items[i].Expr)
+			}
+		}
+	}
+	return b.compileOutputExprInternal(e)
+}
+
+func itemName(item sqlparse.SelectItem, i int) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	if c, ok := item.Expr.(*sqlparse.ColRef); ok {
+		return c.Col
+	}
+	return fmt.Sprintf("expr%d", i+1)
+}
+
+// buildPipeline assembles the left-deep join tree for the chosen order.
+func (b *blockBuilder) buildPipeline(order []Step, plan *Plan) (exec.Operator, error) {
+	q := b.q
+	b.offsets = map[int]int{}
+	b.widths = map[int]int{}
+	var root exec.Operator
+	applied := map[*Conjunct]bool{}
+
+	for stepIdx, st := range order {
+		qt := q.Quants[st.Quant]
+		width := len(qt.Columns())
+
+		if stepIdx == 0 {
+			acc, err := b.accessOp(st, true)
+			if err != nil {
+				return nil, err
+			}
+			root = acc
+			b.layout = []int{st.Quant}
+			b.offsets[st.Quant] = 0
+			b.widths[st.Quant] = width
+		} else {
+			joined, err := b.joinStep(root, st, plan, stepIdx, applied)
+			if err != nil {
+				return nil, err
+			}
+			root = joined
+			b.offsets[st.Quant] = b.width()
+			b.widths[st.Quant] = width
+			b.layout = append(b.layout, st.Quant)
+		}
+
+		// Apply multi-quantifier conjuncts as soon as every referenced
+		// quantifier is placed (outer-join ON residuals are handled at the
+		// join itself).
+		for _, cj := range q.Conj {
+			if applied[cj] || cj.Class == LocalPred || cj.FromOn {
+				continue
+			}
+			ready := true
+			for qi := range cj.Quants {
+				if !b.placed(qi) {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			p, err := b.compilePred(cj.Expr, nil)
+			if err != nil {
+				return nil, err
+			}
+			root = &exec.Filter{Input: root, Pred: p}
+			applied[cj] = true
+		}
+
+		// WHERE predicates on null-supplied quantifiers apply after their
+		// join.
+		if qt.NullSupplied {
+			for _, cj := range q.Conj {
+				if applied[cj] || cj.Class != LocalPred || cj.FromOn || !cj.Quants[st.Quant] {
+					continue
+				}
+				p, err := b.compilePred(cj.Expr, nil)
+				if err != nil {
+					return nil, err
+				}
+				root = &exec.Filter{Input: root, Pred: p}
+				applied[cj] = true
+			}
+		}
+	}
+	return root, nil
+}
+
+func (b *blockBuilder) placed(qi int) bool {
+	for _, x := range b.layout {
+		if x == qi {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *blockBuilder) width() int {
+	w := 0
+	for _, qi := range b.layout {
+		w += b.widths[qi]
+	}
+	return w
+}
+
+// accessOp builds the access operator for one quantifier including its
+// local predicates (with feedback observers wired to the self-managing
+// histograms).
+func (b *blockBuilder) accessOp(st Step, isFirst bool) (exec.Operator, error) {
+	q := b.q
+	qt := q.Quants[st.Quant]
+	localLayout := []int{st.Quant}
+	localOffsets := map[int]int{st.Quant: 0}
+
+	var op exec.Operator
+	usedIndexEq := false
+	var usedIndexConj *Conjunct
+	if qt.Table == nil {
+		op = &exec.Materialized{RowsData: qt.Rows}
+	} else if st.Index != nil && st.Method == MethodScan {
+		// Sargable equality on the index prefix.
+		for _, cj := range q.LocalConjunctsOf(st.Quant, true) {
+			col, lit, opName, ok := colOpLitConj(q, cj)
+			if !ok || opName != "=" || col.C != st.Index.Cols[0] {
+				continue
+			}
+			key := val.EncodeKey([]val.Value{lit})
+			op = &exec.IndexScan{Table: qt.Table, Index: st.Index, Lo: key, Hi: key, HiInc: true}
+			usedIndexEq = true
+			usedIndexConj = cj
+			break
+		}
+		if op == nil {
+			op = &exec.TableScan{Table: qt.Table}
+		}
+	} else {
+		op = &exec.TableScan{Table: qt.Table}
+	}
+
+	// Residual local predicates.
+	for _, cj := range q.LocalConjunctsOf(st.Quant, true) {
+		if usedIndexEq && cj == usedIndexConj {
+			continue
+		}
+		p, err := b.compilePredWithLayout(cj.Expr, localLayout, localOffsets)
+		if err != nil {
+			return nil, err
+		}
+		op = &exec.Filter{Input: op, Pred: p, Obs: b.observerFor(cj)}
+	}
+	return op, nil
+}
+
+// observerFor wires execution feedback into the histogram of the predicate
+// column (§3.2: evaluation of almost any predicate over a base column can
+// update its histogram).
+func (b *blockBuilder) observerFor(cj *Conjunct) exec.Observer {
+	q := b.q
+	switch x := cj.Expr.(type) {
+	case *sqlparse.BinOp:
+		col, lit, op, ok := colOpLit(q, x)
+		if !ok {
+			return nil
+		}
+		h := q.histOf(col)
+		if h == nil {
+			return nil
+		}
+		litv := lit
+		switch op {
+		case "=":
+			return func(m, n float64) { h.ObserveEq(litv, m, n) }
+		case "<":
+			return func(m, n float64) { h.ObserveRange(nil, &litv, false, false, m, n) }
+		case "<=":
+			return func(m, n float64) { h.ObserveRange(nil, &litv, false, true, m, n) }
+		case ">":
+			return func(m, n float64) { h.ObserveRange(&litv, nil, false, false, m, n) }
+		case ">=":
+			return func(m, n float64) { h.ObserveRange(&litv, nil, true, false, m, n) }
+		}
+	case *sqlparse.Between:
+		col, ok := singleCol(q, x.E)
+		if !ok || x.Neg {
+			return nil
+		}
+		lo, lok := litOf(x.Lo)
+		hi, hok := litOf(x.Hi)
+		if !lok || !hok {
+			return nil
+		}
+		h := q.histOf(col)
+		if h == nil {
+			return nil
+		}
+		return func(m, n float64) { h.ObserveRange(&lo, &hi, true, true, m, n) }
+	case *sqlparse.Like:
+		col, ok := singleCol(q, x.E)
+		if !ok || x.Neg {
+			return nil
+		}
+		pat, pok := litOf(x.Pattern)
+		if !pok {
+			return nil
+		}
+		ss := q.strStatsOf(col)
+		if ss == nil {
+			return nil
+		}
+		return func(m, n float64) {
+			if n > 0 {
+				ss.Observe(stats.OpLike, pat.S, m/n)
+			}
+		}
+	}
+	return nil
+}
+
+// joinStep builds the join placing st.Quant onto the accumulated tree.
+// Conjuncts it consumes (join keys, NLJ predicates) are recorded in
+// applied so the caller does not re-filter them.
+func (b *blockBuilder) joinStep(acc exec.Operator, st Step, plan *Plan, depthIdx int, applied map[*Conjunct]bool) (exec.Operator, error) {
+	q := b.q
+	qt := q.Quants[st.Quant]
+	width := len(qt.Columns())
+
+	// Gather join keys between the placed prefix and this quantifier.
+	var accKeys, qKeys []exec.Expr
+	var eqConjs []*Conjunct
+	for _, cj := range q.Conj {
+		if cj.Class != EquiJoinPred {
+			continue
+		}
+		var accSide, qSide colRefID
+		if cj.LQ == st.Quant && b.placed(cj.RQ) {
+			qSide, accSide = colRefID{cj.LQ, cj.LC}, colRefID{cj.RQ, cj.RC}
+		} else if cj.RQ == st.Quant && b.placed(cj.LQ) {
+			qSide, accSide = colRefID{cj.RQ, cj.RC}, colRefID{cj.LQ, cj.LC}
+		} else {
+			continue
+		}
+		accKeys = append(accKeys, exec.Col{Idx: b.offsets[accSide.Q] + accSide.C})
+		qKeys = append(qKeys, exec.Col{Idx: qSide.C})
+		eqConjs = append(eqConjs, cj)
+	}
+
+	leftOuter := qt.NullSupplied
+
+	switch st.Method {
+	case MethodHash:
+		if len(accKeys) == 0 {
+			return nil, fmt.Errorf("opt: hash join without keys")
+		}
+		right, err := b.accessOp(Step{Quant: st.Quant, Method: MethodScan}, false)
+		if err != nil {
+			return nil, err
+		}
+		hj := &exec.HashJoin{
+			Left:       acc,
+			Right:      right,
+			LeftKeys:   accKeys,
+			RightKeys:  qKeys,
+			LeftOuter:  leftOuter,
+			RightWidth: width,
+			Depth:      depthIdx,
+		}
+		for _, cj := range eqConjs {
+			applied[cj] = true
+		}
+		// Alternate index strategy annotation: an index on this table
+		// covering the first join key lets the operator switch to INL when
+		// the build turns out small (§4.3).
+		if qt.Table != nil {
+			if ix := b.indexOnCols(qt.Table, qKeys); ix != nil {
+				hj.Alt = &exec.IndexAlt{Table: qt.Table, Index: ix, Pred: b.altResidual(st.Quant)}
+				hj.INLMaxBuildRows = b.inlThreshold(qt.Table, ix)
+			}
+		}
+		plan.HashJoins = append(plan.HashJoins, hj)
+		return hj, nil
+
+	case MethodINL:
+		if st.Index == nil {
+			return nil, fmt.Errorf("opt: INL join without index")
+		}
+		// Keys must align with the index's leading columns; conjuncts the
+		// index cannot consume stay as residual filters at the join.
+		ordered, used := b.orderKeysForIndex(st.Index, eqConjs)
+		if ordered == nil {
+			return nil, fmt.Errorf("opt: INL keys do not match index")
+		}
+		pred := b.altResidual(st.Quant)
+		for i, cj := range eqConjs {
+			if used[i] {
+				applied[cj] = true
+				continue
+			}
+			layout := append(append([]int(nil), b.layout...), st.Quant)
+			offsets := map[int]int{}
+			for k, v := range b.offsets {
+				offsets[k] = v
+			}
+			offsets[st.Quant] = b.width()
+			p, err := b.compilePredWithLayout(cj.Expr, layout, offsets)
+			if err != nil {
+				return nil, err
+			}
+			if pred == nil {
+				pred = p
+			} else {
+				pred = exec.And{L: pred, R: p}
+			}
+			applied[cj] = true
+		}
+		return &exec.IndexNLJoin{
+			Left:       acc,
+			LeftKeys:   ordered,
+			Table:      qt.Table,
+			Index:      st.Index,
+			Pred:       pred,
+			LeftOuter:  leftOuter,
+			RightWidth: width,
+		}, nil
+
+	default: // MethodNLJ
+		right, err := b.accessOp(Step{Quant: st.Quant, Method: MethodScan}, false)
+		if err != nil {
+			return nil, err
+		}
+		// The predicate combines every conjunct joining this quantifier to
+		// the prefix (equijoin and complex), bound over acc ⊕ q. For an
+		// outer join only ON-clause conjuncts belong here; WHERE conjuncts
+		// filter after null padding.
+		var pred exec.Pred
+		for _, cj := range q.Conj {
+			if cj.Class == LocalPred || !cj.Quants[st.Quant] {
+				continue
+			}
+			if leftOuter && !cj.FromOn {
+				continue
+			}
+			ready := true
+			for qi := range cj.Quants {
+				if qi != st.Quant && !b.placed(qi) {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			applied[cj] = true
+			layout := append(append([]int(nil), b.layout...), st.Quant)
+			offsets := map[int]int{}
+			for k, v := range b.offsets {
+				offsets[k] = v
+			}
+			offsets[st.Quant] = b.width()
+			p, err := b.compilePredWithLayout(cj.Expr, layout, offsets)
+			if err != nil {
+				return nil, err
+			}
+			if pred == nil {
+				pred = p
+			} else {
+				pred = exec.And{L: pred, R: p}
+			}
+		}
+		return &exec.NestedLoopJoin{
+			Left: acc, Right: right,
+			Pred:      pred,
+			LeftOuter: leftOuter, RightWidth: width,
+		}, nil
+	}
+}
+
+// altResidual compiles the ON residual predicate for INL-style probes: the
+// local ON predicates of the null-supplied quantifier bound at the probe
+// row offset (acc ⊕ q).
+func (b *blockBuilder) altResidual(qi int) exec.Pred {
+	q := b.q
+	var pred exec.Pred
+	layout := append(append([]int(nil), b.layout...), qi)
+	offsets := map[int]int{}
+	for k, v := range b.offsets {
+		offsets[k] = v
+	}
+	offsets[qi] = b.width()
+	for _, cj := range q.LocalConjunctsOf(qi, true) {
+		p, err := b.compilePredWithLayout(cj.Expr, layout, offsets)
+		if err != nil {
+			continue
+		}
+		if pred == nil {
+			pred = p
+		} else {
+			pred = exec.And{L: pred, R: p}
+		}
+	}
+	return pred
+}
+
+// indexOnCols finds an index whose first column matches the first probe
+// key (which must be a bare column of the table).
+func (b *blockBuilder) indexOnCols(t *table.Table, qKeys []exec.Expr) *table.Index {
+	if len(qKeys) != 1 {
+		return nil
+	}
+	c, ok := qKeys[0].(exec.Col)
+	if !ok {
+		return nil
+	}
+	for _, ix := range t.Indexes {
+		if len(ix.Cols) == 1 && ix.Cols[0] == c.Idx {
+			return ix
+		}
+	}
+	return nil
+}
+
+// orderKeysForIndex orders probe-key expressions (over the accumulated
+// layout) to match the index's column order. used marks which conjuncts
+// were consumed as key columns.
+func (b *blockBuilder) orderKeysForIndex(ix *table.Index, eqConjs []*Conjunct) ([]exec.Expr, []bool) {
+	var out []exec.Expr
+	used := make([]bool, len(eqConjs))
+	for _, ixCol := range ix.Cols {
+		found := false
+		for i, cj := range eqConjs {
+			if used[i] {
+				continue
+			}
+			var qc, accQ, accC int
+			if b.placed(cj.LQ) {
+				accQ, accC, qc = cj.LQ, cj.LC, cj.RC
+			} else {
+				accQ, accC, qc = cj.RQ, cj.RC, cj.LC
+			}
+			if qc == ixCol {
+				out = append(out, exec.Col{Idx: b.offsets[accQ] + accC})
+				used[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			break
+		}
+	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return out, used
+}
+
+// inlThreshold computes the build-row count below which index nested loops
+// beats completing the hash join: hashRemainder = scan of the probe table;
+// INL = rows × one probe.
+func (b *blockBuilder) inlThreshold(t *table.Table, ix *table.Index) int64 {
+	env := b.benv.Env
+	hashRemainder := env.seqScanCost(t, false)
+	probeOne := env.indexProbeCost(t, ix, 1)
+	if probeOne <= 0 {
+		return 0
+	}
+	th := int64(hashRemainder / probeOne)
+	if th < 0 {
+		th = 0
+	}
+	return th
+}
+
+// --- Aggregation ----------------------------------------------------------
+
+// buildAggregation inserts a HashGroupBy when the block aggregates.
+func (b *blockBuilder) buildAggregation(root exec.Operator) (exec.Operator, error) {
+	sel := b.sel
+	hasAgg := false
+	for _, item := range sel.Items {
+		if item.Star {
+			continue
+		}
+		if containsAggregate(item.Expr) {
+			hasAgg = true
+		}
+	}
+	if sel.Having != nil && containsAggregate(sel.Having) {
+		hasAgg = true
+	}
+	if len(sel.GroupBy) == 0 && !hasAgg {
+		return root, nil
+	}
+	b.aggregated = true
+	b.groupCols = map[string]int{}
+	b.aggCols = map[string]int{}
+
+	var keys []exec.Expr
+	for i, ge := range sel.GroupBy {
+		e, err := b.compileScalarPipeline(ge)
+		if err != nil {
+			return nil, err
+		}
+		keys = append(keys, e)
+		b.groupCols[exprKey(ge)] = i
+	}
+
+	var aggs []exec.AggSpec
+	addAgg := func(fc *sqlparse.FuncCall) error {
+		k := exprKey(fc)
+		if _, ok := b.aggCols[k]; ok {
+			return nil
+		}
+		spec, err := b.aggSpec(fc)
+		if err != nil {
+			return err
+		}
+		b.aggCols[k] = len(keys) + len(aggs)
+		aggs = append(aggs, spec)
+		return nil
+	}
+	var collect func(e sqlparse.Expr) error
+	collect = func(e sqlparse.Expr) error {
+		return walkAggregates(e, addAgg)
+	}
+	for _, item := range sel.Items {
+		if item.Star {
+			continue
+		}
+		if err := collect(item.Expr); err != nil {
+			return nil, err
+		}
+	}
+	if sel.Having != nil {
+		if err := collect(sel.Having); err != nil {
+			return nil, err
+		}
+	}
+	for _, oi := range sel.OrderBy {
+		if err := collect(oi.Expr); err != nil {
+			return nil, err
+		}
+	}
+
+	// Memory annotation from the predicted soft limit (§4.3): the
+	// optimizer annotates memory-intensive operators with a page quota.
+	maxGroups := 0
+	if soft := b.benv.Env.SoftLimitPages(); soft > 0 {
+		maxGroups = soft * 64 // ≈ groups per page × quota pages
+	}
+	g := &exec.HashGroupBy{Input: root, Keys: keys, Aggs: aggs, MaxGroupsInMemory: maxGroups}
+	b.aggWidth = len(keys) + len(aggs)
+	return g, nil
+}
+
+func (b *blockBuilder) aggSpec(fc *sqlparse.FuncCall) (exec.AggSpec, error) {
+	var fn exec.AggFn
+	switch fc.Name {
+	case "COUNT":
+		if fc.Star {
+			return exec.AggSpec{Fn: exec.AggCountStar}, nil
+		}
+		fn = exec.AggCount
+	case "SUM":
+		fn = exec.AggSum
+	case "MIN":
+		fn = exec.AggMin
+	case "MAX":
+		fn = exec.AggMax
+	case "AVG":
+		fn = exec.AggAvg
+	default:
+		return exec.AggSpec{}, fmt.Errorf("opt: unknown aggregate %q", fc.Name)
+	}
+	if len(fc.Args) != 1 {
+		return exec.AggSpec{}, fmt.Errorf("opt: %s takes one argument", fc.Name)
+	}
+	arg, err := b.compileScalarPipeline(fc.Args[0])
+	if err != nil {
+		return exec.AggSpec{}, err
+	}
+	return exec.AggSpec{Fn: fn, Arg: arg, Distinct: fc.Distinct}, nil
+}
+
+func containsAggregate(e sqlparse.Expr) bool {
+	found := false
+	walkAggregates(e, func(*sqlparse.FuncCall) error { found = true; return nil })
+	return found
+}
+
+var aggNames = map[string]bool{"COUNT": true, "SUM": true, "MIN": true, "MAX": true, "AVG": true}
+
+func walkAggregates(e sqlparse.Expr, fn func(*sqlparse.FuncCall) error) error {
+	switch x := e.(type) {
+	case *sqlparse.FuncCall:
+		if aggNames[x.Name] {
+			return fn(x)
+		}
+		for _, a := range x.Args {
+			if err := walkAggregates(a, fn); err != nil {
+				return err
+			}
+		}
+	case *sqlparse.BinOp:
+		if err := walkAggregates(x.L, fn); err != nil {
+			return err
+		}
+		return walkAggregates(x.R, fn)
+	case *sqlparse.UnOp:
+		return walkAggregates(x.E, fn)
+	case *sqlparse.IsNull:
+		return walkAggregates(x.E, fn)
+	case *sqlparse.Between:
+		if err := walkAggregates(x.E, fn); err != nil {
+			return err
+		}
+		if err := walkAggregates(x.Lo, fn); err != nil {
+			return err
+		}
+		return walkAggregates(x.Hi, fn)
+	}
+	return nil
+}
+
+// exprKey renders an expression canonically for matching group-by items
+// and aggregates.
+func exprKey(e sqlparse.Expr) string {
+	switch x := e.(type) {
+	case *sqlparse.ColRef:
+		return strings.ToLower(x.Table) + "." + strings.ToLower(x.Col)
+	case *sqlparse.Lit:
+		return "lit:" + x.Val.String()
+	case *sqlparse.Param:
+		return fmt.Sprintf("param:%d", x.Idx)
+	case *sqlparse.BinOp:
+		return "(" + exprKey(x.L) + x.Op + exprKey(x.R) + ")"
+	case *sqlparse.UnOp:
+		return x.Op + exprKey(x.E)
+	case *sqlparse.FuncCall:
+		parts := make([]string, 0, len(x.Args))
+		for _, a := range x.Args {
+			parts = append(parts, exprKey(a))
+		}
+		star := ""
+		if x.Star {
+			star = "*"
+		}
+		d := ""
+		if x.Distinct {
+			d = "distinct "
+		}
+		return x.Name + "(" + d + star + strings.Join(parts, ",") + ")"
+	case *sqlparse.IsNull:
+		return exprKey(x.E) + " isnull"
+	case *sqlparse.Between:
+		return exprKey(x.E) + " between " + exprKey(x.Lo) + " and " + exprKey(x.Hi)
+	case *sqlparse.Like:
+		return exprKey(x.E) + " like " + exprKey(x.Pattern)
+	}
+	return fmt.Sprintf("%T", e)
+}
+
+// --- Expression compilation ----------------------------------------------
+
+// compileScalarPipeline compiles against the current pipeline layout.
+func (b *blockBuilder) compileScalarPipeline(e sqlparse.Expr) (exec.Expr, error) {
+	return b.compileScalarWithLayout(e, b.layout, b.offsets)
+}
+
+// compileOutputExprInternal compiles select items: after aggregation they
+// reference group keys and aggregate results; otherwise the pipeline.
+func (b *blockBuilder) compileOutputExprInternal(e sqlparse.Expr) (exec.Expr, error) {
+	if !b.aggregated {
+		return b.compileScalarPipeline(e)
+	}
+	return b.compileAggOutput(e)
+}
+
+// compileOutputExpr compiles ORDER BY expressions over a completed plan's
+// output columns (by alias or ordinal).
+func (b *blockBuilder) compileOutputExpr(e sqlparse.Expr, plan *Plan) (exec.Expr, error) {
+	// ORDER BY <int literal> = output ordinal; ORDER BY alias = column.
+	if lit, ok := e.(*sqlparse.Lit); ok && lit.Val.Kind == val.KInt {
+		idx := int(lit.Val.I) - 1
+		if idx < 0 || idx >= len(plan.Columns) {
+			return nil, fmt.Errorf("opt: ORDER BY position %d out of range", lit.Val.I)
+		}
+		return exec.Col{Idx: idx}, nil
+	}
+	if c, ok := e.(*sqlparse.ColRef); ok && c.Table == "" {
+		for i, name := range plan.Columns {
+			if strings.EqualFold(name, c.Col) {
+				return exec.Col{Idx: i}, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("opt: ORDER BY must reference an output column or position")
+}
+
+// compileAggOutput compiles an expression over the aggregated layout.
+func (b *blockBuilder) compileAggOutput(e sqlparse.Expr) (exec.Expr, error) {
+	if idx, ok := b.groupCols[exprKey(e)]; ok {
+		return exec.Col{Idx: idx}, nil
+	}
+	if idx, ok := b.aggCols[exprKey(e)]; ok {
+		return exec.Col{Idx: idx}, nil
+	}
+	switch x := e.(type) {
+	case *sqlparse.Lit:
+		return exec.Const{V: x.Val}, nil
+	case *sqlparse.Param:
+		return b.paramExpr(x)
+	case *sqlparse.BinOp:
+		l, err := b.compileAggOutput(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.compileAggOutput(x.R)
+		if err != nil {
+			return nil, err
+		}
+		if isCmp(x.Op) {
+			return exec.PredExpr{P: exec.Cmp{Op: x.Op, L: l, R: r}}, nil
+		}
+		return exec.Arith{Op: x.Op[0], L: l, R: r}, nil
+	case *sqlparse.UnOp:
+		inner, err := b.compileAggOutput(x.E)
+		if err != nil {
+			return nil, err
+		}
+		return exec.Neg{E: inner}, nil
+	case *sqlparse.ColRef:
+		return nil, fmt.Errorf("opt: column %q must appear in GROUP BY or an aggregate", x.Col)
+	}
+	return nil, fmt.Errorf("opt: unsupported aggregated expression %T", e)
+}
+
+// compileOutputPred compiles HAVING over the aggregated layout.
+func (b *blockBuilder) compileOutputPred(e sqlparse.Expr) (exec.Pred, error) {
+	switch x := e.(type) {
+	case *sqlparse.BinOp:
+		switch x.Op {
+		case "AND":
+			l, err := b.compileOutputPred(x.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := b.compileOutputPred(x.R)
+			if err != nil {
+				return nil, err
+			}
+			return exec.And{L: l, R: r}, nil
+		case "OR":
+			l, err := b.compileOutputPred(x.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := b.compileOutputPred(x.R)
+			if err != nil {
+				return nil, err
+			}
+			return exec.Or{L: l, R: r}, nil
+		}
+		l, err := b.compileAggOutput(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.compileAggOutput(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return exec.Cmp{Op: x.Op, L: l, R: r}, nil
+	case *sqlparse.UnOp:
+		if x.Op == "NOT" {
+			p, err := b.compileOutputPred(x.E)
+			if err != nil {
+				return nil, err
+			}
+			return exec.Not{P: p}, nil
+		}
+	}
+	return nil, fmt.Errorf("opt: unsupported HAVING predicate %T", e)
+}
+
+func isCmp(op string) bool {
+	switch op {
+	case "=", "<>", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+func (b *blockBuilder) paramExpr(p *sqlparse.Param) (exec.Expr, error) {
+	idx := p.Idx - 1
+	if idx < 0 || idx >= len(b.benv.Params) {
+		return nil, fmt.Errorf("opt: parameter %d not supplied", p.Idx)
+	}
+	return exec.Const{V: b.benv.Params[idx]}, nil
+}
+
+// compilePred compiles a predicate over the current pipeline layout.
+func (b *blockBuilder) compilePred(e sqlparse.Expr, _ []int) (exec.Pred, error) {
+	return b.compilePredWithLayout(e, b.layout, b.offsets)
+}
+
+func (b *blockBuilder) compilePredWithLayout(e sqlparse.Expr, layout []int, offsets map[int]int) (exec.Pred, error) {
+	switch x := e.(type) {
+	case *sqlparse.BinOp:
+		switch x.Op {
+		case "AND", "OR":
+			l, err := b.compilePredWithLayout(x.L, layout, offsets)
+			if err != nil {
+				return nil, err
+			}
+			r, err := b.compilePredWithLayout(x.R, layout, offsets)
+			if err != nil {
+				return nil, err
+			}
+			if x.Op == "AND" {
+				return exec.And{L: l, R: r}, nil
+			}
+			return exec.Or{L: l, R: r}, nil
+		}
+		if isCmp(x.Op) {
+			l, err := b.compileScalarWithLayout(x.L, layout, offsets)
+			if err != nil {
+				return nil, err
+			}
+			r, err := b.compileScalarWithLayout(x.R, layout, offsets)
+			if err != nil {
+				return nil, err
+			}
+			return exec.Cmp{Op: x.Op, L: l, R: r}, nil
+		}
+		return nil, fmt.Errorf("opt: %q is not a predicate", x.Op)
+	case *sqlparse.UnOp:
+		if x.Op == "NOT" {
+			p, err := b.compilePredWithLayout(x.E, layout, offsets)
+			if err != nil {
+				return nil, err
+			}
+			return exec.Not{P: p}, nil
+		}
+		return nil, fmt.Errorf("opt: %q is not a predicate", x.Op)
+	case *sqlparse.IsNull:
+		inner, err := b.compileScalarWithLayout(x.E, layout, offsets)
+		if err != nil {
+			return nil, err
+		}
+		return exec.IsNullPred{E: inner, Neg: x.Neg}, nil
+	case *sqlparse.Between:
+		inner, err := b.compileScalarWithLayout(x.E, layout, offsets)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := b.compileScalarWithLayout(x.Lo, layout, offsets)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := b.compileScalarWithLayout(x.Hi, layout, offsets)
+		if err != nil {
+			return nil, err
+		}
+		return exec.BetweenPred{E: inner, Lo: lo, Hi: hi, Neg: x.Neg}, nil
+	case *sqlparse.Like:
+		inner, err := b.compileScalarWithLayout(x.E, layout, offsets)
+		if err != nil {
+			return nil, err
+		}
+		pat, err := b.compileScalarWithLayout(x.Pattern, layout, offsets)
+		if err != nil {
+			return nil, err
+		}
+		return exec.LikePred{E: inner, Pattern: pat, Neg: x.Neg}, nil
+	case *sqlparse.InList:
+		inner, err := b.compileScalarWithLayout(x.E, layout, offsets)
+		if err != nil {
+			return nil, err
+		}
+		var list []exec.Expr
+		for _, le := range x.List {
+			ce, err := b.compileScalarWithLayout(le, layout, offsets)
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, ce)
+		}
+		return exec.InListPred{E: inner, List: list, Neg: x.Neg}, nil
+	case *sqlparse.InSelect:
+		return b.compileInSelect(x, layout, offsets)
+	case *sqlparse.Exists:
+		return b.compileExists(x)
+	}
+	return nil, fmt.Errorf("opt: unsupported predicate %T", e)
+}
+
+// compileInSelect materializes an uncorrelated IN-subquery into a hash set
+// — effectively converting the subquery into a (semi) hash join, the
+// cost-based rewriting of §4.1 in its simplest form.
+func (b *blockBuilder) compileInSelect(x *sqlparse.InSelect, layout []int, offsets map[int]int) (exec.Pred, error) {
+	inner, err := b.compileScalarWithLayout(x.E, layout, offsets)
+	if err != nil {
+		return nil, err
+	}
+	sub, err := BuildSelect(x.Sub, b.benv)
+	if err != nil {
+		return nil, fmt.Errorf("opt: IN subquery: %w (correlated subqueries are not supported)", err)
+	}
+	rows, err := exec.Drain(b.benv.Ctx, sub.Root)
+	if err != nil {
+		return nil, err
+	}
+	set := make(map[uint64][]val.Value, len(rows))
+	sawNull := false
+	for _, r := range rows {
+		if len(r) != 1 {
+			return nil, fmt.Errorf("opt: IN subquery must return one column")
+		}
+		if r[0].IsNull() {
+			sawNull = true
+			continue
+		}
+		set[val.Hash64(r[0])] = append(set[val.Hash64(r[0])], r[0])
+	}
+	return &setMembershipPred{expr: inner, set: set, sawNull: sawNull, neg: x.Neg}, nil
+}
+
+// setMembershipPred is the materialized semi-join predicate.
+type setMembershipPred struct {
+	expr    exec.Expr
+	set     map[uint64][]val.Value
+	sawNull bool
+	neg     bool
+}
+
+func (p *setMembershipPred) Test(r exec.Row) (exec.Bool3, error) {
+	v, err := p.expr.Eval(r)
+	if err != nil {
+		return exec.Unknown, err
+	}
+	if v.IsNull() {
+		return exec.Unknown, nil
+	}
+	found := false
+	for _, cand := range p.set[val.Hash64(v)] {
+		if val.Compare(cand, v) == 0 {
+			found = true
+			break
+		}
+	}
+	if found {
+		if p.neg {
+			return exec.False, nil
+		}
+		return exec.True, nil
+	}
+	if p.sawNull {
+		return exec.Unknown, nil
+	}
+	if p.neg {
+		return exec.True, nil
+	}
+	return exec.False, nil
+}
+
+// compileExists materializes an uncorrelated EXISTS.
+func (b *blockBuilder) compileExists(x *sqlparse.Exists) (exec.Pred, error) {
+	limited := *x.Sub
+	limited.Limit = 1
+	sub, err := BuildSelect(&limited, b.benv)
+	if err != nil {
+		return nil, fmt.Errorf("opt: EXISTS subquery: %w (correlated subqueries are not supported)", err)
+	}
+	rows, err := exec.Drain(b.benv.Ctx, sub.Root)
+	if err != nil {
+		return nil, err
+	}
+	exists := len(rows) > 0
+	return constPred{truth: exists != x.Neg}, nil
+}
+
+type constPred struct{ truth bool }
+
+func (p constPred) Test(exec.Row) (exec.Bool3, error) {
+	if p.truth {
+		return exec.True, nil
+	}
+	return exec.False, nil
+}
+
+func (b *blockBuilder) compileScalar(e sqlparse.Expr, _ []int) (exec.Expr, error) {
+	return b.compileScalarWithLayout(e, nil, nil)
+}
+
+func (b *blockBuilder) compileScalarWithLayout(e sqlparse.Expr, layout []int, offsets map[int]int) (exec.Expr, error) {
+	switch x := e.(type) {
+	case *sqlparse.Lit:
+		return exec.Const{V: x.Val}, nil
+	case *sqlparse.Param:
+		return b.paramExpr(x)
+	case *sqlparse.ColRef:
+		if b.q == nil {
+			return nil, fmt.Errorf("opt: column %q without FROM", x.Col)
+		}
+		qi, ci, err := b.q.binder.resolve(x)
+		if err != nil {
+			return nil, err
+		}
+		off, ok := offsets[qi]
+		if !ok {
+			return nil, fmt.Errorf("opt: column %s.%s not available at this point in the plan", x.Table, x.Col)
+		}
+		return exec.Col{Idx: off + ci}, nil
+	case *sqlparse.BinOp:
+		if isCmp(x.Op) || x.Op == "AND" || x.Op == "OR" {
+			p, err := b.compilePredWithLayout(x, layout, offsets)
+			if err != nil {
+				return nil, err
+			}
+			return exec.PredExpr{P: p}, nil
+		}
+		l, err := b.compileScalarWithLayout(x.L, layout, offsets)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.compileScalarWithLayout(x.R, layout, offsets)
+		if err != nil {
+			return nil, err
+		}
+		return exec.Arith{Op: x.Op[0], L: l, R: r}, nil
+	case *sqlparse.UnOp:
+		if x.Op == "-" {
+			inner, err := b.compileScalarWithLayout(x.E, layout, offsets)
+			if err != nil {
+				return nil, err
+			}
+			return exec.Neg{E: inner}, nil
+		}
+		p, err := b.compilePredWithLayout(x, layout, offsets)
+		if err != nil {
+			return nil, err
+		}
+		return exec.PredExpr{P: p}, nil
+	case *sqlparse.FuncCall:
+		if aggNames[x.Name] {
+			return nil, fmt.Errorf("opt: aggregate %s in a non-aggregated context", x.Name)
+		}
+		return nil, fmt.Errorf("opt: unknown function %q", x.Name)
+	}
+	// Predicates used as scalars.
+	p, err := b.compilePredWithLayout(e, layout, offsets)
+	if err != nil {
+		return nil, err
+	}
+	return exec.PredExpr{P: p}, nil
+}
+
+// CostOfOrder prices a complete join order with the cost model (used by
+// the Eq. 3 rank-preservation experiment to cost forced plans).
+func CostOfOrder(q *Query, order []Step, env *Env) float64 {
+	env.fill()
+	placed := map[int]bool{}
+	cost, card := 0.0, 1.0
+	for _, st := range order {
+		c, oc := env.stepCost(q, placed, card, st)
+		cost += c
+		card = oc
+		placed[st.Quant] = true
+	}
+	return cost
+}
+
+// EstimateRowsOut exposes the enumerator's cardinality estimate for a
+// completed plan (used by experiments).
+func EstimateRowsOut(q *Query, order []Step, env *Env) float64 {
+	env.fill()
+	placed := map[int]bool{}
+	card := 1.0
+	for i, st := range order {
+		if i == 0 {
+			card = math.Max(q.LocalCardinality(st.Quant), 1)
+		} else {
+			_, card = env.stepCost(q, placed, card, st)
+		}
+		placed[st.Quant] = true
+	}
+	return card
+}

@@ -1,0 +1,177 @@
+package opt
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// PlanCache caches access plans for statements inside stored procedures,
+// user-defined functions, and triggers (§4.1). The engine re-optimizes
+// every statement at each invocation — except that a statement's plan is
+// cached, per connection on an LRU basis, once successive optimizations
+// during a training period produce identical plans. To keep cached plans
+// fresh, the statement is periodically re-verified at intervals taken from
+// a decaying logarithmic scale (the 2ᵏ-th uses); a verification mismatch
+// evicts the plan and restarts training.
+type PlanCache struct {
+	mu       sync.Mutex
+	capacity int
+	training int
+	entries  map[string]*cacheEntry
+	order    *list.List // LRU: front = most recent
+
+	hits, misses, verifications, invalidations uint64
+}
+
+type cacheEntry struct {
+	key        string
+	sig        string
+	steps      []Step
+	trainCount int
+	cached     bool
+	uses       uint64
+	nextVerify uint64
+	elem       *list.Element
+}
+
+// NewPlanCache builds a cache holding up to capacity plans; training is
+// the number of identical consecutive optimizations required before a
+// plan is cached (default 3 when ≤ 0).
+func NewPlanCache(capacity, training int) *PlanCache {
+	if capacity <= 0 {
+		capacity = 32
+	}
+	if training <= 0 {
+		training = 3
+	}
+	return &PlanCache{
+		capacity: capacity,
+		training: training,
+		entries:  map[string]*cacheEntry{},
+		order:    list.New(),
+	}
+}
+
+// Signature renders a plan skeleton for identity comparison.
+func Signature(steps []Step) string {
+	s := ""
+	for _, st := range steps {
+		ixName := "-"
+		if st.Index != nil {
+			ixName = st.Index.Name
+		}
+		s += fmt.Sprintf("[q%d %s %s]", st.Quant, st.Method, ixName)
+	}
+	return s
+}
+
+// Lookup checks for a cached plan. When hit is true, steps is the cached
+// skeleton; verify additionally asks the caller to re-optimize this time
+// and call Verify with the fresh result.
+func (c *PlanCache) Lookup(sql string) (steps []Step, hit, verify bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[sql]
+	if !ok || !e.cached {
+		c.misses++
+		return nil, false, false
+	}
+	c.order.MoveToFront(e.elem)
+	e.uses++
+	c.hits++
+	if e.uses >= e.nextVerify {
+		c.verifications++
+		return e.steps, true, true
+	}
+	return e.steps, true, false
+}
+
+// Offer records the result of an optimization. During training, identical
+// consecutive plans move the statement toward cached status; any change
+// restarts the count.
+func (c *PlanCache) Offer(sql string, steps []Step) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sig := Signature(steps)
+	e, ok := c.entries[sql]
+	if !ok {
+		c.evictIfFullLocked()
+		e = &cacheEntry{key: sql, sig: sig, steps: append([]Step(nil), steps...), trainCount: 1}
+		e.elem = c.order.PushFront(e)
+		c.entries[sql] = e
+		if e.trainCount >= c.training {
+			e.cached = true
+			e.nextVerify = 2
+		}
+		return
+	}
+	c.order.MoveToFront(e.elem)
+	if e.sig != sig {
+		e.sig = sig
+		e.steps = append([]Step(nil), steps...)
+		e.trainCount = 1
+		e.cached = false
+		return
+	}
+	e.trainCount++
+	if !e.cached && e.trainCount >= c.training {
+		e.cached = true
+		e.uses = 0
+		e.nextVerify = 2
+	}
+}
+
+// Verify reconciles a cached plan with a fresh optimization: a match
+// doubles the verification interval (decaying frequency on a logarithmic
+// scale); a mismatch invalidates the cached plan and restarts training.
+func (c *PlanCache) Verify(sql string, fresh []Step) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[sql]
+	if !ok {
+		return false
+	}
+	if Signature(fresh) == e.sig {
+		e.nextVerify = e.uses * 2
+		if e.nextVerify <= e.uses {
+			e.nextVerify = e.uses + 1
+		}
+		return true
+	}
+	c.invalidations++
+	e.sig = Signature(fresh)
+	e.steps = append([]Step(nil), fresh...)
+	e.cached = false
+	e.trainCount = 1
+	return false
+}
+
+// Invalidate removes a statement from the cache (schema change, etc.).
+func (c *PlanCache) Invalidate(sql string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[sql]; ok {
+		c.order.Remove(e.elem)
+		delete(c.entries, sql)
+	}
+}
+
+func (c *PlanCache) evictIfFullLocked() {
+	for len(c.entries) >= c.capacity {
+		back := c.order.Back()
+		if back == nil {
+			return
+		}
+		e := back.Value.(*cacheEntry)
+		c.order.Remove(back)
+		delete(c.entries, e.key)
+	}
+}
+
+// Stats reports cache activity.
+func (c *PlanCache) Stats() (hits, misses, verifications, invalidations uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.verifications, c.invalidations
+}

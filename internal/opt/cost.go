@@ -1,0 +1,211 @@
+package opt
+
+import (
+	"math"
+
+	"anywheredb/internal/dtt"
+	"anywheredb/internal/page"
+	"anywheredb/internal/table"
+)
+
+// Env supplies the optimizer's environment: the DTT model, buffer pool
+// state, the memory governor's predicted soft limit, and knobs for the
+// experiment ablations.
+type Env struct {
+	DTT      *dtt.Model
+	PageSize int
+	// PoolPages reports the current buffer pool size (pages); the
+	// optimizer takes the server state into account when choosing plans.
+	PoolPages func() int
+	// SoftLimitPages is the memory governor's predicted soft limit for the
+	// statement (Eq. 5), used to annotate memory-intensive operators.
+	SoftLimitPages func() int
+	// CPURowCostUS is the CPU proxy cost per row in virtual microseconds;
+	// it must match exec.Ctx.CPURowCost for Eq. 3 concordance.
+	CPURowCostUS float64
+
+	// Quota is the optimizer governor's initial visit quota (0 = default).
+	// The paper permits applications to set it per statement.
+	Quota int
+	// DisableGovernor removes the quota (E8 ablation).
+	DisableGovernor bool
+	// DisablePruning turns off branch-and-bound pruning (E8 ablation).
+	DisablePruning bool
+	// NoRedistribution disables the ≥20%-improvement quota redistribution
+	// (E8 ablation).
+	NoRedistribution bool
+}
+
+func (e *Env) fill() {
+	if e.PageSize == 0 {
+		e.PageSize = page.Size
+	}
+	if e.CPURowCostUS == 0 {
+		e.CPURowCostUS = 1
+	}
+	if e.Quota == 0 {
+		e.Quota = 4000
+	}
+	if e.PoolPages == nil {
+		e.PoolPages = func() int { return 256 }
+	}
+	if e.SoftLimitPages == nil {
+		e.SoftLimitPages = func() int { return 64 }
+	}
+}
+
+// DefaultQuota is exported for tests and ablations.
+const DefaultQuota = 4000
+
+// rowBytes estimates a quantifier's row width.
+func rowBytes(q *Quant) float64 {
+	b := 8.0
+	for _, c := range q.Columns() {
+		switch c.Kind {
+		case 2: // val.KDouble
+			b += 9
+		case 3: // val.KStr
+			b += 24
+		default:
+			b += 6
+		}
+	}
+	return b
+}
+
+// residentBoost implements the paper's optimistic intermediate-result
+// metric: assume half the buffer pool is available for each quantifier, so
+// an inner table re-scanned in a loop is effectively resident up to that
+// allowance. "Clearly this is nonsense with any join degree greater than
+// 1... the point is to prune grossly inefficient strategies quickly."
+func (e *Env) residentBoost(actualResident float64, tablePages float64) float64 {
+	half := float64(e.PoolPages()) / 2
+	opt := math.Min(1, half/math.Max(tablePages, 1))
+	return math.Max(actualResident, opt)
+}
+
+// seqScanCost is the I/O+CPU cost of one full sequential scan.
+func (e *Env) seqScanCost(t *table.Table, repeated bool) float64 {
+	pages := float64(t.PageCount())
+	res := t.ResidentFraction()
+	if repeated {
+		res = e.residentBoost(res, pages)
+	}
+	io := pages * (1 - res) * e.DTT.Cost(dtt.Read, e.PageSize, 1)
+	cpu := float64(t.RowCount()) * e.CPURowCostUS
+	return io + cpu
+}
+
+// indexProbeCost is the cost of one index probe returning matchRows rows.
+func (e *Env) indexProbeCost(t *table.Table, ix *table.Index, matchRows float64) float64 {
+	tablePages := math.Max(float64(t.PageCount()), 1)
+	leafPages := math.Max(float64(ix.Tree.Stats.LeafPages.Load()), 1)
+	height := math.Max(float64(ix.Tree.Stats.Height.Load()), 1)
+	res := e.residentBoost(t.ResidentFraction(), tablePages)
+
+	// Descend the tree: random reads within the index's band.
+	descend := height * e.DTT.Cost(dtt.Read, e.PageSize, int64(leafPages)) * 0.5
+	// Fetch matching rows: clustering determines how many distinct table
+	// pages are touched; unclustered fetches are random within the table.
+	clustering := ix.Tree.Stats.Clustering()
+	pagesTouched := matchRows*(1-clustering) + math.Min(matchRows, matchRows/16+1)*clustering
+	fetch := pagesTouched * (1 - res) * e.DTT.Cost(dtt.Read, e.PageSize, int64(tablePages))
+	cpu := (height + matchRows) * e.CPURowCostUS
+	return descend + fetch + cpu
+}
+
+// spillPenalty estimates extra I/O when a hash operation overflows the
+// memory governor's predicted soft limit: the overflow fraction is written
+// to and re-read from the temporary file.
+func (e *Env) spillPenalty(buildRows, bytesPerRow float64) float64 {
+	soft := float64(e.SoftLimitPages())
+	buildPages := buildRows * bytesPerRow / float64(e.PageSize)
+	if buildPages <= soft {
+		return 0
+	}
+	overflow := buildPages - soft
+	return overflow * (e.DTT.Cost(dtt.Write, e.PageSize, 64) + e.DTT.Cost(dtt.Read, e.PageSize, 64))
+}
+
+// Method enumerates join methods.
+type Method uint8
+
+const (
+	MethodScan Method = iota // first quantifier: access only
+	MethodHash
+	MethodINL
+	MethodNLJ
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodScan:
+		return "scan"
+	case MethodHash:
+		return "hash"
+	case MethodINL:
+		return "inl"
+	case MethodNLJ:
+		return "nlj"
+	}
+	return "?"
+}
+
+// Step is one placed quantifier in a left-deep strategy: the (quantifier,
+// index, join method) 3-tuple of §4.1.
+type Step struct {
+	Quant  int
+	Method Method
+	Index  *table.Index // access or probe index; nil = sequential
+	// SargLo/SargHi describe the index range for first-quantifier access.
+	SargEq bool
+}
+
+// stepCost prices placing quantifier qi by the given method after an
+// intermediate result of leftCard rows; returns (cost, resulting
+// cardinality).
+func (e *Env) stepCost(q *Query, placed map[int]bool, leftCard float64, st Step) (float64, float64) {
+	qt := q.Quants[st.Quant]
+	localCard := q.LocalCardinality(st.Quant)
+	if st.Method == MethodScan {
+		// First quantifier.
+		if qt.Table == nil {
+			return float64(len(qt.Rows)) * e.CPURowCostUS, math.Max(localCard, 1)
+		}
+		if st.Index != nil {
+			return e.indexProbeCost(qt.Table, st.Index, localCard), math.Max(localCard, 1)
+		}
+		return e.seqScanCost(qt.Table, false), math.Max(localCard, 1)
+	}
+
+	joinSel := q.JoinSelectivityBetween(placed, st.Quant)
+	outCard := math.Max(leftCard*localCard*joinSel, 1)
+	switch st.Method {
+	case MethodHash:
+		// Build on the accumulated side, probe with the new quantifier.
+		build := leftCard*e.CPURowCostUS + e.spillPenalty(leftCard, 64)
+		var probe float64
+		if qt.Table != nil {
+			probe = e.seqScanCost(qt.Table, false)
+		} else {
+			probe = float64(len(qt.Rows)) * e.CPURowCostUS
+		}
+		return build + probe + outCard*e.CPURowCostUS, outCard
+	case MethodINL:
+		if qt.Table == nil || st.Index == nil {
+			return math.Inf(1), outCard
+		}
+		matchPerProbe := math.Max(outCard/math.Max(leftCard, 1), 1.0/16)
+		return leftCard * e.indexProbeCost(qt.Table, st.Index, matchPerProbe), outCard
+	case MethodNLJ:
+		var inner float64
+		if qt.Table != nil {
+			inner = e.seqScanCost(qt.Table, true)
+		} else {
+			inner = float64(len(qt.Rows)) * e.CPURowCostUS
+		}
+		// Inner is materialized once; per-outer-row pass is CPU.
+		return inner + leftCard*localCard*e.CPURowCostUS, outCard
+	}
+	return math.Inf(1), outCard
+}

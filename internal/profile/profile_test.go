@@ -1,0 +1,184 @@
+package profile
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"anywheredb/internal/core"
+	"anywheredb/internal/val"
+)
+
+func setup(t *testing.T) (*core.DB, *core.Conn, *Tracer) {
+	t.Helper()
+	db, err := core.Open(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	c, err := db.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracer()
+	db.SetTracer(tr)
+	return db, c, tr
+}
+
+func seed(t *testing.T, c *core.Conn, n int) {
+	t.Helper()
+	if _, err := c.Exec("CREATE TABLE orders (oid INT, cust INT, amount DOUBLE)"); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO orders VALUES ")
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, %d, %d.0)", i, i%100, i)
+	}
+	if _, err := c.Exec(sb.String()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("CREATE STATISTICS orders"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracerCaptures(t *testing.T) {
+	_, c, tr := setup(t)
+	seed(t, c, 10)
+	c.Query("SELECT COUNT(*) FROM orders")
+	events := tr.Events()
+	if len(events) < 3 {
+		t.Fatalf("events %d", len(events))
+	}
+	last := events[len(events)-1]
+	if !strings.HasPrefix(last.SQL, "SELECT") || last.Rows != 1 {
+		t.Fatalf("last event %+v", last)
+	}
+	tr.Reset()
+	if len(tr.Events()) != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	a := Normalize("SELECT * FROM t WHERE id = 42 AND name = 'bob'")
+	b := Normalize("SELECT * FROM t WHERE id = 7 AND name = 'alice'")
+	if a != b {
+		t.Fatalf("%q != %q", a, b)
+	}
+	c := Normalize("SELECT * FROM t WHERE other = 3")
+	if a == c {
+		t.Fatal("different statements should not normalize equal")
+	}
+	// Escaped quotes stay inside the literal.
+	d := Normalize("SELECT 'o''brien'")
+	if strings.Contains(d, "brien") {
+		t.Fatalf("literal leaked: %q", d)
+	}
+}
+
+func TestClientSideJoinDetection(t *testing.T) {
+	_, c, tr := setup(t)
+	seed(t, c, 200)
+	// The classic anti-pattern: a loop issuing one query per id.
+	for i := 0; i < 25; i++ {
+		c.Query(fmt.Sprintf("SELECT amount FROM orders WHERE oid = %d", i))
+	}
+	// Some unrelated statements below the threshold.
+	c.Query("SELECT COUNT(*) FROM orders")
+
+	findings := Analyze(tr.Events(), nil)
+	var csj *Finding
+	for i := range findings {
+		if findings[i].Kind == "client-side-join" {
+			csj = &findings[i]
+		}
+	}
+	if csj == nil {
+		t.Fatal("client-side join not detected")
+	}
+	if csj.Count != 25 {
+		t.Fatalf("count %d", csj.Count)
+	}
+}
+
+func TestOptionFindings(t *testing.T) {
+	findings := Analyze(nil, map[string]string{
+		"blocking_timeout": "0",
+		"auto_commit":      "off",
+		"harmless":         "x",
+	})
+	if len(findings) != 2 {
+		t.Fatalf("findings %v", findings)
+	}
+}
+
+func TestIndexConsultant(t *testing.T) {
+	db, c, tr := setup(t)
+	seed(t, c, 5000)
+	// A workload probing by cust — no index exists on cust.
+	for i := 0; i < 12; i++ {
+		if _, err := c.Query(fmt.Sprintf("SELECT amount FROM orders WHERE cust = %d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := IndexConsultant(db, tr.Events(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("expected an index recommendation on orders(cust)")
+	}
+	r := recs[0]
+	if r.Table != "orders" || len(r.Columns) != 1 || r.Columns[0] != "cust" {
+		t.Fatalf("recommendation %+v", r)
+	}
+	if r.BenefitFrac < MinBenefit {
+		t.Fatalf("benefit %g", r.BenefitFrac)
+	}
+	// Virtual indexes must not persist.
+	tbl, _ := db.Table("orders")
+	for _, ix := range tbl.Indexes {
+		if strings.HasPrefix(ix.Name, "__virtual_") {
+			t.Fatal("virtual index leaked")
+		}
+	}
+}
+
+func TestIndexConsultantNoGainNoRecommendation(t *testing.T) {
+	db, c, tr := setup(t)
+	seed(t, c, 100)
+	// Full scans benefit little from an index.
+	for i := 0; i < 12; i++ {
+		c.Query("SELECT COUNT(*) FROM orders")
+	}
+	recs, err := IndexConsultant(db, tr.Events(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("unexpected recommendations %+v", recs)
+	}
+}
+
+func TestSaveTo(t *testing.T) {
+	db, c, tr := setup(t)
+	seed(t, c, 10)
+	c.Query("SELECT COUNT(*) FROM orders")
+	db.SetTracer(nil) // stop tracing before writing the trace
+	if err := tr.SaveTo(c, "trace_log"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := c.Query("SELECT COUNT(*) FROM trace_log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.All()[0][0].I < 3 {
+		t.Fatalf("trace rows %v", rows.All()[0][0])
+	}
+	_ = val.Null
+}

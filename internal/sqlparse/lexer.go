@@ -1,0 +1,191 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokKeyword
+	tokInt
+	tokFloat
+	tokString
+	tokOp    // operators and punctuation
+	tokParam // ?
+)
+
+type token struct {
+	kind tokKind
+	text string // keywords upper-cased; identifiers as written
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"DISTINCT": true, "AS": true, "AND": true, "OR": true, "NOT": true,
+	"NULL": true, "IS": true, "IN": true, "BETWEEN": true, "LIKE": true,
+	"EXISTS": true, "JOIN": true, "INNER": true, "LEFT": true, "OUTER": true,
+	"ON": true, "UNION": true, "ALL": true, "WITH": true, "RECURSIVE": true,
+	"CREATE": true, "TABLE": true, "INDEX": true, "UNIQUE": true,
+	"STATISTICS": true, "DROP": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "UPDATE": true, "SET": true, "DELETE": true,
+	"BEGIN": true, "COMMIT": true, "ROLLBACK": true, "CALIBRATE": true,
+	"DATABASE": true, "INT": true, "INTEGER": true, "BIGINT": true,
+	"DOUBLE": true, "REAL": true, "FLOAT": true, "VARCHAR": true,
+	"CHAR": true, "TEXT": true, "STRING": true, "LOAD": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(c):
+			l.lexIdent()
+		case c >= '0' && c <= '9':
+			l.lexNumber()
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case c == '?':
+			l.emit(token{kind: tokParam, text: "?", pos: l.pos})
+			l.pos++
+		default:
+			if err := l.lexOp(); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (l *lexer) emit(t token) { l.toks = append(l.toks, t) }
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// -- line comments
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		break
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	up := strings.ToUpper(text)
+	if keywords[up] {
+		l.emit(token{kind: tokKeyword, text: up, pos: start})
+	} else {
+		l.emit(token{kind: tokIdent, text: text, pos: start})
+	}
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	isFloat := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c >= '0' && c <= '9' {
+			l.pos++
+		} else if c == '.' && !isFloat {
+			isFloat = true
+			l.pos++
+		} else if (c == 'e' || c == 'E') && l.pos > start {
+			isFloat = true
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+		} else {
+			break
+		}
+	}
+	kind := tokInt
+	if isFloat {
+		kind = tokFloat
+	}
+	l.emit(token{kind: kind, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.emit(token{kind: tokString, text: sb.String(), pos: start})
+			return nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sql: unterminated string at %d", start)
+}
+
+var twoCharOps = map[string]bool{"<>": true, "<=": true, ">=": true, "!=": true}
+
+func (l *lexer) lexOp() error {
+	if l.pos+1 < len(l.src) {
+		two := l.src[l.pos : l.pos+2]
+		if twoCharOps[two] {
+			if two == "!=" {
+				two = "<>"
+			}
+			l.emit(token{kind: tokOp, text: two, pos: l.pos})
+			l.pos += 2
+			return nil
+		}
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', '*', '+', '-', '/', '%', '=', '<', '>', '.', ';':
+		l.emit(token{kind: tokOp, text: string(c), pos: l.pos})
+		l.pos++
+		return nil
+	}
+	return fmt.Errorf("sql: unexpected character %q at %d", c, l.pos)
+}

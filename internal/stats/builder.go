@@ -1,0 +1,218 @@
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"anywheredb/internal/val"
+)
+
+// Builder constructs a histogram from a stream of values, as when LOAD
+// TABLE, CREATE INDEX, or CREATE STATISTICS runs (§3.2). It is a modified
+// form of Greenwald's self-scaling approach: instead of retaining the full
+// cumulative distribution it keeps a bounded reservoir of samples plus
+// exact counts for candidate frequent values (space-saving), significantly
+// reducing the overhead of statistics collection with a marginal reduction
+// in quality.
+type Builder struct {
+	kind val.Kind
+
+	n        int64
+	nulls    int64
+	samples  []float64 // reservoir of order-preserving hashes
+	maxSamp  int
+	seen     int64
+	rngState uint64
+
+	// Space-saving frequent-value candidates.
+	counts    map[float64]int64
+	maxCounts int
+}
+
+// NewBuilder returns a histogram builder for values of the given kind.
+func NewBuilder(kind val.Kind) *Builder {
+	return &Builder{
+		kind:      kind,
+		maxSamp:   2048,
+		counts:    make(map[float64]int64),
+		maxCounts: 4 * MaxSingletons,
+		rngState:  0x9E3779B97F4A7C15,
+	}
+}
+
+func (b *Builder) rand() uint64 {
+	// xorshift64*: deterministic, cheap, good enough for reservoir sampling.
+	b.rngState ^= b.rngState >> 12
+	b.rngState ^= b.rngState << 25
+	b.rngState ^= b.rngState >> 27
+	return b.rngState * 2685821657736338717
+}
+
+// Add feeds one value.
+func (b *Builder) Add(v val.Value) {
+	b.n++
+	if v.IsNull() {
+		b.nulls++
+		return
+	}
+	x := val.OrderHash(v)
+
+	// Reservoir sample for quantiles.
+	b.seen++
+	if len(b.samples) < b.maxSamp {
+		b.samples = append(b.samples, x)
+	} else if j := b.rand() % uint64(b.seen); j < uint64(b.maxSamp) {
+		b.samples[j] = x
+	}
+
+	// Space-saving counter for frequent values.
+	if c, ok := b.counts[x]; ok {
+		b.counts[x] = c + 1
+		return
+	}
+	if len(b.counts) < b.maxCounts {
+		b.counts[x] = 1
+		return
+	}
+	// Evict the minimum and take over its count (space-saving).
+	minK, minC := 0.0, int64(math.MaxInt64)
+	for k, c := range b.counts {
+		if c < minC {
+			minK, minC = k, c
+		}
+	}
+	delete(b.counts, minK)
+	b.counts[x] = minC + 1
+}
+
+// Build produces the histogram, with targetBuckets equi-depth buckets and
+// up to MaxSingletons frequent-value buckets. If the column is
+// low-cardinality the result is the compressed all-singleton form.
+func (b *Builder) Build(targetBuckets int) *Histogram {
+	h := NewHistogram(b.kind)
+	h.nulls = float64(b.nulls)
+	nonNull := float64(b.n - b.nulls)
+	if nonNull == 0 {
+		return h
+	}
+	if targetBuckets < 4 {
+		targetBuckets = 4
+	}
+	h.maxBuckets = 4 * targetBuckets
+
+	// Promote frequent values (≥1% or top-N) to singletons. A value whose
+	// exact count was tracked and which covers every row (low-cardinality
+	// column) yields the compressed representation.
+	type freq struct {
+		hash float64
+		rows float64
+	}
+	var freqs []freq
+	var trackedRows int64
+	for k, c := range b.counts {
+		trackedRows += c
+		freqs = append(freqs, freq{k, float64(c)})
+	}
+	sort.Slice(freqs, func(i, j int) bool { return freqs[i].rows > freqs[j].rows })
+	exact := trackedRows == b.n-b.nulls && len(b.counts) < b.maxCounts
+
+	singled := map[float64]bool{}
+	for i, f := range freqs {
+		isTop := i < MaxSingletons && (exact && len(freqs) <= MaxSingletons)
+		if f.rows >= singletonFraction*nonNull || isTop {
+			if len(h.singletons) >= MaxSingletons {
+				break
+			}
+			h.singletons = append(h.singletons, Singleton{Hash: f.hash, Rows: f.rows})
+			singled[f.hash] = true
+		}
+	}
+	sort.Slice(h.singletons, func(i, j int) bool { return h.singletons[i].Hash < h.singletons[j].Hash })
+
+	var singletonRows float64
+	for _, s := range h.singletons {
+		singletonRows += s.Rows
+	}
+	tailRows := nonNull - singletonRows
+	if tailRows <= 0 || (exact && len(freqs) <= MaxSingletons) {
+		// Compressed representation: singletons only.
+		h.distinct = 0
+		return h
+	}
+
+	// Equi-depth boundaries from the sampled CDF, excluding singleton
+	// sample points so buckets describe the tail.
+	tail := b.samples[:0:0]
+	for _, x := range b.samples {
+		if !singled[x] {
+			tail = append(tail, x)
+		}
+	}
+	if len(tail) == 0 {
+		tail = append(tail, b.samples...)
+	}
+	sort.Float64s(tail)
+
+	nb := targetBuckets
+	if nb > len(tail) {
+		nb = len(tail)
+	}
+	per := tailRows / float64(nb)
+	distinctTail := map[float64]bool{}
+	for _, x := range tail {
+		distinctTail[x] = true
+	}
+	h.distinct = float64(len(distinctTail))
+	if exact {
+		h.distinct = float64(len(freqs) - len(h.singletons))
+	} else if b.seen > int64(len(b.samples)) {
+		// Scale the sampled distinct count toward the population, but no
+		// further than the domain permits: a discrete domain of width w
+		// spanning [min,max] holds at most (max-min)/w + 1 values.
+		h.distinct *= float64(b.seen) / float64(len(b.samples))
+		if h.width > 0 && len(tail) > 0 {
+			span := tail[len(tail)-1] - tail[0]
+			if maxDistinct := span/h.width + 1; h.distinct > maxDistinct {
+				h.distinct = maxDistinct
+			}
+		}
+	}
+
+	for i := 0; i < nb; i++ {
+		loIdx := i * len(tail) / nb
+		hiIdx := (i + 1) * len(tail) / nb
+		lo := tail[loIdx]
+		var hi float64
+		if hiIdx >= len(tail) {
+			hi = math.Nextafter(tail[len(tail)-1]+h.width, math.Inf(1))
+		} else {
+			hi = tail[hiIdx]
+		}
+		if hi <= lo {
+			hi = math.Nextafter(lo+h.width, math.Inf(1))
+		}
+		h.buckets = append(h.buckets, Bucket{Lo: lo, Hi: hi, Rows: per})
+	}
+	// Coalesce zero-width artifacts.
+	out := h.buckets[:1]
+	for _, bk := range h.buckets[1:] {
+		last := &out[len(out)-1]
+		if bk.Lo < last.Hi {
+			last.Hi = math.Max(last.Hi, bk.Hi)
+			last.Rows += bk.Rows
+		} else {
+			out = append(out, bk)
+		}
+	}
+	h.buckets = out
+	return h
+}
+
+// BuildFromValues is a convenience constructing a histogram from a slice.
+func BuildFromValues(kind val.Kind, vals []val.Value, targetBuckets int) *Histogram {
+	b := NewBuilder(kind)
+	for _, v := range vals {
+		b.Add(v)
+	}
+	return b.Build(targetBuckets)
+}

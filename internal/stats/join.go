@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// JoinCard estimates the cardinality of an equijoin between two columns
+// from their histograms. Join histograms are computed on the fly during
+// optimization (§3.2): boundaries of both histograms are merged and each
+// aligned segment contributes r1·r2/max(d1,d2) under the containment
+// assumption; matching singleton buckets join exactly.
+func JoinCard(a, b *Histogram) float64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+
+	var card float64
+
+	// Singleton × singleton: exact frequent-value matches.
+	bi := 0
+	for _, sa := range a.singletons {
+		for bi < len(b.singletons) && b.singletons[bi].Hash < sa.Hash {
+			bi++
+		}
+		if bi < len(b.singletons) && b.singletons[bi].Hash == sa.Hash {
+			card += sa.Rows * b.singletons[bi].Rows
+		}
+	}
+
+	// Singleton × tail: a frequent value on one side joins the other
+	// side's tail at its density.
+	db := b.densityLocked()
+	totB := b.totalLocked() - b.nulls
+	for _, sa := range a.singletons {
+		if _, dup := b.findSingleton(sa.Hash); dup {
+			continue
+		}
+		if insideAny(b.buckets, sa.Hash) {
+			card += sa.Rows * db * totB
+		}
+	}
+	da := a.densityLocked()
+	totA := a.totalLocked() - a.nulls
+	for _, sb := range b.singletons {
+		if _, dup := a.findSingleton(sb.Hash); dup {
+			continue
+		}
+		if insideAny(a.buckets, sb.Hash) {
+			card += sb.Rows * da * totA
+		}
+	}
+
+	// Tail × tail: merged-boundary segments with containment.
+	bounds := map[float64]bool{}
+	for _, bk := range a.buckets {
+		bounds[bk.Lo] = true
+		bounds[bk.Hi] = true
+	}
+	for _, bk := range b.buckets {
+		bounds[bk.Lo] = true
+		bounds[bk.Hi] = true
+	}
+	xs := make([]float64, 0, len(bounds))
+	for x := range bounds {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	distA := math.Max(a.distinct, 1)
+	distB := math.Max(b.distinct, 1)
+	var tailA, tailB float64
+	for _, bk := range a.buckets {
+		tailA += bk.Rows
+	}
+	for _, bk := range b.buckets {
+		tailB += bk.Rows
+	}
+	for i := 0; i+1 < len(xs); i++ {
+		lo, hi := xs[i], xs[i+1]
+		var ra, rb float64
+		for _, bk := range a.buckets {
+			ra += overlapRows(bk, lo, hi)
+		}
+		for _, bk := range b.buckets {
+			rb += overlapRows(bk, lo, hi)
+		}
+		if ra == 0 || rb == 0 {
+			continue
+		}
+		// Distinct values in the segment, proportional to its row share.
+		dA := distA * ra / math.Max(tailA, 1e-9)
+		dB := distB * rb / math.Max(tailB, 1e-9)
+		card += ra * rb / math.Max(math.Max(dA, dB), 1)
+	}
+	return card
+}
+
+func insideAny(buckets []Bucket, x float64) bool {
+	for _, b := range buckets {
+		if x >= b.Lo && x < b.Hi {
+			return true
+		}
+	}
+	return false
+}
+
+// JoinSelectivity converts JoinCard into a selectivity relative to the
+// Cartesian product.
+func JoinSelectivity(a, b *Histogram) float64 {
+	ta, tb := a.Total()-aNulls(a), b.Total()-aNulls(b)
+	if ta <= 0 || tb <= 0 {
+		return 0
+	}
+	s := JoinCard(a, b) / (ta * tb)
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+func aNulls(h *Histogram) float64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.nulls
+}

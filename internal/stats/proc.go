@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"sync"
+
+	"anywheredb/internal/val"
+)
+
+// ProcStats summarizes previous invocations of a stored procedure used in a
+// FROM clause (§3.2): a moving average of total CPU time and result
+// cardinality, persisted for the optimization of subsequent queries, plus
+// separately-managed statistics for specific parameter values whose
+// behaviour differs sufficiently from the average.
+type ProcStats struct {
+	mu sync.RWMutex
+
+	n        float64
+	avgCPU   float64 // microseconds, exponentially-weighted moving average
+	avgCard  float64
+	specials map[uint64]*procSpecial
+}
+
+type procSpecial struct {
+	n       float64
+	avgCPU  float64
+	avgCard float64
+}
+
+// movingAlpha is the EWMA weight of a new observation.
+const movingAlpha = 0.25
+
+// specialDeviation is how far (multiplicatively) a parameter value's
+// cardinality must deviate from the moving average before it earns its own
+// statistics record.
+const specialDeviation = 4.0
+
+// maxSpecials bounds the per-parameter records retained.
+const maxSpecials = 32
+
+// NewProcStats returns empty procedure statistics.
+func NewProcStats() *ProcStats {
+	return &ProcStats{specials: make(map[uint64]*procSpecial)}
+}
+
+// Observe records one invocation: its parameter values, CPU time, and
+// result cardinality.
+func (p *ProcStats) Observe(params []val.Value, cpuMicros, card float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key := val.HashRow(params)
+	if sp, ok := p.specials[key]; ok {
+		// Managed separately: does not pollute the global moving average.
+		sp.n++
+		sp.avgCPU += movingAlpha * (cpuMicros - sp.avgCPU)
+		sp.avgCard += movingAlpha * (card - sp.avgCard)
+		return
+	}
+	// A parameter set that deviates sufficiently from the moving average
+	// earns its own record and is managed separately from then on.
+	if p.n >= 1 && (deviates(card, p.avgCard) || deviates(cpuMicros, p.avgCPU)) {
+		if len(p.specials) < maxSpecials {
+			p.specials[key] = &procSpecial{n: 1, avgCPU: cpuMicros, avgCard: card}
+			return
+		}
+	}
+	p.n++
+	if p.n == 1 {
+		p.avgCPU, p.avgCard = cpuMicros, card
+	} else {
+		p.avgCPU += movingAlpha * (cpuMicros - p.avgCPU)
+		p.avgCard += movingAlpha * (card - p.avgCard)
+	}
+}
+
+func deviates(x, avg float64) bool {
+	if avg <= 0 {
+		return x > 0
+	}
+	r := x / avg
+	return r >= specialDeviation || r <= 1/specialDeviation
+}
+
+// Estimate predicts (cpuMicros, cardinality) for an invocation with the
+// given parameters, preferring a parameter-specific record.
+func (p *ProcStats) Estimate(params []val.Value) (cpu, card float64, known bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if sp, ok := p.specials[val.HashRow(params)]; ok {
+		return sp.avgCPU, sp.avgCard, true
+	}
+	if p.n == 0 {
+		return 0, 0, false
+	}
+	return p.avgCPU, p.avgCard, true
+}
+
+// Specials reports how many parameter-specific records exist.
+func (p *ProcStats) Specials() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.specials)
+}
+
+// QError is the standard estimation-quality metric: max(est/true,
+// true/est), with both floored at 1 row. Used by the E9 experiment.
+func QError(est, truth float64) float64 {
+	est = math.Max(est, 1)
+	truth = math.Max(truth, 1)
+	return math.Max(est/truth, truth/est)
+}

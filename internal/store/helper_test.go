@@ -1,0 +1,14 @@
+package store
+
+import "os"
+
+// clobber overwrites the first bytes of a file to corrupt its header.
+func clobber(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.WriteAt([]byte("NOTADATABASE"), 0)
+	return err
+}

@@ -1,0 +1,191 @@
+package store
+
+import (
+	"path/filepath"
+	"testing"
+
+	"anywheredb/internal/page"
+)
+
+func memStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestPageIDPacking(t *testing.T) {
+	id := MakePageID(TempFile, 12345)
+	if id.File() != TempFile || id.Index() != 12345 {
+		t.Fatalf("round trip: file=%d idx=%d", id.File(), id.Index())
+	}
+	if id.String() != "15:12345" {
+		t.Fatalf("String = %q", id.String())
+	}
+}
+
+func TestAllocSequential(t *testing.T) {
+	s := memStore(t)
+	a, err := s.Alloc(MainFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := s.Alloc(MainFile)
+	if a.Index() != 1 || b.Index() != 2 {
+		t.Fatalf("alloc indexes %d,%d, want 1,2 (0 is the header)", a.Index(), b.Index())
+	}
+	if s.PageCount(MainFile) != 3 {
+		t.Fatalf("page count %d, want 3", s.PageCount(MainFile))
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	s := memStore(t)
+	id, _ := s.Alloc(MainFile)
+	out := make(page.Buf, page.Size)
+	out.Init(page.TypeTable)
+	out.Insert([]byte("persisted row"))
+	if err := s.Write(id, out); err != nil {
+		t.Fatal(err)
+	}
+	in := make(page.Buf, page.Size)
+	if err := s.Read(id, in); err != nil {
+		t.Fatal(err)
+	}
+	if string(in.Cell(0)) != "persisted row" {
+		t.Fatalf("read back %q", in.Cell(0))
+	}
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	s := memStore(t)
+	a, _ := s.Alloc(MainFile)
+	b, _ := s.Alloc(MainFile)
+	if err := s.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	// LIFO reuse through the free chain.
+	c, _ := s.Alloc(MainFile)
+	d, _ := s.Alloc(MainFile)
+	if c != b || d != a {
+		t.Fatalf("reuse order got %v,%v want %v,%v", c, d, b, a)
+	}
+	// Chain exhausted: next alloc extends the file.
+	e, _ := s.Alloc(MainFile)
+	if e.Index() != 3 {
+		t.Fatalf("post-chain alloc %v, want index 3", e)
+	}
+}
+
+func TestDBSpaces(t *testing.T) {
+	s := memStore(t)
+	if err := s.AddDBSpace(3); err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.Alloc(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.File() != 3 {
+		t.Fatalf("alloc in dbspace: %v", id)
+	}
+	if err := s.AddDBSpace(MainFile); err == nil {
+		t.Fatal("AddDBSpace(main) should fail")
+	}
+	if err := s.AddDBSpace(TempFile); err == nil {
+		t.Fatal("AddDBSpace(temp) should fail")
+	}
+	if err := s.AddDBSpace(13); err == nil {
+		t.Fatal("AddDBSpace(13) should fail (max 12)")
+	}
+}
+
+func TestAllocUnopenedFile(t *testing.T) {
+	s := memStore(t)
+	if _, err := s.Alloc(5); err == nil {
+		t.Fatal("alloc in unopened dbspace should fail")
+	}
+}
+
+func TestTotalBytesIncludesTemp(t *testing.T) {
+	s := memStore(t)
+	before := s.TotalBytes()
+	if _, err := s.Alloc(TempFile); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TotalBytes(); got != before+page.Size {
+		t.Fatalf("TotalBytes %d, want %d", got, before+page.Size)
+	}
+}
+
+func TestResetTemp(t *testing.T) {
+	s := memStore(t)
+	for i := 0; i < 5; i++ {
+		s.Alloc(TempFile)
+	}
+	s.ResetTemp()
+	if s.PageCount(TempFile) != 1 {
+		t.Fatalf("temp pages after reset = %d, want 1", s.PageCount(TempFile))
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := s.Alloc(MainFile)
+	out := make(page.Buf, page.Size)
+	out.Init(page.TypeTable)
+	out.Insert([]byte("durable"))
+	if err := s.Write(id, out); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.PageCount(MainFile) != 2 {
+		t.Fatalf("page count after reopen = %d, want 2", s2.PageCount(MainFile))
+	}
+	in := make(page.Buf, page.Size)
+	if err := s2.Read(id, in); err != nil {
+		t.Fatal(err)
+	}
+	if string(in.Cell(0)) != "durable" {
+		t.Fatalf("read back %q", in.Cell(0))
+	}
+	// The database is an ordinary OS file.
+	if _, err := filepath.Glob(filepath.Join(dir, "main.db")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptHeaderRejected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Clobber the magic.
+	path := filepath.Join(dir, "main.db")
+	if err := clobber(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir}); err == nil {
+		t.Fatal("corrupt header should be rejected")
+	}
+}

@@ -1,0 +1,624 @@
+// Package table implements heap tables: chains of slotted pages in the
+// buffer pool, with transactional insert/update/delete, index maintenance,
+// and automatic statistics upkeep — every DML statement updates the
+// histograms of the modified columns (§3.2).
+package table
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"anywheredb/internal/btree"
+	"anywheredb/internal/buffer"
+	"anywheredb/internal/lock"
+	"anywheredb/internal/page"
+	"anywheredb/internal/stats"
+	"anywheredb/internal/store"
+	"anywheredb/internal/txn"
+	"anywheredb/internal/val"
+	"anywheredb/internal/wal"
+)
+
+// ErrRowTooLarge is returned for rows exceeding one page's capacity.
+var ErrRowTooLarge = errors.New("table: row exceeds page capacity")
+
+// ErrNotFound is returned when a RID does not address a live row.
+var ErrNotFound = errors.New("table: row not found")
+
+// ErrUnique is returned when an insert violates a unique index.
+var ErrUnique = errors.New("table: unique index violation")
+
+// Column describes one column.
+type Column struct {
+	Name string
+	Kind val.Kind
+}
+
+// RID addresses a row: its page and slot.
+type RID struct {
+	Page store.PageID
+	Slot int
+}
+
+// Bytes encodes the RID for storage as an index value.
+func (r RID) Bytes() []byte {
+	var b [12]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(r.Page))
+	binary.LittleEndian.PutUint32(b[8:], uint32(r.Slot))
+	return b[:]
+}
+
+// RIDFromBytes decodes an index value back into a RID.
+func RIDFromBytes(b []byte) RID {
+	return RID{
+		Page: store.PageID(binary.LittleEndian.Uint64(b)),
+		Slot: int(binary.LittleEndian.Uint32(b[8:])),
+	}
+}
+
+func (r RID) String() string { return fmt.Sprintf("%v.%d", r.Page, r.Slot) }
+
+// Index is a secondary index over a table.
+type Index struct {
+	ID     uint64
+	Name   string
+	Cols   []int // column ordinals, in key order
+	Unique bool
+	Tree   *btree.Tree
+}
+
+// Key builds the index key for a row.
+func (ix *Index) Key(row []val.Value) []byte {
+	kv := make([]val.Value, len(ix.Cols))
+	for i, c := range ix.Cols {
+		kv[i] = row[c]
+	}
+	return val.EncodeKey(kv)
+}
+
+// Table is a heap table.
+type Table struct {
+	ID      uint64
+	Name    string
+	Columns []Column
+
+	pool *buffer.Pool
+	st   *store.Store
+	file store.FileID
+
+	mu    sync.Mutex
+	first store.PageID
+	last  store.PageID
+
+	rows  atomic.Int64
+	pages atomic.Int64
+
+	// Hists holds one self-managing histogram per column.
+	Hists []*stats.Histogram
+	// StrStats holds long-string statistics for string columns (nil for
+	// other kinds).
+	StrStats []*stats.StringStats
+
+	Indexes []*Index
+}
+
+// Create makes an empty table with one (empty) page.
+func Create(pool *buffer.Pool, st *store.Store, file store.FileID, id uint64, name string, cols []Column) (*Table, error) {
+	t := &Table{ID: id, Name: name, Columns: cols, pool: pool, st: st, file: file}
+	f, err := pool.NewPage(file, page.TypeTable)
+	if err != nil {
+		return nil, err
+	}
+	f.Data.SetOwner(id)
+	t.first, t.last = f.ID, f.ID
+	pool.Unpin(f, true)
+	t.pages.Store(1)
+	t.initStats()
+	return t, nil
+}
+
+// Attach opens an existing table chain and recounts rows.
+func Attach(pool *buffer.Pool, st *store.Store, id uint64, name string, cols []Column, first store.PageID) (*Table, error) {
+	t := &Table{ID: id, Name: name, Columns: cols, pool: pool, st: st, file: first.File(), first: first, last: first}
+	t.initStats()
+	// Walk the chain to find the tail and count rows/pages.
+	var rows, pages int64
+	cur := first
+	for cur != 0 {
+		f, err := pool.Get(cur)
+		if err != nil {
+			return nil, err
+		}
+		f.RLock()
+		rows += int64(f.Data.LiveCells())
+		next := f.Data.Next()
+		f.RUnlock()
+		pool.Unpin(f, false)
+		pages++
+		t.last = cur
+		cur = store.PageID(next)
+	}
+	t.rows.Store(rows)
+	t.pages.Store(pages)
+	return t, nil
+}
+
+func (t *Table) initStats() {
+	t.Hists = make([]*stats.Histogram, len(t.Columns))
+	t.StrStats = make([]*stats.StringStats, len(t.Columns))
+	for i, c := range t.Columns {
+		t.Hists[i] = stats.NewHistogram(c.Kind)
+		if c.Kind == val.KStr {
+			t.StrStats[i] = stats.NewStringStats()
+		}
+	}
+}
+
+// ColumnIndex returns the ordinal of a named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	for i, c := range t.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// RowCount reports the live row count.
+func (t *Table) RowCount() int64 { return t.rows.Load() }
+
+// PageCount reports the chain length in pages.
+func (t *Table) PageCount() int64 { return t.pages.Load() }
+
+// FirstPage reports the head of the page chain (persisted in the catalog).
+func (t *Table) FirstPage() store.PageID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.first
+}
+
+// ResidentFraction reports the fraction of the table's pages currently in
+// the buffer pool — maintained in real time and used by the cost model
+// when costing access methods (§3.2).
+func (t *Table) ResidentFraction() float64 {
+	p := t.pages.Load()
+	if p == 0 {
+		return 0
+	}
+	res := t.pool.ResidentPages(t.ID)
+	fr := float64(res) / float64(p)
+	if fr > 1 {
+		fr = 1
+	}
+	return fr
+}
+
+// Insert adds a row, maintaining indexes and histograms, and logging for
+// recovery/rollback. tx may be nil for non-transactional bulk load.
+func (t *Table) Insert(tx *txn.Txn, row []val.Value) (RID, error) {
+	if len(row) != len(t.Columns) {
+		return RID{}, fmt.Errorf("table %s: %d values for %d columns", t.Name, len(row), len(t.Columns))
+	}
+	enc := val.EncodeRow(row)
+	if len(enc) > page.Size-page.HeaderSize-8 {
+		return RID{}, ErrRowTooLarge
+	}
+
+	// Unique index pre-check.
+	for _, ix := range t.Indexes {
+		if !ix.Unique {
+			continue
+		}
+		if _, found, err := ix.Tree.Search(ix.Key(row)); err != nil {
+			return RID{}, err
+		} else if found {
+			return RID{}, fmt.Errorf("%w: index %s", ErrUnique, ix.Name)
+		}
+	}
+
+	rid, err := t.insertBytes(enc)
+	if err != nil {
+		return RID{}, err
+	}
+	if tx != nil {
+		if err := tx.Lock(t.ID, rid.Bytes(), lock.Exclusive); err != nil {
+			_ = t.removeRow(rid)
+			return RID{}, err
+		}
+		tx.Log(&wal.Record{Type: wal.RecInsert, Table: t.ID, Page: rid.Page, Slot: uint32(rid.Slot), After: enc})
+		tx.OnRollback(func() error { return t.undoInsert(rid, row) })
+	}
+	for i, h := range t.Hists {
+		h.NoteInsert(row[i])
+	}
+	for _, ix := range t.Indexes {
+		if err := ix.Tree.Insert(ix.Key(row), rid.Bytes()); err != nil {
+			return RID{}, err
+		}
+	}
+	t.rows.Add(1)
+	return rid, nil
+}
+
+// insertBytes places the encoded row into the chain's tail, growing it as
+// needed.
+func (t *Table) insertBytes(enc []byte) (RID, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f, err := t.pool.Get(t.last)
+	if err != nil {
+		return RID{}, err
+	}
+	f.Lock()
+	slot := f.Data.Insert(enc)
+	if slot >= 0 {
+		f.MarkDirty()
+		id := f.ID
+		f.Unlock()
+		t.pool.Unpin(f, true)
+		return RID{Page: id, Slot: slot}, nil
+	}
+	// Tail full: extend the chain.
+	nf, err := t.pool.NewPage(t.file, page.TypeTable)
+	if err != nil {
+		f.Unlock()
+		t.pool.Unpin(f, false)
+		return RID{}, err
+	}
+	nf.Data.SetOwner(t.ID)
+	f.Data.SetNext(uint64(nf.ID))
+	f.MarkDirty()
+	f.Unlock()
+	t.pool.Unpin(f, true)
+	t.last = nf.ID
+	t.pages.Add(1)
+	slot = nf.Data.Insert(enc)
+	id := nf.ID
+	t.pool.Unpin(nf, true)
+	if slot < 0 {
+		return RID{}, fmt.Errorf("table %s: fresh page rejected %d bytes", t.Name, len(enc))
+	}
+	return RID{Page: id, Slot: slot}, nil
+}
+
+// undoInsert compensates an insert during rollback.
+func (t *Table) undoInsert(rid RID, row []val.Value) error {
+	if err := t.removeRow(rid); err != nil {
+		return err
+	}
+	for i, h := range t.Hists {
+		h.NoteDelete(row[i])
+	}
+	for _, ix := range t.Indexes {
+		if _, err := ix.Tree.Delete(ix.Key(row), rid.Bytes()); err != nil {
+			return err
+		}
+	}
+	t.rows.Add(-1)
+	return nil
+}
+
+// removeRow deletes the physical row.
+func (t *Table) removeRow(rid RID) error {
+	f, err := t.pool.Get(rid.Page)
+	if err != nil {
+		return err
+	}
+	defer t.pool.Unpin(f, true)
+	f.Lock()
+	defer f.Unlock()
+	if !f.Data.Delete(rid.Slot) {
+		return ErrNotFound
+	}
+	f.MarkDirty()
+	return nil
+}
+
+// Get reads a row by RID.
+func (t *Table) Get(rid RID) ([]val.Value, error) {
+	f, err := t.pool.Get(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer t.pool.Unpin(f, false)
+	f.RLock()
+	defer f.RUnlock()
+	cell := f.Data.Cell(rid.Slot)
+	if cell == nil {
+		return nil, ErrNotFound
+	}
+	return val.DecodeRow(cell)
+}
+
+// Delete removes a row, maintaining indexes, histograms, and undo.
+func (t *Table) Delete(tx *txn.Txn, rid RID) error {
+	row, err := t.Get(rid)
+	if err != nil {
+		return err
+	}
+	if tx != nil {
+		if err := tx.Lock(t.ID, rid.Bytes(), lock.Exclusive); err != nil {
+			return err
+		}
+	}
+	if err := t.removeRow(rid); err != nil {
+		return err
+	}
+	enc := val.EncodeRow(row)
+	if tx != nil {
+		tx.Log(&wal.Record{Type: wal.RecDelete, Table: t.ID, Page: rid.Page, Slot: uint32(rid.Slot), Before: enc})
+		tx.OnRollback(func() error { return t.undoDelete(rid, row) })
+	}
+	for i, h := range t.Hists {
+		h.NoteDelete(row[i])
+	}
+	for _, ix := range t.Indexes {
+		if _, err := ix.Tree.Delete(ix.Key(row), rid.Bytes()); err != nil {
+			return err
+		}
+	}
+	t.rows.Add(-1)
+	return nil
+}
+
+// undoDelete restores a deleted row at its original RID.
+func (t *Table) undoDelete(rid RID, row []val.Value) error {
+	f, err := t.pool.Get(rid.Page)
+	if err != nil {
+		return err
+	}
+	f.Lock()
+	ok := f.Data.InsertAt(rid.Slot, val.EncodeRow(row))
+	f.MarkDirty()
+	f.Unlock()
+	t.pool.Unpin(f, true)
+	if !ok {
+		return fmt.Errorf("table %s: undo delete could not restore %v", t.Name, rid)
+	}
+	for i, h := range t.Hists {
+		h.NoteInsert(row[i])
+	}
+	for _, ix := range t.Indexes {
+		if err := ix.Tree.Insert(ix.Key(row), rid.Bytes()); err != nil {
+			return err
+		}
+	}
+	t.rows.Add(1)
+	return nil
+}
+
+// Update replaces a row. If the new encoding no longer fits in place the
+// row moves and the returned RID differs.
+func (t *Table) Update(tx *txn.Txn, rid RID, newRow []val.Value) (RID, error) {
+	if len(newRow) != len(t.Columns) {
+		return RID{}, fmt.Errorf("table %s: %d values for %d columns", t.Name, len(newRow), len(t.Columns))
+	}
+	oldRow, err := t.Get(rid)
+	if err != nil {
+		return RID{}, err
+	}
+	if tx != nil {
+		if err := tx.Lock(t.ID, rid.Bytes(), lock.Exclusive); err != nil {
+			return RID{}, err
+		}
+	}
+	newEnc := val.EncodeRow(newRow)
+	if len(newEnc) > page.Size-page.HeaderSize-8 {
+		return RID{}, ErrRowTooLarge
+	}
+
+	newRID := rid
+	f, err := t.pool.Get(rid.Page)
+	if err != nil {
+		return RID{}, err
+	}
+	f.Lock()
+	inPlace := f.Data.Update(rid.Slot, newEnc)
+	if inPlace {
+		f.MarkDirty()
+	}
+	f.Unlock()
+	t.pool.Unpin(f, inPlace)
+	if !inPlace {
+		// Move: delete + reinsert.
+		if err := t.removeRow(rid); err != nil {
+			return RID{}, err
+		}
+		newRID, err = t.insertBytes(newEnc)
+		if err != nil {
+			return RID{}, err
+		}
+	}
+
+	if tx != nil {
+		tx.Log(&wal.Record{Type: wal.RecUpdate, Table: t.ID, Page: newRID.Page, Slot: uint32(newRID.Slot),
+			Before: val.EncodeRow(oldRow), After: newEnc})
+		tx.OnRollback(func() error {
+			_, err := t.Update(nil, newRID, oldRow)
+			return err
+		})
+	}
+	for i, h := range t.Hists {
+		if val.Compare(oldRow[i], newRow[i]) != 0 || oldRow[i].IsNull() != newRow[i].IsNull() {
+			h.NoteDelete(oldRow[i])
+			h.NoteInsert(newRow[i])
+		}
+	}
+	for _, ix := range t.Indexes {
+		oldKey, newKey := ix.Key(oldRow), ix.Key(newRow)
+		if string(oldKey) != string(newKey) || newRID != rid {
+			if _, err := ix.Tree.Delete(oldKey, rid.Bytes()); err != nil {
+				return RID{}, err
+			}
+			if err := ix.Tree.Insert(newKey, newRID.Bytes()); err != nil {
+				return RID{}, err
+			}
+		}
+	}
+	return newRID, nil
+}
+
+// Scan calls fn for every live row in chain order. fn returns false to
+// stop early.
+func (t *Table) Scan(fn func(rid RID, row []val.Value) (bool, error)) error {
+	t.mu.Lock()
+	cur := t.first
+	t.mu.Unlock()
+	for cur != 0 {
+		f, err := t.pool.Get(cur)
+		if err != nil {
+			return err
+		}
+		f.RLock()
+		n := f.Data.NumSlots()
+		type item struct {
+			slot int
+			row  []val.Value
+		}
+		items := make([]item, 0, n)
+		for s := 0; s < n; s++ {
+			cell := f.Data.Cell(s)
+			if cell == nil {
+				continue
+			}
+			row, err := val.DecodeRow(cell)
+			if err != nil {
+				f.RUnlock()
+				t.pool.Unpin(f, false)
+				return fmt.Errorf("table %s: %v slot %d: %w", t.Name, cur, s, err)
+			}
+			items = append(items, item{s, row})
+		}
+		next := f.Data.Next()
+		f.RUnlock()
+		t.pool.Unpin(f, false)
+		for _, it := range items {
+			cont, err := fn(RID{Page: cur, Slot: it.slot}, it.row)
+			if err != nil {
+				return err
+			}
+			if !cont {
+				return nil
+			}
+		}
+		cur = store.PageID(next)
+	}
+	return nil
+}
+
+// AddIndex creates a new index and populates it from existing rows,
+// (re)building statistics for the key columns as CREATE INDEX does (§3.2).
+func (t *Table) AddIndex(id uint64, name string, cols []int, unique bool) (*Index, error) {
+	return t.AddIndexIn(t.file, id, name, cols, unique)
+}
+
+// AddIndexIn builds the index in a specific file. The Index Consultant
+// (§5) materializes its virtual indexes in the temporary file so they
+// never touch the database.
+func (t *Table) AddIndexIn(file store.FileID, id uint64, name string, cols []int, unique bool) (*Index, error) {
+	tree, err := btree.Create(t.pool, t.st, file, id)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{ID: id, Name: name, Cols: cols, Unique: unique, Tree: tree}
+	builders := make([]*stats.Builder, len(cols))
+	for i, c := range cols {
+		builders[i] = stats.NewBuilder(t.Columns[c].Kind)
+	}
+	err = t.Scan(func(rid RID, row []val.Value) (bool, error) {
+		key := ix.Key(row)
+		if unique {
+			if _, found, err := tree.Search(key); err != nil {
+				return false, err
+			} else if found {
+				return false, fmt.Errorf("%w: index %s", ErrUnique, name)
+			}
+		}
+		for i, c := range cols {
+			builders[i].Add(row[c])
+		}
+		return true, tree.Insert(key, rid.Bytes())
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cols {
+		t.Hists[c] = builders[i].Build(32)
+	}
+	t.Indexes = append(t.Indexes, ix)
+	return ix, nil
+}
+
+// RemoveIndex detaches an index (used to drop the Index Consultant's
+// virtual indexes); it reports whether the index existed. The index's
+// pages are abandoned to their file (temp-file pages vanish at restart).
+func (t *Table) RemoveIndex(name string) bool {
+	for i, ix := range t.Indexes {
+		if ix.Name == name {
+			t.Indexes = append(t.Indexes[:i], t.Indexes[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// IndexByName finds an index.
+func (t *Table) IndexByName(name string) *Index {
+	for _, ix := range t.Indexes {
+		if ix.Name == name {
+			return ix
+		}
+	}
+	return nil
+}
+
+// RebuildStatistics recomputes every column histogram by scanning the
+// table (CREATE STATISTICS / LOAD TABLE, §3.2). String columns also
+// collect whole-value and per-word statistics.
+func (t *Table) RebuildStatistics() error {
+	builders := make([]*stats.Builder, len(t.Columns))
+	for i, c := range t.Columns {
+		builders[i] = stats.NewBuilder(c.Kind)
+	}
+	strCounts := make([]map[string]int64, len(t.Columns))
+	for i, c := range t.Columns {
+		if c.Kind == val.KStr {
+			strCounts[i] = map[string]int64{}
+		}
+	}
+	total := int64(0)
+	err := t.Scan(func(_ RID, row []val.Value) (bool, error) {
+		total++
+		for i := range t.Columns {
+			builders[i].Add(row[i])
+			if m := strCounts[i]; m != nil && row[i].Kind == val.KStr && len(m) < 10000 {
+				m[row[i].S]++
+			}
+		}
+		return true, nil
+	})
+	if err != nil {
+		return err
+	}
+	for i := range t.Columns {
+		t.Hists[i] = builders[i].Build(32)
+		if m := strCounts[i]; m != nil && total > 0 {
+			ss := stats.NewStringStats()
+			words := map[string]int64{}
+			for s, c := range m {
+				ss.Observe(stats.OpEq, s, float64(c)/float64(total))
+				for _, w := range val.Words(s) {
+					words[w] += c
+				}
+			}
+			for w, c := range words {
+				ss.ObserveWord(w, float64(c)/float64(total))
+			}
+			t.StrStats[i] = ss
+		}
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+// Package txn provides ACID transactions over the write-ahead log and the
+// lock manager: begin/commit/rollback, with undo actions collected as the
+// transaction modifies data.
+package txn
+
+import (
+	"errors"
+	"sync"
+
+	"anywheredb/internal/lock"
+	"anywheredb/internal/wal"
+)
+
+// ErrDone is returned when a finished transaction is used again.
+var ErrDone = errors.New("txn: transaction already committed or rolled back")
+
+// Manager creates transactions and owns the id sequence.
+type Manager struct {
+	log   *wal.Log
+	locks *lock.Manager
+
+	mu     sync.Mutex
+	next   uint64
+	active map[uint64]*Txn
+}
+
+// NewManager builds a transaction manager. locks may be nil for a
+// single-user (embedded, exclusive) database.
+func NewManager(log *wal.Log, locks *lock.Manager) *Manager {
+	return &Manager{log: log, locks: locks, next: 1, active: map[uint64]*Txn{}}
+}
+
+// Begin starts a transaction.
+func (m *Manager) Begin() *Txn {
+	m.mu.Lock()
+	id := m.next
+	m.next++
+	t := &Txn{id: id, m: m}
+	m.active[id] = t
+	m.mu.Unlock()
+	m.log.Append(&wal.Record{Type: wal.RecBegin, Txn: id})
+	return t
+}
+
+// Active reports the number of in-flight transactions.
+func (m *Manager) Active() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.active)
+}
+
+// Log exposes the transaction log (for checkpointing).
+func (m *Manager) Log() *wal.Log { return m.log }
+
+// Txn is one transaction. A Txn is used by a single goroutine.
+type Txn struct {
+	id   uint64
+	m    *Manager
+	undo []func() error
+	done bool
+}
+
+// ID returns the transaction id.
+func (t *Txn) ID() uint64 { return t.id }
+
+// Done reports whether the transaction has finished.
+func (t *Txn) Done() bool { return t.done }
+
+// Log appends a data record to the WAL on this transaction's behalf.
+func (t *Txn) Log(rec *wal.Record) {
+	rec.Txn = t.id
+	t.m.log.Append(rec)
+}
+
+// OnRollback registers a compensating action, run in reverse order if the
+// transaction rolls back.
+func (t *Txn) OnRollback(f func() error) {
+	t.undo = append(t.undo, f)
+}
+
+// Lock acquires a long-term lock for the transaction. With no lock manager
+// (single-user database) it is a no-op.
+func (t *Txn) Lock(obj uint64, key []byte, mode lock.Mode) error {
+	if t.m.locks == nil {
+		return nil
+	}
+	return t.m.locks.Lock(t.id, obj, key, mode)
+}
+
+// Commit makes the transaction durable: commit record, group flush, lock
+// release.
+func (t *Txn) Commit() error {
+	if t.done {
+		return ErrDone
+	}
+	t.done = true
+	t.m.log.Append(&wal.Record{Type: wal.RecCommit, Txn: t.id})
+	if err := t.m.log.Flush(); err != nil {
+		return err
+	}
+	t.finish()
+	return nil
+}
+
+// Rollback undoes the transaction's changes (reverse order) and releases
+// its locks.
+func (t *Txn) Rollback() error {
+	if t.done {
+		return ErrDone
+	}
+	t.done = true
+	var firstErr error
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		if err := t.undo[i](); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	t.m.log.Append(&wal.Record{Type: wal.RecRollback, Txn: t.id})
+	if err := t.m.log.Flush(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	t.finish()
+	return firstErr
+}
+
+func (t *Txn) finish() {
+	if t.m.locks != nil {
+		_ = t.m.locks.ReleaseAll(t.id)
+	}
+	t.m.mu.Lock()
+	delete(t.m.active, t.id)
+	t.m.mu.Unlock()
+	t.undo = nil
+}

@@ -1,0 +1,164 @@
+package txn
+
+import (
+	"testing"
+	"time"
+
+	"anywheredb/internal/buffer"
+	"anywheredb/internal/lock"
+	"anywheredb/internal/store"
+	"anywheredb/internal/wal"
+)
+
+func setup(t *testing.T) (*Manager, *wal.Log) {
+	t.Helper()
+	log, err := wal.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	pool := buffer.New(st, 4, 64, 64)
+	locks, err := lock.NewManager(pool, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locks.Timeout = 100 * time.Millisecond
+	return NewManager(log, locks), log
+}
+
+func logTypes(t *testing.T, log *wal.Log) []wal.RecType {
+	t.Helper()
+	var types []wal.RecType
+	if err := log.Scan(func(_ uint64, r *wal.Record) error {
+		types = append(types, r.Type)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return types
+}
+
+func TestCommitWritesLog(t *testing.T) {
+	m, log := setup(t)
+	tx := m.Begin()
+	tx.Log(&wal.Record{Type: wal.RecInsert, Table: 3, After: []byte("r")})
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	types := logTypes(t, log)
+	want := []wal.RecType{wal.RecBegin, wal.RecInsert, wal.RecCommit}
+	if len(types) != len(want) {
+		t.Fatalf("log: %v", types)
+	}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Fatalf("log: %v", types)
+		}
+	}
+	if m.Active() != 0 {
+		t.Fatal("transaction still active after commit")
+	}
+}
+
+func TestRollbackRunsUndoInReverse(t *testing.T) {
+	m, log := setup(t)
+	tx := m.Begin()
+	var order []int
+	tx.OnRollback(func() error { order = append(order, 1); return nil })
+	tx.OnRollback(func() error { order = append(order, 2); return nil })
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != 2 || order[1] != 1 {
+		t.Fatalf("undo order %v, want [2 1]", order)
+	}
+	types := logTypes(t, log)
+	if types[len(types)-1] != wal.RecRollback {
+		t.Fatalf("last record %v, want rollback", types[len(types)-1])
+	}
+}
+
+func TestDoubleFinish(t *testing.T) {
+	m, _ := setup(t)
+	tx := m.Begin()
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != ErrDone {
+		t.Fatalf("second commit: %v", err)
+	}
+	if err := tx.Rollback(); err != ErrDone {
+		t.Fatalf("rollback after commit: %v", err)
+	}
+}
+
+func TestLocksReleasedOnCommit(t *testing.T) {
+	m, _ := setup(t)
+	a := m.Begin()
+	if err := a.Lock(7, []byte("row"), lock.Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	b := m.Begin()
+	if err := b.Lock(7, []byte("row"), lock.Exclusive); err != lock.ErrTimeout {
+		t.Fatalf("b should block: %v", err)
+	}
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Lock(7, []byte("row"), lock.Exclusive); err != nil {
+		t.Fatalf("b after a commits: %v", err)
+	}
+	b.Rollback()
+}
+
+func TestLocksReleasedOnRollback(t *testing.T) {
+	m, _ := setup(t)
+	a := m.Begin()
+	a.Lock(7, []byte("row"), lock.Exclusive)
+	a.Rollback()
+	b := m.Begin()
+	if err := b.Lock(7, []byte("row"), lock.Exclusive); err != nil {
+		t.Fatalf("lock after rollback: %v", err)
+	}
+	b.Commit()
+}
+
+func TestNilLockManager(t *testing.T) {
+	log, _ := wal.Open("")
+	m := NewManager(log, nil)
+	tx := m.Begin()
+	if err := tx.Lock(1, []byte("k"), lock.Exclusive); err != nil {
+		t.Fatalf("nil lock manager should no-op: %v", err)
+	}
+	tx.Commit()
+}
+
+func TestIDsIncrease(t *testing.T) {
+	m, _ := setup(t)
+	a, b := m.Begin(), m.Begin()
+	if b.ID() <= a.ID() {
+		t.Fatal("ids must increase")
+	}
+	if !a.Done() {
+		a.Rollback()
+	}
+	b.Rollback()
+}
+
+func TestUndoErrorReported(t *testing.T) {
+	m, _ := setup(t)
+	tx := m.Begin()
+	wantErr := errFake{}
+	tx.OnRollback(func() error { return wantErr })
+	if err := tx.Rollback(); err != wantErr {
+		t.Fatalf("rollback error %v, want fake", err)
+	}
+}
+
+type errFake struct{}
+
+func (errFake) Error() string { return "fake undo failure" }

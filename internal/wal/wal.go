@@ -1,0 +1,298 @@
+// Package wal implements the transaction log: a separate append-only file
+// of physiological redo/undo records with CRC-protected framing, plus the
+// crash-recovery scan (redo committed work, undo losers).
+//
+// Each database consists of a main database file and a separate transaction
+// log file (§1); the log is an ordinary OS file.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+
+	"anywheredb/internal/store"
+)
+
+// RecType enumerates log record kinds.
+type RecType uint8
+
+const (
+	RecBegin RecType = iota + 1
+	RecCommit
+	RecRollback
+	RecInsert
+	RecDelete
+	RecUpdate
+	RecCheckpoint
+)
+
+var recNames = map[RecType]string{
+	RecBegin: "begin", RecCommit: "commit", RecRollback: "rollback",
+	RecInsert: "insert", RecDelete: "delete", RecUpdate: "update",
+	RecCheckpoint: "checkpoint",
+}
+
+func (t RecType) String() string {
+	if s, ok := recNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("rectype(%d)", uint8(t))
+}
+
+// Record is one physiological log record. Insert carries the new row image
+// in After; Delete carries the old image in Before; Update carries both.
+type Record struct {
+	Type   RecType
+	Txn    uint64
+	Table  uint64
+	Page   store.PageID
+	Slot   uint32
+	Before []byte
+	After  []byte
+}
+
+// LSN is a log sequence number: the byte offset of a record in the log.
+type LSN = uint64
+
+// Log is an append-only transaction log. It is safe for concurrent use.
+type Log struct {
+	mu     sync.Mutex
+	f      *os.File // nil when memory-backed
+	mem    []byte
+	tail   uint64 // next append offset
+	buffer []byte // pending, unflushed bytes
+}
+
+// Open opens (or creates) the log file at path. An empty path yields a
+// memory-backed log for tests.
+func Open(path string) (*Log, error) {
+	l := &Log{}
+	if path == "" {
+		return l, nil
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	l.f = f
+	l.tail = uint64(info.Size())
+	return l, nil
+}
+
+func encode(r *Record) []byte {
+	var b []byte
+	b = append(b, byte(r.Type))
+	b = binary.AppendUvarint(b, r.Txn)
+	b = binary.AppendUvarint(b, r.Table)
+	b = binary.AppendUvarint(b, uint64(r.Page))
+	b = binary.AppendUvarint(b, uint64(r.Slot))
+	b = binary.AppendUvarint(b, uint64(len(r.Before)))
+	b = append(b, r.Before...)
+	b = binary.AppendUvarint(b, uint64(len(r.After)))
+	b = append(b, r.After...)
+	return b
+}
+
+func decode(b []byte) (*Record, error) {
+	bad := fmt.Errorf("wal: corrupt record")
+	if len(b) < 1 {
+		return nil, bad
+	}
+	r := &Record{Type: RecType(b[0])}
+	b = b[1:]
+	uv := func() uint64 {
+		v, n := binary.Uvarint(b)
+		if n <= 0 {
+			b = nil
+			return 0
+		}
+		b = b[n:]
+		return v
+	}
+	r.Txn = uv()
+	r.Table = uv()
+	r.Page = store.PageID(uv())
+	r.Slot = uint32(uv())
+	bn := uv()
+	if b == nil || uint64(len(b)) < bn {
+		return nil, bad
+	}
+	r.Before = append([]byte(nil), b[:bn]...)
+	b = b[bn:]
+	an := uv()
+	if b == nil || uint64(len(b)) < an {
+		return nil, bad
+	}
+	r.After = append([]byte(nil), b[:an]...)
+	return r, nil
+}
+
+// Append adds a record to the log buffer and returns its LSN. The record is
+// durable only after Flush.
+func (l *Log) Append(r *Record) LSN {
+	payload := encode(r)
+	var frame []byte
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
+	frame = append(frame, payload...)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lsn := l.tail + uint64(len(l.buffer))
+	l.buffer = append(l.buffer, frame...)
+	return lsn
+}
+
+// Flush forces buffered records to stable storage (group commit: one flush
+// covers every record appended since the last).
+func (l *Log) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.buffer) == 0 {
+		return nil
+	}
+	if l.f != nil {
+		if _, err := l.f.WriteAt(l.buffer, int64(l.tail)); err != nil {
+			return fmt.Errorf("wal: flush: %w", err)
+		}
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+	} else {
+		l.mem = append(l.mem, l.buffer...)
+	}
+	l.tail += uint64(len(l.buffer))
+	l.buffer = l.buffer[:0]
+	return nil
+}
+
+// FlushedLSN reports the LSN up to which the log is durable.
+func (l *Log) FlushedLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tail
+}
+
+// Scan iterates over every durable record in LSN order. A truncated or
+// corrupt tail terminates the scan silently (it is the unflushed remnant of
+// a crash).
+func (l *Log) Scan(fn func(lsn LSN, r *Record) error) error {
+	l.mu.Lock()
+	var data []byte
+	if l.f != nil {
+		data = make([]byte, l.tail)
+		if _, err := l.f.ReadAt(data, 0); err != nil {
+			l.mu.Unlock()
+			return fmt.Errorf("wal: scan read: %w", err)
+		}
+	} else {
+		data = append([]byte(nil), l.mem...)
+	}
+	l.mu.Unlock()
+
+	off := uint64(0)
+	for off+8 <= uint64(len(data)) {
+		n := binary.LittleEndian.Uint32(data[off:])
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if off+8+uint64(n) > uint64(len(data)) {
+			return nil // truncated tail
+		}
+		payload := data[off+8 : off+8+uint64(n)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return nil // corrupt tail
+		}
+		r, err := decode(payload)
+		if err != nil {
+			return nil
+		}
+		if err := fn(off, r); err != nil {
+			return err
+		}
+		off += 8 + uint64(n)
+	}
+	return nil
+}
+
+// RecoveryPlan summarizes a log scan for crash recovery.
+type RecoveryPlan struct {
+	// Redo holds every data record of committed transactions, in LSN order.
+	Redo []*Record
+	// Undo holds the data records of uncommitted ("loser") transactions, in
+	// reverse LSN order, ready to be compensated.
+	Undo []*Record
+	// Committed is the set of committed transaction ids.
+	Committed map[uint64]bool
+}
+
+// Analyze scans the log and partitions work into redo and undo sets.
+func (l *Log) Analyze() (*RecoveryPlan, error) {
+	plan := &RecoveryPlan{Committed: map[uint64]bool{}}
+	var all []*Record
+	err := l.Scan(func(_ LSN, r *Record) error {
+		switch r.Type {
+		case RecCommit:
+			plan.Committed[r.Txn] = true
+		case RecRollback:
+			// Rolled-back work is treated like a loser: it must be undone,
+			// but an explicit rollback already compensated it before the
+			// crash, so mark it committed-to-nothing.
+			plan.Committed[r.Txn] = false
+		case RecInsert, RecDelete, RecUpdate:
+			all = append(all, r)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range all {
+		if plan.Committed[r.Txn] {
+			plan.Redo = append(plan.Redo, r)
+		}
+	}
+	for i := len(all) - 1; i >= 0; i-- {
+		if !plan.Committed[all[i].Txn] {
+			plan.Undo = append(plan.Undo, all[i])
+		}
+	}
+	return plan, nil
+}
+
+// Truncate discards the log after a checkpoint has made its contents
+// redundant.
+func (l *Log) Truncate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.buffer = l.buffer[:0]
+	l.tail = 0
+	l.mem = nil
+	if l.f != nil {
+		if err := l.f.Truncate(0); err != nil {
+			return fmt.Errorf("wal: truncate: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close flushes and closes the log.
+func (l *Log) Close() error {
+	if err := l.Flush(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f != nil {
+		err := l.f.Close()
+		l.f = nil
+		return err
+	}
+	return nil
+}

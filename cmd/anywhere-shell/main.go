@@ -33,7 +33,7 @@ func main() {
 	}
 	defer conn.Close() // last disconnect shuts the server down
 
-	fmt.Println("anywheredb shell — end statements with ';', \\q to quit")
+	fmt.Println("anywheredb shell — end statements with ';', .stats for telemetry, \\q to quit")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -50,6 +50,10 @@ func main() {
 		if line == `\q` || line == "quit" || line == "exit" {
 			break
 		}
+		if buf.Len() == 0 && line == ".stats" {
+			printStats(conn)
+			continue
+		}
 		buf.WriteString(line)
 		buf.WriteString(" ")
 		if !strings.HasSuffix(line, ";") {
@@ -61,9 +65,23 @@ func main() {
 	}
 }
 
+// printStats dumps the engine's full telemetry registry (the same rows
+// SELECT * FROM sys.properties returns).
+func printStats(conn *core.Conn) {
+	rows, err := conn.Query("SELECT * FROM sys.properties")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for rows.Next() {
+		r := rows.Row()
+		fmt.Printf("%-40s %-10s %d\n", r[0].String(), r[1].String(), r[2].I)
+	}
+}
+
 func runOne(conn *core.Conn, sql string) {
 	up := strings.ToUpper(strings.TrimSpace(sql))
-	if strings.HasPrefix(up, "SELECT") || strings.HasPrefix(up, "WITH") {
+	if strings.HasPrefix(up, "SELECT") || strings.HasPrefix(up, "WITH") || strings.HasPrefix(up, "EXPLAIN") {
 		rows, err := conn.Query(sql)
 		if err != nil {
 			fmt.Println("error:", err)

@@ -14,6 +14,7 @@ import (
 
 	"anywheredb/internal/page"
 	"anywheredb/internal/store"
+	"anywheredb/internal/telemetry"
 )
 
 // segments is the number of reference-time segments the pool is divided
@@ -60,6 +61,7 @@ type Stats struct {
 	Evictions     uint64
 	LookasideHits uint64
 	Writebacks    uint64
+	Steals        uint64 // frames taken away from the pool by a shrink
 }
 
 // Pool is the buffer pool. It is safe for concurrent use.
@@ -79,7 +81,7 @@ type Pool struct {
 	limitAtom atomic.Int64 // mirror of limit readable without p.mu
 	look      *lookaside
 
-	hits, misses, evictions, lookHits, writebacks atomic.Uint64
+	hits, misses, evictions, lookHits, writebacks, steals atomic.Uint64
 }
 
 // ErrPoolExhausted is returned when every frame in the pool is pinned and
@@ -131,15 +133,35 @@ func (p *Pool) SizePages() int {
 // Bounds reports the pool's immutable lower and upper size bounds.
 func (p *Pool) Bounds() (minFrames, maxFrames int) { return p.minSize, p.maxSize }
 
-// Stats returns a snapshot of the activity counters.
+// Stats returns a snapshot of the activity counters. The pool mutex is
+// held while the counters are read so the snapshot is consistent with the
+// structural state (limit, resident set) observed around it, rather than a
+// field-by-field copy racing concurrent requests.
 func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	return Stats{
 		Hits:          p.hits.Load(),
 		Misses:        p.misses.Load(),
 		Evictions:     p.evictions.Load(),
 		LookasideHits: p.lookHits.Load(),
 		Writebacks:    p.writebacks.Load(),
+		Steals:        p.steals.Load(),
 	}
+}
+
+// AttachTelemetry publishes the pool's counters into reg under the
+// "buffer." prefix. Func-backed gauges read the pool's own atomics, so the
+// hot paths stay exactly as cheap as before.
+func (p *Pool) AttachTelemetry(reg *telemetry.Registry) {
+	reg.GaugeFunc("buffer.hits", func() int64 { return int64(p.hits.Load()) })
+	reg.GaugeFunc("buffer.misses", func() int64 { return int64(p.misses.Load()) })
+	reg.GaugeFunc("buffer.evictions", func() int64 { return int64(p.evictions.Load()) })
+	reg.GaugeFunc("buffer.lookaside_hits", func() int64 { return int64(p.lookHits.Load()) })
+	reg.GaugeFunc("buffer.writebacks", func() int64 { return int64(p.writebacks.Load()) })
+	reg.GaugeFunc("buffer.steals", func() int64 { return int64(p.steals.Load()) })
+	reg.GaugeFunc("buffer.pool_pages", func() int64 { return p.limitAtom.Load() })
+	reg.GaugeFunc("buffer.pinned_frames", func() int64 { return int64(p.PinnedCount()) })
 }
 
 // touch records a reference: the frame moves to the newest reference-time
@@ -447,6 +469,7 @@ func (p *Pool) Resize(target int) int {
 		if err != nil {
 			break // everything pinned; give up for now
 		}
+		p.steals.Add(1) // an occupied frame stolen from the pool by the shrink
 		f.Data = nil
 		p.dropFrameLocked(f.idx)
 		excess--

@@ -1,0 +1,78 @@
+package buffer
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"anywheredb/internal/page"
+	"anywheredb/internal/store"
+	"anywheredb/internal/telemetry"
+)
+
+// readStats reads the pool's published telemetry gauges into a Stats value.
+func readStats(reg *telemetry.Registry) Stats {
+	v := func(name string) uint64 {
+		n, _ := reg.Value(name)
+		return uint64(n)
+	}
+	return Stats{
+		Hits:          v("buffer.hits"),
+		Misses:        v("buffer.misses"),
+		Evictions:     v("buffer.evictions"),
+		LookasideHits: v("buffer.lookaside_hits"),
+		Writebacks:    v("buffer.writebacks"),
+		Steals:        v("buffer.steals"),
+	}
+}
+
+// TestTelemetryMatchesStats is the property: after any random workload of
+// page creates, reads, resizes, and flushes, the telemetry registry's
+// buffer gauges equal the counters Pool.Stats() reports — the registry
+// publishes the same atomics, never a second copy that could drift.
+func TestTelemetryMatchesStats(t *testing.T) {
+	prop := func(seed int64, ops []uint8) bool {
+		s, err := store.Open(store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		p := New(s, 2, 4, 16)
+		reg := telemetry.NewRegistry()
+		p.AttachTelemetry(reg)
+
+		rng := rand.New(rand.NewSource(seed))
+		var ids []store.PageID
+		for _, op := range ops {
+			switch op % 4 {
+			case 0: // create a page (misses, evictions, writebacks)
+				f, err := p.NewPage(store.MainFile, page.TypeTable)
+				if err != nil {
+					return false
+				}
+				f.Data.Insert([]byte("payload"))
+				ids = append(ids, f.ID)
+				p.Unpin(f, true)
+			case 1: // read a page (hits or misses+lookaside)
+				if len(ids) == 0 {
+					continue
+				}
+				f, err := p.Get(ids[rng.Intn(len(ids))])
+				if err != nil {
+					return false
+				}
+				p.Unpin(f, false)
+			case 2: // resize within bounds (steals)
+				p.Resize(2 + rng.Intn(15))
+			case 3:
+				if err := p.FlushAll(); err != nil {
+					return false
+				}
+			}
+		}
+		return readStats(reg) == p.Stats()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

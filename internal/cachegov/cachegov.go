@@ -18,7 +18,9 @@ package cachegov
 
 import (
 	"sync"
+	"sync/atomic"
 
+	"anywheredb/internal/telemetry"
 	"anywheredb/internal/vclock"
 )
 
@@ -118,6 +120,26 @@ type Governor struct {
 	lastMisses uint64
 	fastUntil  vclock.Micros
 	history    []Decision
+
+	polls       atomic.Uint64 // control steps taken
+	resizes     atomic.Uint64 // steps that changed the pool size
+	grows       atomic.Uint64
+	shrinks     atomic.Uint64
+	lastIdeal   atomic.Int64 // raw target before damping, last poll
+	lastTarget  atomic.Int64 // damped, bounded target, last poll
+	lastApplied atomic.Int64 // achieved pool bytes, last poll
+}
+
+// AttachTelemetry publishes the controller's counters and the damped vs
+// ideal targets of its most recent step into reg under "cachegov.".
+func (g *Governor) AttachTelemetry(reg *telemetry.Registry) {
+	reg.GaugeFunc("cachegov.polls", func() int64 { return int64(g.polls.Load()) })
+	reg.GaugeFunc("cachegov.resizes", func() int64 { return int64(g.resizes.Load()) })
+	reg.GaugeFunc("cachegov.grows", func() int64 { return int64(g.grows.Load()) })
+	reg.GaugeFunc("cachegov.shrinks", func() int64 { return int64(g.shrinks.Load()) })
+	reg.GaugeFunc("cachegov.ideal_bytes", func() int64 { return g.lastIdeal.Load() })
+	reg.GaugeFunc("cachegov.target_bytes", func() int64 { return g.lastTarget.Load() })
+	reg.GaugeFunc("cachegov.applied_bytes", func() int64 { return g.lastApplied.Load() })
 }
 
 // New builds a governor; sampling starts in the fast (20 s) regime, as at
@@ -210,6 +232,7 @@ func (g *Governor) Poll() Decision {
 		d.Reason = "deadband"
 		g.noteMisses()
 		g.history = append(g.history, d)
+		g.publish(d)
 		return d
 	}
 
@@ -221,6 +244,7 @@ func (g *Governor) Poll() Decision {
 		d.Applied = cur
 		d.Reason = "no-miss growth gate"
 		g.history = append(g.history, d)
+		g.publish(d)
 		return d
 	}
 
@@ -229,11 +253,25 @@ func (g *Governor) Poll() Decision {
 	d.Changed = applied != cur
 	if target > cur {
 		d.Reason = "grow"
+		g.grows.Add(1)
 	} else {
 		d.Reason = "shrink"
+		g.shrinks.Add(1)
 	}
 	g.history = append(g.history, d)
+	g.publish(d)
 	return d
+}
+
+// publish mirrors a decision into the telemetry atomics.
+func (g *Governor) publish(d Decision) {
+	g.polls.Add(1)
+	if d.Changed {
+		g.resizes.Add(1)
+	}
+	g.lastIdeal.Store(d.Ideal)
+	g.lastTarget.Store(d.Target)
+	g.lastApplied.Store(d.Applied)
 }
 
 func (g *Governor) noteMisses() uint64 {

@@ -120,7 +120,8 @@ func (c *Conn) optEnv() *opt.Env {
 		SoftLimitPages: func() int {
 			return db.pool.SizePages() / db.memG.MPL()
 		},
-		Quota: db.opts.OptimizerQuota,
+		Quota:    db.opts.OptimizerQuota,
+		Property: db.reg.Value,
 	}
 }
 
@@ -187,11 +188,24 @@ func (c *Conn) run(sql string, params []val.Value, wantRows bool) (Result, *Rows
 	case *sqlparse.Insert:
 		res, err = c.execInsert(s, params)
 	case *sqlparse.Update:
-		res, err = c.execUpdate(s, params)
+		var dplan *opt.Plan
+		res, dplan, err = c.execUpdate(s, params)
+		if err == nil && dplan != nil {
+			rows = &Rows{plan: dplan}
+		}
 	case *sqlparse.Delete:
-		res, err = c.execDelete(s, params)
+		var dplan *opt.Plan
+		res, dplan, err = c.execDelete(s, params)
+		if err == nil && dplan != nil {
+			rows = &Rows{plan: dplan}
+		}
 	case *sqlparse.Select:
 		rows, err = c.execSelect(sql, s, params)
+		if rows != nil {
+			res.RowsAffected = int64(rows.Count())
+		}
+	case *sqlparse.Explain:
+		rows, err = c.execExplain(sql, s, params)
 		if rows != nil {
 			res.RowsAffected = int64(rows.Count())
 		}
@@ -200,6 +214,12 @@ func (c *Conn) run(sql string, params []val.Value, wantRows bool) (Result, *Rows
 	}
 	if err != nil {
 		return Result{}, nil, err
+	}
+
+	c.db.statements.Inc()
+	c.db.statementUS.Observe(int64(c.db.clk.Now() - start))
+	if rows != nil {
+		c.db.rowsOut.Add(uint64(len(rows.rows)))
 	}
 
 	if tr := c.tracerRef(); tr != nil {

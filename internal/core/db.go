@@ -18,6 +18,7 @@ import (
 	"anywheredb/internal/catalog"
 	"anywheredb/internal/device"
 	"anywheredb/internal/dtt"
+	"anywheredb/internal/exec"
 	"anywheredb/internal/lock"
 	"anywheredb/internal/mem"
 	"anywheredb/internal/opt"
@@ -26,6 +27,7 @@ import (
 	"anywheredb/internal/stats"
 	"anywheredb/internal/store"
 	"anywheredb/internal/table"
+	"anywheredb/internal/telemetry"
 	"anywheredb/internal/txn"
 	"anywheredb/internal/val"
 	"anywheredb/internal/vclock"
@@ -102,6 +104,22 @@ type DB struct {
 	cacheG  *cachegov.Governor
 	memG    *mem.Governor
 	dttMod  *dtt.Model
+	reg     *telemetry.Registry
+
+	// Executor-level counters (the component counters live on their
+	// components and are published as func-backed gauges).
+	statements  *telemetry.Counter
+	rowsOut     *telemetry.Counter
+	statementUS *telemetry.Histogram
+	planEnums   *telemetry.Counter
+	planVisits  *telemetry.Counter
+	planPruned  *telemetry.Counter
+	planQuotaEx *telemetry.Counter
+	pcHits      *telemetry.Counter
+	pcMisses    *telemetry.Counter
+	pcTrainings *telemetry.Counter
+	pcVerifies  *telemetry.Counter
+	pcInvalid   *telemetry.Counter
 
 	mu     sync.Mutex
 	tables map[string]*table.Table
@@ -217,7 +235,51 @@ func Open(opts Options) (*DB, error) {
 		db.pool.SizePages,
 		opts.MPL,
 	)
+
+	// The engine-wide telemetry registry: every layer publishes its
+	// counters here, and SQL reads them back via PROPERTY() and
+	// sys.properties.
+	db.reg = telemetry.NewRegistry()
+	db.pool.AttachTelemetry(db.reg)
+	db.log.AttachTelemetry(db.reg)
+	db.locks.AttachTelemetry(db.reg)
+	db.memG.AttachTelemetry(db.reg)
+	db.cacheG.AttachTelemetry(db.reg)
+	db.statements = db.reg.Counter("exec.statements")
+	db.rowsOut = db.reg.Counter("exec.rows_returned")
+	db.statementUS = db.reg.Histogram("exec.statement_us")
+	db.planEnums = db.reg.Counter("opt.enumerations")
+	db.planVisits = db.reg.Counter("opt.visits")
+	db.planPruned = db.reg.Counter("opt.pruned")
+	db.planQuotaEx = db.reg.Counter("opt.quota_exhausted")
+	db.pcHits = db.reg.Counter("opt.plancache.hits")
+	db.pcMisses = db.reg.Counter("opt.plancache.misses")
+	db.pcTrainings = db.reg.Counter("opt.plancache.trainings")
+	db.pcVerifies = db.reg.Counter("opt.plancache.verifications")
+	db.pcInvalid = db.reg.Counter("opt.plancache.invalidations")
 	return db, nil
+}
+
+// Telemetry exposes the engine-wide metrics registry.
+func (db *DB) Telemetry() *telemetry.Registry { return db.reg }
+
+// VirtualRows implements opt.VirtualTables: sys.properties enumerates the
+// telemetry registry as (name, kind, value) rows, snapshot at bind time.
+func (db *DB) VirtualRows(name string) ([]table.Column, []exec.Row, bool) {
+	if name != "sys.properties" {
+		return nil, nil, false
+	}
+	cols := []table.Column{
+		{Name: "name", Kind: val.KStr},
+		{Name: "kind", Kind: val.KStr},
+		{Name: "value", Kind: val.KInt},
+	}
+	snap := db.reg.Snapshot()
+	rows := make([]exec.Row, len(snap))
+	for i, s := range snap {
+		rows[i] = exec.Row{val.NewStr(s.Name), val.NewStr(s.Kind.String()), val.NewInt(s.Value)}
+	}
+	return cols, rows, true
 }
 
 // heapBytes estimates the server's main heap: active tasks' pages.

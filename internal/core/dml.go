@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"anywheredb/internal/exec"
 	"anywheredb/internal/mem"
@@ -29,10 +30,13 @@ func (c *Conn) execSelect(sql string, s *sqlparse.Select, params []val.Value) (*
 
 	if cacheable {
 		if steps, hit, verify := c.planCache.Lookup(sql); hit {
+			c.db.pcHits.Inc()
 			if verify {
 				// Periodic freshness check: re-optimize and compare.
+				c.db.pcVerifies.Inc()
 				fresh, ferr := opt.BuildSelect(s, benv)
 				if ferr == nil && fresh.Enum != nil {
+					c.noteEnum(fresh)
 					if c.planCache.Verify(sql, fresh.Enum.Order) {
 						plan = fresh // identical plan; use it
 					}
@@ -44,9 +48,12 @@ func (c *Conn) execSelect(sql string, s *sqlparse.Select, params []val.Value) (*
 					// Cached skeleton no longer builds (schema drift):
 					// invalidate and re-optimize.
 					c.planCache.Invalidate(sql)
+					c.db.pcInvalid.Inc()
 					plan = nil
 				}
 			}
+		} else {
+			c.db.pcMisses.Inc()
 		}
 	}
 	if plan == nil {
@@ -54,16 +61,63 @@ func (c *Conn) execSelect(sql string, s *sqlparse.Select, params []val.Value) (*
 		if err != nil {
 			return nil, err
 		}
+		c.noteEnum(plan)
 		if cacheable && plan.Enum != nil {
 			c.planCache.Offer(sql, plan.Enum.Order)
+			c.db.pcTrainings.Inc()
 		}
 	}
+
+	// Wrap every operator so the executed tree accrues per-node stats
+	// (EXPLAIN ANALYZE and Rows.Plan() introspection read them back).
+	plan.Root = exec.Instrument(plan.Root)
 
 	rows, err := exec.Drain(ctx, plan.Root)
 	if err != nil {
 		return nil, err
 	}
 	return &Rows{cols: plan.Columns, rows: rows, plan: plan}, nil
+}
+
+// noteEnum feeds one optimizer enumeration's search statistics into the
+// telemetry registry.
+func (c *Conn) noteEnum(plan *opt.Plan) {
+	if plan == nil || plan.Enum == nil {
+		return
+	}
+	c.db.planEnums.Inc()
+	c.db.planVisits.Add(uint64(plan.Enum.Visits))
+	c.db.planPruned.Add(uint64(plan.Enum.Pruned))
+	if plan.Enum.QuotaExhausted {
+		c.db.planQuotaEx.Inc()
+	}
+}
+
+// dmlPlan builds the minimal access-path plan for a heuristic-bypass
+// UPDATE/DELETE so EXPLAIN and Rows.Plan() work uniformly: an index probe
+// or table scan, with the table's live row count as the estimate.
+func dmlPlan(tbl *table.Table, acc *simpleAccess) *opt.Plan {
+	var root exec.Operator
+	est := float64(tbl.RowCount())
+	if acc.index != nil {
+		root = &exec.IndexScan{Table: tbl, Index: acc.index, Lo: acc.key, Hi: acc.key, HiInc: true}
+		// An equality probe touches a fraction of the table; without
+		// per-key statistics assume a single match cluster.
+		if est > 1 {
+			est = math.Sqrt(est)
+		}
+	} else {
+		root = &exec.TableScan{Table: tbl}
+	}
+	cols := make([]string, len(tbl.Columns))
+	for i, col := range tbl.Columns {
+		cols[i] = col.Name
+	}
+	return &opt.Plan{
+		Root:    root,
+		Columns: cols,
+		EstRows: map[exec.Operator]float64{root: est},
+	}
 }
 
 // simpleWhere recognizes the single-table DML shapes that bypass the
@@ -436,27 +490,30 @@ func (c *Conn) execInsert(s *sqlparse.Insert, params []val.Value) (Result, error
 	return Result{RowsAffected: n}, done(nil)
 }
 
-// execUpdate handles single-table UPDATE via the heuristic bypass.
-func (c *Conn) execUpdate(s *sqlparse.Update, params []val.Value) (Result, error) {
+// execUpdate handles single-table UPDATE via the heuristic bypass. The
+// returned plan is the minimal access path so EXPLAIN introspection works
+// for DML as well as queries.
+func (c *Conn) execUpdate(s *sqlparse.Update, params []val.Value) (Result, *opt.Plan, error) {
 	tbl, ok := c.db.Table(s.Table)
 	if !ok {
-		return Result{}, fmt.Errorf("core: table %q not found", s.Table)
+		return Result{}, nil, fmt.Errorf("core: table %q not found", s.Table)
 	}
 	acc, err := bindSimpleWhere(tbl, s.Where, params)
 	if err != nil {
-		return Result{}, err
+		return Result{}, nil, err
 	}
+	plan := dmlPlan(tbl, acc)
 	setCols := make([]int, len(s.Set))
 	for i, sc := range s.Set {
 		ci := tbl.ColumnIndex(sc.Col)
 		if ci < 0 {
-			return Result{}, fmt.Errorf("core: column %q not found", sc.Col)
+			return Result{}, nil, fmt.Errorf("core: column %q not found", sc.Col)
 		}
 		setCols[i] = ci
 	}
 	rids, rows, err := collectTargets(tbl, acc)
 	if err != nil {
-		return Result{}, err
+		return Result{}, nil, err
 	}
 	tx, done := c.autoTxn()
 	var n int64
@@ -465,31 +522,32 @@ func (c *Conn) execUpdate(s *sqlparse.Update, params []val.Value) (Result, error
 		for k, sc := range s.Set {
 			v, err := evalSimpleScalar(tbl, sc.Expr, rows[i], params)
 			if err != nil {
-				return Result{}, done(err)
+				return Result{}, nil, done(err)
 			}
 			newRow[setCols[k]] = v
 		}
 		if _, err := tbl.Update(tx, rid, newRow); err != nil {
-			return Result{}, done(err)
+			return Result{}, nil, done(err)
 		}
 		n++
 	}
-	return Result{RowsAffected: n}, done(nil)
+	return Result{RowsAffected: n}, plan, done(nil)
 }
 
 // execDelete handles single-table DELETE via the heuristic bypass.
-func (c *Conn) execDelete(s *sqlparse.Delete, params []val.Value) (Result, error) {
+func (c *Conn) execDelete(s *sqlparse.Delete, params []val.Value) (Result, *opt.Plan, error) {
 	tbl, ok := c.db.Table(s.Table)
 	if !ok {
-		return Result{}, fmt.Errorf("core: table %q not found", s.Table)
+		return Result{}, nil, fmt.Errorf("core: table %q not found", s.Table)
 	}
 	acc, err := bindSimpleWhere(tbl, s.Where, params)
 	if err != nil {
-		return Result{}, err
+		return Result{}, nil, err
 	}
+	plan := dmlPlan(tbl, acc)
 	rids, _, err := collectTargets(tbl, acc)
 	if err != nil {
-		return Result{}, err
+		return Result{}, nil, err
 	}
 	tx, done := c.autoTxn()
 	var n int64
@@ -498,11 +556,11 @@ func (c *Conn) execDelete(s *sqlparse.Delete, params []val.Value) (Result, error
 			if errors.Is(err, table.ErrNotFound) {
 				continue
 			}
-			return Result{}, done(err)
+			return Result{}, nil, done(err)
 		}
 		n++
 	}
-	return Result{RowsAffected: n}, done(nil)
+	return Result{RowsAffected: n}, plan, done(nil)
 }
 
 // PlanCacheStats exposes the connection's plan cache counters.

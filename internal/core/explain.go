@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"anywheredb/internal/exec"
+	"anywheredb/internal/opt"
+	"anywheredb/internal/sqlparse"
+	"anywheredb/internal/val"
+)
+
+// explainColumns is the result shape of EXPLAIN [ANALYZE]: one row per plan
+// operator, the optimizer's cardinality estimate beside the executed
+// actuals (NULL without ANALYZE, and for nodes the run never reached).
+var explainColumns = []string{"operator", "est_rows", "actual_rows", "invocations", "time_us", "mem_pages"}
+
+// execExplain runs EXPLAIN [ANALYZE] <stmt>. Plain EXPLAIN optimizes the
+// statement and prints the plan tree without executing it; ANALYZE also
+// runs the statement with an instrumented tree and prints per-node actuals.
+func (c *Conn) execExplain(sql string, s *sqlparse.Explain, params []val.Value) (*Rows, error) {
+	switch inner := s.Stmt.(type) {
+	case *sqlparse.Select:
+		return c.explainSelect(inner, params, s.Analyze)
+	case *sqlparse.Update:
+		tbl, ok := c.db.Table(inner.Table)
+		if !ok {
+			return nil, fmt.Errorf("core: table %q not found", inner.Table)
+		}
+		acc, err := bindSimpleWhere(tbl, inner.Where, params)
+		if err != nil {
+			return nil, err
+		}
+		plan := dmlPlan(tbl, acc)
+		var affected int64 = -1
+		if s.Analyze {
+			res, _, err := c.execUpdate(inner, params)
+			if err != nil {
+				return nil, err
+			}
+			affected = res.RowsAffected
+		}
+		return explainRows(plan, s.Analyze, affected), nil
+	case *sqlparse.Delete:
+		tbl, ok := c.db.Table(inner.Table)
+		if !ok {
+			return nil, fmt.Errorf("core: table %q not found", inner.Table)
+		}
+		acc, err := bindSimpleWhere(tbl, inner.Where, params)
+		if err != nil {
+			return nil, err
+		}
+		plan := dmlPlan(tbl, acc)
+		var affected int64 = -1
+		if s.Analyze {
+			res, _, err := c.execDelete(inner, params)
+			if err != nil {
+				return nil, err
+			}
+			affected = res.RowsAffected
+		}
+		return explainRows(plan, s.Analyze, affected), nil
+	}
+	return nil, fmt.Errorf("core: EXPLAIN does not support %T", s.Stmt)
+}
+
+// explainSelect optimizes (bypassing the plan cache so estimates are fresh)
+// and, under ANALYZE, executes the instrumented tree.
+func (c *Conn) explainSelect(s *sqlparse.Select, params []val.Value, analyze bool) (*Rows, error) {
+	task := c.db.memG.Begin()
+	defer task.Finish()
+	ctx := c.execCtx(task)
+	ctx.Task = task
+
+	benv := &opt.BuildEnv{Env: c.optEnv(), Res: c.db, Ctx: ctx, Params: params}
+	plan, err := opt.BuildSelect(s, benv)
+	if err != nil {
+		return nil, err
+	}
+	c.noteEnum(plan)
+	if analyze {
+		plan.Root = exec.Instrument(plan.Root)
+		if _, err := exec.Drain(ctx, plan.Root); err != nil {
+			return nil, err
+		}
+	}
+	return explainRows(plan, analyze, -1), nil
+}
+
+// explainRows renders a plan tree into EXPLAIN's tabular shape. dmlRows,
+// when >= 0, is the row count a heuristic-bypass DML statement affected
+// (the bypass executes outside the operator tree, so the root's actuals
+// come from the statement result instead of a Stat wrapper).
+func explainRows(plan *opt.Plan, analyze bool, dmlRows int64) *Rows {
+	var out []exec.Row
+	var walk func(op exec.Operator, depth int)
+	walk = func(op exec.Operator, depth int) {
+		inner := exec.Unwrap(op)
+		label := strings.Repeat("  ", depth) + exec.Describe(inner)
+		est := val.Null
+		if plan.EstRows != nil {
+			if e, ok := plan.EstRows[inner]; ok {
+				est = val.NewInt(int64(e + 0.5))
+			}
+		}
+		actRows, actInv, actUS, actMem := val.Null, val.Null, val.Null, val.Null
+		if analyze {
+			if st, ok := exec.StatsOf(op); ok {
+				actRows = val.NewInt(st.Rows)
+				actInv = val.NewInt(st.Invocations)
+				actUS = val.NewInt(st.VTimeMicros)
+				actMem = val.NewInt(int64(st.MemPeakPages))
+			} else if depth == 0 && dmlRows >= 0 {
+				actRows = val.NewInt(dmlRows)
+			}
+		}
+		out = append(out, exec.Row{val.NewStr(label), est, actRows, actInv, actUS, actMem})
+		for _, ch := range exec.Children(inner) {
+			walk(ch, depth+1)
+		}
+	}
+	if plan.Root != nil {
+		walk(plan.Root, 0)
+	}
+	return &Rows{cols: explainColumns, rows: out, plan: plan}
+}

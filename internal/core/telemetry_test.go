@@ -1,0 +1,157 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"anywheredb/internal/val"
+)
+
+func seedThree(t testing.TB, c *Conn) {
+	t.Helper()
+	mustExec(t, c, "CREATE TABLE r (a INT, b INT)")
+	mustExec(t, c, "CREATE TABLE s (b INT, c INT)")
+	mustExec(t, c, "CREATE TABLE u (c INT, d INT)")
+	for i := 0; i < 50; i++ {
+		mustExec(t, c, "INSERT INTO r VALUES (?, ?)", val.NewInt(int64(i)), val.NewInt(int64(i%10)))
+		mustExec(t, c, "INSERT INTO s VALUES (?, ?)", val.NewInt(int64(i%10)), val.NewInt(int64(i%5)))
+		mustExec(t, c, "INSERT INTO u VALUES (?, ?)", val.NewInt(int64(i%5)), val.NewInt(int64(i)))
+	}
+}
+
+func TestSysPropertiesSpansSubsystems(t *testing.T) {
+	db := openDB(t, Options{})
+	c := conn(t, db)
+	defer c.Close()
+	seedThree(t, c)
+	mustQuery(t, c, "SELECT COUNT(*) FROM r")
+
+	rows := mustQuery(t, c, "SELECT * FROM sys.properties")
+	if got := rows.Columns(); len(got) != 3 || got[0] != "name" {
+		t.Fatalf("columns = %v", got)
+	}
+	if rows.Count() < 25 {
+		t.Fatalf("sys.properties has %d rows, want >= 25", rows.Count())
+	}
+	prefixes := map[string]bool{}
+	for _, row := range rows.All() {
+		name := row[0].S
+		if i := strings.IndexByte(name, '.'); i > 0 {
+			prefixes[name[:i]] = true
+		}
+	}
+	for _, want := range []string{"buffer", "wal", "lock", "mem", "cachegov", "opt", "exec"} {
+		if !prefixes[want] {
+			t.Errorf("no %q.* properties published (have %v)", want, prefixes)
+		}
+	}
+}
+
+func TestPropertyBuiltin(t *testing.T) {
+	db := openDB(t, Options{})
+	c := conn(t, db)
+	defer c.Close()
+	mustExec(t, c, "CREATE TABLE k (x INT)")
+	mustExec(t, c, "INSERT INTO k VALUES (1)")
+
+	rows := mustQuery(t, c, "SELECT PROPERTY('exec.statements') FROM k")
+	if rows.Count() != 1 {
+		t.Fatalf("rows = %d", rows.Count())
+	}
+	rows.Next()
+	if v := rows.Row()[0]; v.IsNull() || v.I < 2 {
+		t.Fatalf("PROPERTY('exec.statements') = %v, want >= 2", v)
+	}
+
+	rows = mustQuery(t, c, "SELECT PROPERTY('no.such.counter') FROM k")
+	rows.Next()
+	if !rows.Row()[0].IsNull() {
+		t.Fatalf("unknown property should be NULL, got %v", rows.Row()[0])
+	}
+}
+
+func TestExplainAnalyzeThreeWayJoin(t *testing.T) {
+	db := openDB(t, Options{})
+	c := conn(t, db)
+	defer c.Close()
+	seedThree(t, c)
+
+	rows := mustQuery(t, c,
+		"EXPLAIN ANALYZE SELECT r.a, u.d FROM r, s, u WHERE r.b = s.b AND s.c = u.c")
+	if got := rows.Columns(); len(got) != 6 || got[0] != "operator" || got[1] != "est_rows" || got[2] != "actual_rows" {
+		t.Fatalf("columns = %v", got)
+	}
+	if rows.Count() < 4 {
+		t.Fatalf("plan tree has %d nodes, want >= 4 for a 3-way join", rows.Count())
+	}
+	var scans, withBoth int
+	for _, row := range rows.All() {
+		label := row[0].S
+		if strings.Contains(label, "Scan(") {
+			scans++
+		}
+		if !row[1].IsNull() && !row[2].IsNull() {
+			withBoth++
+		}
+	}
+	if scans < 3 {
+		t.Errorf("plan shows %d scans, want 3", scans)
+	}
+	if withBoth == 0 {
+		t.Error("no operator row carries both an estimate and an actual")
+	}
+}
+
+func TestExplainWithoutAnalyzeDoesNotExecute(t *testing.T) {
+	db := openDB(t, Options{})
+	c := conn(t, db)
+	defer c.Close()
+	mustExec(t, c, "CREATE TABLE v (x INT)")
+	mustExec(t, c, "INSERT INTO v VALUES (1), (2), (3)")
+
+	rows := mustQuery(t, c, "EXPLAIN DELETE FROM v WHERE x = 2")
+	if rows.Count() < 1 {
+		t.Fatal("EXPLAIN DELETE returned no plan rows")
+	}
+	rows.Next()
+	if !rows.Row()[2].IsNull() {
+		t.Fatalf("plain EXPLAIN must not report actuals, got %v", rows.Row()[2])
+	}
+	// The delete must not have run.
+	if n := mustQuery(t, c, "SELECT * FROM v").Count(); n != 3 {
+		t.Fatalf("EXPLAIN executed the DELETE: %d rows left", n)
+	}
+
+	rows = mustQuery(t, c, "EXPLAIN ANALYZE DELETE FROM v WHERE x = 2")
+	rows.Next()
+	if v := rows.Row()[2]; v.IsNull() || v.I != 1 {
+		t.Fatalf("EXPLAIN ANALYZE DELETE actual_rows = %v, want 1", v)
+	}
+	if n := mustQuery(t, c, "SELECT * FROM v").Count(); n != 2 {
+		t.Fatalf("EXPLAIN ANALYZE did not execute the DELETE: %d rows left", n)
+	}
+}
+
+func TestDMLRowsCarryPlan(t *testing.T) {
+	db := openDB(t, Options{})
+	c := conn(t, db)
+	defer c.Close()
+	mustExec(t, c, "CREATE TABLE w (x INT, y INT)")
+	mustExec(t, c, "CREATE INDEX wx ON w (x)")
+	mustExec(t, c, "INSERT INTO w VALUES (1, 10), (2, 20)")
+
+	rows, err := c.Query("UPDATE w SET y = 99 WHERE x = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Plan() == nil || rows.Plan().Root == nil {
+		t.Fatal("heuristic-bypass UPDATE should still expose a minimal plan")
+	}
+	rows, err = c.Query("DELETE FROM w WHERE y > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Plan() == nil || rows.Plan().Root == nil {
+		t.Fatal("heuristic-bypass DELETE should still expose a minimal plan")
+	}
+}

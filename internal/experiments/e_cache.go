@@ -10,6 +10,7 @@ import (
 	"anywheredb/internal/osenv"
 	"anywheredb/internal/page"
 	"anywheredb/internal/store"
+	"anywheredb/internal/telemetry"
 	"anywheredb/internal/vclock"
 	"anywheredb/internal/workload"
 )
@@ -22,10 +23,14 @@ type cacheRig struct {
 	pool    *buffer.Pool
 	machine *osenv.Machine
 	gov     *cachegov.Governor
+	reg     *telemetry.Registry
 	dbSize  int64
 	pages   []store.PageID
 	cursor  int
 }
+
+// digest reports every engine counter the experiment moved.
+func (r *cacheRig) digest() []telemetry.Sample { return telemetry.Delta(nil, r.reg.Snapshot()) }
 
 func newCacheRig(totalRAM int64, minP, initP, maxP int, ce, noDamping bool) (*cacheRig, error) {
 	clk := vclock.New()
@@ -56,6 +61,9 @@ func newCacheRig(totalRAM int64, minP, initP, maxP int, ce, noDamping bool) (*ca
 			return int64(r.pool.Resize(int(target/page.Size))) * page.Size
 		},
 	})
+	r.reg = telemetry.NewRegistry()
+	r.pool.AttachTelemetry(r.reg)
+	r.gov.AttachTelemetry(r.reg)
 	return r, nil
 }
 
@@ -121,6 +129,7 @@ func E1CacheGovernor() (*Report, error) {
 			"pool_mb_pressured":   poolAtPeakPressure,
 			"pool_mb_final":       finalMB,
 		},
+		Telemetry: r.digest(),
 	}, nil
 }
 
@@ -265,5 +274,6 @@ func E16CEMode() (*Report, error) {
 			"pool_mb_grown":  grown,
 			"pool_mb_shrunk": shrunk,
 		},
+		Telemetry: r.digest(),
 	}, nil
 }

@@ -11,6 +11,7 @@ import (
 	"anywheredb/internal/profile"
 	"anywheredb/internal/stats"
 	"anywheredb/internal/store"
+	"anywheredb/internal/telemetry"
 	"anywheredb/internal/val"
 )
 
@@ -127,6 +128,8 @@ func E13Replacement() (*Report, error) {
 	}
 	defer st.Close()
 	pool := buffer.New(st, 8, frames, frames)
+	reg := telemetry.NewRegistry()
+	pool.AttachTelemetry(reg)
 
 	// Materialize pages: 32 hot, 176 cold (the scan is ~1.4x the pool: big
 	// enough to flush an LRU completely, small enough that a
@@ -207,6 +210,7 @@ func E13Replacement() (*Report, error) {
 			"lru_hit_rate":   lruRate,
 			"lookaside_hits": float64(after.LookasideHits),
 		},
+		Telemetry: telemetry.Delta(nil, reg.Snapshot()),
 	}, nil
 }
 
@@ -282,5 +286,6 @@ func E15IndexConsultant() (*Report, error) {
 			"recommendations":  float64(len(recs)),
 			"best_benefit":     bestBenefit,
 		},
+		Telemetry: engineDigest(db),
 	}, nil
 }

@@ -10,9 +10,17 @@ import (
 	"anywheredb/internal/exec"
 	"anywheredb/internal/opt"
 	"anywheredb/internal/sqlparse"
+	"anywheredb/internal/telemetry"
 	"anywheredb/internal/val"
 	"anywheredb/internal/vclock"
 )
+
+// engineDigest reports every engine counter a core.DB-backed experiment
+// moved (the registry is born with the database, so the delta is against
+// zero).
+func engineDigest(db *core.DB) []telemetry.Sample {
+	return telemetry.Delta(nil, db.Telemetry().Snapshot())
+}
 
 // openRigDB opens an in-memory engine over a simulated HDD so virtual I/O
 // time is measurable.
@@ -203,10 +211,11 @@ func E5RankPreservation() (*Report, error) {
 	fmt.Fprintf(&sb, "pairwise concordance: %d/%d = %.2f\n", agree, total, conc)
 	fmt.Fprintf(&sb, "decisive pairs (est ≥4x apart): %d/%d = %.2f\n", decAgree, decTotal, decConc)
 	return &Report{
-		ID:      "E5",
-		Title:   "Cost model rank preservation (Eq. 3)",
-		Table:   sb.String(),
-		Metrics: map[string]float64{"concordance": conc, "decisive_concordance": decConc},
+		ID:        "E5",
+		Title:     "Cost model rank preservation (Eq. 3)",
+		Table:     sb.String(),
+		Metrics:   map[string]float64{"concordance": conc, "decisive_concordance": decConc},
+		Telemetry: engineDigest(db),
 	}, nil
 }
 
@@ -273,6 +282,7 @@ func E6HundredWayJoin() (*Report, error) {
 			"visits":       visits,
 			"approx_bytes": approxBytes,
 		},
+		Telemetry: engineDigest(db),
 	}, nil
 }
 
@@ -367,6 +377,7 @@ func E8GovernorQuota() (*Report, error) {
 			"nopruning_visits":  float64(rowsOut[len(rowsOut)-1].visits),
 			"quota1000_ratio":   quota1000Cost / exhaustCost,
 		},
+		Telemetry: engineDigest(db),
 	}, nil
 }
 
@@ -451,6 +462,7 @@ func E14PlanCache() (*Report, error) {
 			"hits":          float64(hits),
 			"verifications": float64(verifs),
 		},
+		Telemetry: engineDigest(db),
 	}, nil
 }
 

@@ -15,6 +15,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"anywheredb/internal/telemetry"
 )
 
 // Report is one experiment's outcome.
@@ -23,6 +25,9 @@ type Report struct {
 	Title   string
 	Table   string // formatted rows/series, as the paper reports them
 	Metrics map[string]float64
+	// Telemetry is the engine counter movement the experiment caused
+	// (registry deltas), printed alongside the paper-shaped table.
+	Telemetry []telemetry.Sample
 }
 
 func (r *Report) String() string {
@@ -34,6 +39,12 @@ func (r *Report) String() string {
 			fmt.Fprintf(&sb, " %s=%.4g", k, r.Metrics[k])
 		}
 		sb.WriteString("\n")
+	}
+	if len(r.Telemetry) > 0 {
+		sb.WriteString("telemetry:\n")
+		for _, s := range r.Telemetry {
+			fmt.Fprintf(&sb, "  %-40s %+d\n", s.Name, s.Value)
+		}
 	}
 	return sb.String()
 }

@@ -11,11 +11,13 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"anywheredb/internal/buffer"
 	"anywheredb/internal/page"
 	"anywheredb/internal/store"
+	"anywheredb/internal/telemetry"
 )
 
 // Mode is a lock mode.
@@ -83,6 +85,20 @@ type Manager struct {
 	broadcast chan struct{} // closed and replaced whenever locks are released
 	// Timeout bounds lock waits; exceeded waits fail with ErrTimeout.
 	Timeout time.Duration
+
+	acquires atomic.Uint64 // granted lock requests (including re-entrant)
+	waits    atomic.Uint64 // requests that blocked at least once
+	timeouts atomic.Uint64 // waits that expired (deadlock resolution)
+	releases atomic.Uint64 // Unlock + ReleaseAll calls
+}
+
+// AttachTelemetry publishes the manager's counters into reg under "lock.".
+func (m *Manager) AttachTelemetry(reg *telemetry.Registry) {
+	reg.GaugeFunc("lock.acquires", func() int64 { return int64(m.acquires.Load()) })
+	reg.GaugeFunc("lock.waits", func() int64 { return int64(m.waits.Load()) })
+	reg.GaugeFunc("lock.timeouts", func() int64 { return int64(m.timeouts.Load()) })
+	reg.GaugeFunc("lock.releases", func() int64 { return int64(m.releases.Load()) })
+	reg.GaugeFunc("lock.buckets", func() int64 { return int64(m.Buckets()) })
 }
 
 // NewManager creates a lock manager with a single bucket.
@@ -275,6 +291,7 @@ func (m *Manager) Lock(txn, obj uint64, key []byte, mode Mode) error {
 		}
 		if held(es, obj, key, txn, mode) {
 			m.mu.Unlock()
+			m.acquires.Add(1)
 			return nil
 		}
 		if compatible(es, obj, key, txn, mode) {
@@ -293,6 +310,9 @@ func (m *Manager) Lock(txn, obj uint64, key []byte, mode Mode) error {
 			}
 			err := m.addEntry(entry{obj: obj, key: append([]byte(nil), key...), txn: txn, mode: mode})
 			m.mu.Unlock()
+			if err == nil {
+				m.acquires.Add(1)
+			}
 			return err
 		}
 		ch := m.broadcast
@@ -300,12 +320,15 @@ func (m *Manager) Lock(txn, obj uint64, key []byte, mode Mode) error {
 
 		remain := time.Until(deadline)
 		if remain <= 0 {
+			m.timeouts.Add(1)
 			return ErrTimeout
 		}
+		m.waits.Add(1)
 		select {
 		case <-ch:
 			// Locks were released somewhere; retry.
 		case <-time.After(remain):
+			m.timeouts.Add(1)
 			return ErrTimeout
 		}
 	}
@@ -330,6 +353,7 @@ func (m *Manager) Unlock(txn, obj uint64, key []byte) error {
 	if _, err := m.writeBucket(id, kept); err != nil {
 		return err
 	}
+	m.releases.Add(1)
 	m.wake()
 	return nil
 }
@@ -360,6 +384,7 @@ func (m *Manager) ReleaseAll(txn uint64) error {
 			}
 		}
 	}
+	m.releases.Add(1)
 	m.wake()
 	return nil
 }

@@ -15,6 +15,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+
+	"anywheredb/internal/telemetry"
 )
 
 // ErrHardLimit is returned when a task exceeds its hard memory limit; the
@@ -42,6 +45,20 @@ type Governor struct {
 	mu     sync.Mutex
 	mpl    int // server multiprogramming level
 	active int // currently active requests
+
+	tasks           atomic.Uint64 // tasks begun
+	grants          atomic.Uint64 // Alloc calls admitted within quota
+	denials         atomic.Uint64 // Alloc calls refused at the hard limit
+	releaseRequests atomic.Uint64 // top-down ReleaseMemory sweeps triggered
+}
+
+// AttachTelemetry publishes the governor's counters into reg under "mem.".
+func (g *Governor) AttachTelemetry(reg *telemetry.Registry) {
+	reg.GaugeFunc("mem.tasks", func() int64 { return int64(g.tasks.Load()) })
+	reg.GaugeFunc("mem.grants", func() int64 { return int64(g.grants.Load()) })
+	reg.GaugeFunc("mem.denials", func() int64 { return int64(g.denials.Load()) })
+	reg.GaugeFunc("mem.release_requests", func() int64 { return int64(g.releaseRequests.Load()) })
+	reg.GaugeFunc("mem.active_tasks", func() int64 { return int64(g.ActiveRequests()) })
 }
 
 // NewGovernor builds a governor. mpl is the server multiprogramming level
@@ -83,6 +100,7 @@ func (g *Governor) Begin() *Task {
 	g.mu.Lock()
 	g.active++
 	g.mu.Unlock()
+	g.tasks.Add(1)
 	return &Task{gov: g}
 }
 
@@ -200,6 +218,7 @@ func (t *Task) Alloc(n int) error {
 
 	soft := t.SoftLimitPages()
 	if used > soft {
+		t.gov.releaseRequests.Add(1)
 		t.requestRelease(used - soft)
 	}
 
@@ -210,8 +229,10 @@ func (t *Task) Alloc(n int) error {
 		// The request is refused: roll the accounting back so the caller
 		// (which will terminate the statement) does not leak quota.
 		t.Free(n)
+		t.gov.denials.Add(1)
 		return ErrHardLimit
 	}
+	t.gov.grants.Add(1)
 	return nil
 }
 

@@ -157,6 +157,11 @@ func Bind(sel *sqlparse.Select, res Resolver, cteSources map[string]*Materialize
 			if cte, ok := cteSources[strings.ToLower(f.Name)]; ok {
 				quant.Rows = cte.Rows
 				quant.Cols = cte.Cols
+			} else if cols, rows, ok := lookupVirtual(res, f.Name); ok {
+				// Virtual tables (sys.properties) bind as a materialized
+				// snapshot taken at optimization time.
+				quant.Rows = rows
+				quant.Cols = cols
 			} else {
 				tbl, ok := res.Table(f.Name)
 				if !ok {

@@ -21,6 +21,11 @@ type Plan struct {
 	// HashJoins lists the plan's hash joins (for adaptive-behaviour
 	// inspection in tests and experiments).
 	HashJoins []*exec.HashJoin
+	// EstRows maps join-pipeline operators to the enumerator's cumulative
+	// cardinality estimate at that point in the plan (EXPLAIN prints these
+	// next to the actuals). Keys are the operators as built; look up with
+	// exec.Unwrap when the tree has been instrumented.
+	EstRows map[exec.Operator]float64
 	// orderHandled marks that ORDER BY was applied inside the block (below
 	// or above the projection), so buildQueryBlock must not re-apply it.
 	orderHandled bool
@@ -400,6 +405,16 @@ func (b *blockBuilder) buildPipeline(order []Step, plan *Plan) (exec.Operator, e
 	var root exec.Operator
 	applied := map[*Conjunct]bool{}
 
+	// Replay the enumerator's cardinality recurrence alongside construction
+	// so every pipeline step carries its estimated output rows (EXPLAIN
+	// prints these against the actuals).
+	if plan.EstRows == nil {
+		plan.EstRows = map[exec.Operator]float64{}
+	}
+	env := b.benv.Env
+	placedSet := map[int]bool{}
+	card := 1.0
+
 	for stepIdx, st := range order {
 		qt := q.Quants[st.Quant]
 		width := len(qt.Columns())
@@ -464,6 +479,14 @@ func (b *blockBuilder) buildPipeline(order []Step, plan *Plan) (exec.Operator, e
 				applied[cj] = true
 			}
 		}
+
+		if stepIdx == 0 {
+			card = math.Max(q.LocalCardinality(st.Quant), 1)
+		} else {
+			_, card = env.stepCost(q, placedSet, card, st)
+		}
+		placedSet[st.Quant] = true
+		plan.EstRows[root] = card
 	}
 	return root, nil
 }
@@ -1425,6 +1448,19 @@ func (b *blockBuilder) compileScalarWithLayout(e sqlparse.Expr, layout []int, of
 	case *sqlparse.FuncCall:
 		if aggNames[x.Name] {
 			return nil, fmt.Errorf("opt: aggregate %s in a non-aggregated context", x.Name)
+		}
+		if x.Name == "PROPERTY" {
+			if len(x.Args) != 1 || x.Star || x.Distinct {
+				return nil, fmt.Errorf("opt: PROPERTY takes exactly one argument")
+			}
+			if b.benv.Env.Property == nil {
+				return nil, fmt.Errorf("opt: PROPERTY is not available in this context")
+			}
+			arg, err := b.compileScalarWithLayout(x.Args[0], layout, offsets)
+			if err != nil {
+				return nil, err
+			}
+			return propertyExpr{arg: arg, fn: b.benv.Env.Property}, nil
 		}
 		return nil, fmt.Errorf("opt: unknown function %q", x.Name)
 	}

@@ -34,6 +34,10 @@ type Env struct {
 	// NoRedistribution disables the ≥20%-improvement quota redistribution
 	// (E8 ablation).
 	NoRedistribution bool
+
+	// Property resolves PROPERTY('name') calls against the engine's
+	// telemetry registry. nil disables the builtin (standalone opt tests).
+	Property func(name string) (int64, bool)
 }
 
 func (e *Env) fill() {

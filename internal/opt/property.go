@@ -1,0 +1,50 @@
+package opt
+
+import (
+	"fmt"
+	"strings"
+
+	"anywheredb/internal/exec"
+	"anywheredb/internal/table"
+	"anywheredb/internal/val"
+)
+
+// propertyExpr is the compiled PROPERTY('name') builtin: it evaluates its
+// argument per row and reads the named metric from the engine's telemetry
+// registry at execution time, so repeated evaluation observes live values
+// (mirroring SQL Anywhere's PROPERTY function).
+type propertyExpr struct {
+	arg exec.Expr
+	fn  func(name string) (int64, bool)
+}
+
+func (p propertyExpr) Eval(row exec.Row) (val.Value, error) {
+	v, err := p.arg.Eval(row)
+	if err != nil {
+		return val.Null, err
+	}
+	if v.Kind != val.KStr {
+		return val.Null, fmt.Errorf("opt: PROPERTY argument must be a string, got %s", v.Kind)
+	}
+	n, ok := p.fn(v.S)
+	if !ok {
+		return val.Null, nil // unknown property is NULL, not an error
+	}
+	return val.NewInt(n), nil
+}
+
+// VirtualTables is an optional Resolver extension: a resolver that also
+// serves virtual tables (like sys.properties) returns their schema and a
+// snapshot of their rows here. Names are matched case-insensitively.
+type VirtualTables interface {
+	VirtualRows(name string) (cols []table.Column, rows []exec.Row, ok bool)
+}
+
+// lookupVirtual probes res for a virtual table.
+func lookupVirtual(res Resolver, name string) ([]table.Column, []exec.Row, bool) {
+	vt, ok := res.(VirtualTables)
+	if !ok {
+		return nil, nil, false
+	}
+	return vt.VirtualRows(strings.ToLower(name))
+}

@@ -1,0 +1,98 @@
+package profile
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"anywheredb/internal/telemetry"
+	"anywheredb/internal/val"
+)
+
+func TestAnalyzeTelemetry(t *testing.T) {
+	if got := AnalyzeTelemetry(nil); got != nil {
+		t.Fatalf("nil registry: got %v", got)
+	}
+	reg := telemetry.NewRegistry()
+	if got := AnalyzeTelemetry(reg); len(got) != 0 {
+		t.Fatalf("empty registry: got %v", got)
+	}
+
+	reg.Counter("lock.timeouts").Add(3)
+	reg.Counter("mem.denials").Add(2)
+	reg.Counter("opt.quota_exhausted").Inc()
+	reg.Counter("buffer.hits").Add(100)
+	reg.Counter("buffer.misses").Add(900)
+
+	findings := AnalyzeTelemetry(reg)
+	kinds := map[string]int{}
+	for _, f := range findings {
+		kinds[f.Kind] = f.Count
+	}
+	if kinds["locks"] != 3 {
+		t.Errorf("locks finding count = %d, want 3", kinds["locks"])
+	}
+	if kinds["memory"] != 2 {
+		t.Errorf("memory finding count = %d, want 2", kinds["memory"])
+	}
+	if _, ok := kinds["optimizer"]; !ok {
+		t.Error("missing optimizer finding")
+	}
+	if kinds["buffer"] != 900 {
+		t.Errorf("buffer finding count = %d, want 900", kinds["buffer"])
+	}
+}
+
+// TestTracerConcurrent hammers one Tracer from parallel writers while
+// readers snapshot and reset it; run with -race this proves the tracer is
+// safe to share between the engine's connection goroutines.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer()
+	const writers, perWriter = 8, 200
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				tr.TraceStatement(
+					fmt.Sprintf("SELECT %d", i),
+					[]val.Value{val.NewInt(int64(w))},
+					int64(i), 1)
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, e := range tr.Events() {
+					if e.SQL == "" {
+						t.Error("empty SQL in traced event")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	if n := len(tr.Events()); n != writers*perWriter {
+		t.Fatalf("traced %d events, want %d", n, writers*perWriter)
+	}
+	tr.Reset()
+	if n := len(tr.Events()); n != 0 {
+		t.Fatalf("after Reset: %d events, want 0", n)
+	}
+}

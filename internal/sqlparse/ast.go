@@ -83,6 +83,14 @@ type Begin struct{}
 type Commit struct{}
 type Rollback struct{}
 
+// Explain is EXPLAIN [ANALYZE] <statement>: print the statement's plan
+// tree with estimated rows/cost, and — with ANALYZE — execute it and print
+// the per-operator actuals alongside.
+type Explain struct {
+	Analyze bool
+	Stmt    Statement
+}
+
 // SelectItem is one projection: an expression with an optional alias, or *.
 type SelectItem struct {
 	Expr  Expr
@@ -132,6 +140,7 @@ func (*Begin) stmtNode()            {}
 func (*Commit) stmtNode()           {}
 func (*Rollback) stmtNode()         {}
 func (*Select) stmtNode()           {}
+func (*Explain) stmtNode()          {}
 
 // --- From items ----------------------------------------------------------
 

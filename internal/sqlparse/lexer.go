@@ -38,6 +38,7 @@ var keywords = map[string]bool{
 	"DATABASE": true, "INT": true, "INTEGER": true, "BIGINT": true,
 	"DOUBLE": true, "REAL": true, "FLOAT": true, "VARCHAR": true,
 	"CHAR": true, "TEXT": true, "STRING": true, "LOAD": true,
+	"EXPLAIN": true, "ANALYZE": true,
 }
 
 type lexer struct {

@@ -81,6 +81,16 @@ func (p *parser) ident() (string, error) {
 
 func (p *parser) parseStatement() (Statement, error) {
 	switch {
+	case p.accept(tokKeyword, "EXPLAIN"):
+		analyze := p.accept(tokKeyword, "ANALYZE")
+		inner, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		if _, nested := inner.(*Explain); nested {
+			return nil, p.errf("EXPLAIN cannot be nested")
+		}
+		return &Explain{Analyze: analyze, Stmt: inner}, nil
 	case p.at(tokKeyword, "SELECT"), p.at(tokKeyword, "WITH"):
 		return p.parseSelect()
 	case p.accept(tokKeyword, "CREATE"):
@@ -585,6 +595,15 @@ func (p *parser) parseTableRef() (FromItem, error) {
 	name, err := p.ident()
 	if err != nil {
 		return nil, err
+	}
+	// Qualified names (sys.properties) keep the dot in the table name;
+	// binding resolves them against virtual-table providers.
+	if p.accept(tokOp, ".") {
+		second, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		name = name + "." + second
 	}
 	bt := &BaseTable{Name: name}
 	if p.accept(tokKeyword, "AS") {

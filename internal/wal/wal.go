@@ -12,8 +12,10 @@ import (
 	"hash/crc32"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"anywheredb/internal/store"
+	"anywheredb/internal/telemetry"
 )
 
 // RecType enumerates log record kinds.
@@ -64,6 +66,21 @@ type Log struct {
 	mem    []byte
 	tail   uint64 // next append offset
 	buffer []byte // pending, unflushed bytes
+
+	records     atomic.Uint64 // records appended
+	checkpoints atomic.Uint64 // checkpoint records appended
+	flushes     atomic.Uint64 // non-empty group-commit flushes
+	truncates   atomic.Uint64
+	bytes       atomic.Uint64 // payload+frame bytes appended
+}
+
+// AttachTelemetry publishes the log's counters into reg under "wal.".
+func (l *Log) AttachTelemetry(reg *telemetry.Registry) {
+	reg.GaugeFunc("wal.records", func() int64 { return int64(l.records.Load()) })
+	reg.GaugeFunc("wal.checkpoints", func() int64 { return int64(l.checkpoints.Load()) })
+	reg.GaugeFunc("wal.flushes", func() int64 { return int64(l.flushes.Load()) })
+	reg.GaugeFunc("wal.truncates", func() int64 { return int64(l.truncates.Load()) })
+	reg.GaugeFunc("wal.bytes_appended", func() int64 { return int64(l.bytes.Load()) })
 }
 
 // Open opens (or creates) the log file at path. An empty path yields a
@@ -148,6 +165,11 @@ func (l *Log) Append(r *Record) LSN {
 	defer l.mu.Unlock()
 	lsn := l.tail + uint64(len(l.buffer))
 	l.buffer = append(l.buffer, frame...)
+	l.records.Add(1)
+	l.bytes.Add(uint64(len(frame)))
+	if r.Type == RecCheckpoint {
+		l.checkpoints.Add(1)
+	}
 	return lsn
 }
 
@@ -171,6 +193,7 @@ func (l *Log) Flush() error {
 	}
 	l.tail += uint64(len(l.buffer))
 	l.buffer = l.buffer[:0]
+	l.flushes.Add(1)
 	return nil
 }
 
@@ -274,6 +297,7 @@ func (l *Log) Truncate() error {
 	l.buffer = l.buffer[:0]
 	l.tail = 0
 	l.mem = nil
+	l.truncates.Add(1)
 	if l.f != nil {
 		if err := l.f.Truncate(0); err != nil {
 			return fmt.Errorf("wal: truncate: %w", err)

@@ -2,32 +2,36 @@ package buffer
 
 import "sync/atomic"
 
-// lookaside is a lock-free bounded MPMC queue (Vyukov-style) of frame
-// indexes that can be reused immediately — typically frames whose heap or
+// lookaside is a lock-free bounded MPMC queue (Vyukov-style) of
+// immediately-reusable items — typically frames whose heap or
 // temporary-table pages have been freed. §2.2: "The queue is implemented
 // using a lock-free array that allows a fast decision whether a page is
 // reusable. ... It is important that the queue be lock-free to avoid the
 // use of semaphores."
-type lookaside struct {
+//
+// The queue is generic so tests can exercise it with plain ints while the
+// pool stores *Frame: pointer entries stay identifiable after a shrink or
+// cross-shard borrow moves frames around (an index would go stale).
+type lookaside[T any] struct {
 	mask  uint64
-	cells []lookasideCell
+	cells []lookasideCell[T]
 	head  atomic.Uint64 // dequeue position
 	tail  atomic.Uint64 // enqueue position
 }
 
-type lookasideCell struct {
+type lookasideCell[T any] struct {
 	seq atomic.Uint64
-	val int
+	val T
 	_   [40]byte // pad to a cache line to avoid false sharing
 }
 
 // newLookaside returns a queue with capacity rounded up to a power of two.
-func newLookaside(capacity int) *lookaside {
+func newLookaside[T any](capacity int) *lookaside[T] {
 	n := 1
 	for n < capacity {
 		n <<= 1
 	}
-	q := &lookaside{mask: uint64(n - 1), cells: make([]lookasideCell, n)}
+	q := &lookaside[T]{mask: uint64(n - 1), cells: make([]lookasideCell[T], n)}
 	for i := range q.cells {
 		q.cells[i].seq.Store(uint64(i))
 	}
@@ -37,7 +41,7 @@ func newLookaside(capacity int) *lookaside {
 // push enqueues v; returns false when the queue is full (the caller then
 // leaves the frame to the clock algorithm — losing a lookaside entry is
 // always safe).
-func (q *lookaside) push(v int) bool {
+func (q *lookaside[T]) push(v T) bool {
 	pos := q.tail.Load()
 	for {
 		cell := &q.cells[pos&q.mask]
@@ -58,8 +62,8 @@ func (q *lookaside) push(v int) bool {
 	}
 }
 
-// pop dequeues a frame index, or returns (0, false) when empty.
-func (q *lookaside) pop() (int, bool) {
+// pop dequeues an item, or returns (zero, false) when empty.
+func (q *lookaside[T]) pop() (T, bool) {
 	pos := q.head.Load()
 	for {
 		cell := &q.cells[pos&q.mask]
@@ -73,7 +77,8 @@ func (q *lookaside) pop() (int, bool) {
 			}
 			pos = q.head.Load()
 		case seq < pos+1:
-			return 0, false // empty
+			var zero T
+			return zero, false // empty
 		default:
 			pos = q.head.Load()
 		}

@@ -4,11 +4,23 @@
 // algorithm (eight reference-time segments, exponentially decayed scores)
 // and a lock-free lookaside queue of immediately-reusable frames. The pool
 // can grow and shrink dynamically on demand from the cache-sizing governor.
+//
+// The pool is sharded for multi-core scalability: the page table, free
+// list, lookaside queue, and clock hand are striped into
+// nextPow2(GOMAXPROCS) shards keyed by a hash of the PageID, each guarded
+// by its own RWMutex, so hits on pages in different shards never contend.
+// The hit path takes only a shard read-lock and pins through the per-frame
+// atomics, so concurrent hits on the *same* shard do not block each other
+// either. The §2.2 scoring is preserved across striping: the reference
+// sequence (refSeq) and segment width stay global, while each shard sweeps
+// its own clock hand over its own frames.
 package buffer
 
 import (
 	"errors"
 	"fmt"
+	"math/bits"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -24,18 +36,26 @@ const segments = 8
 // maxScore caps a frame's replacement score.
 const maxScore = 15
 
+// maxShards bounds the stripe count on very wide hosts; beyond this the
+// per-shard frame populations get too small for the clock to be useful.
+const maxShards = 64
+
 // Frame is one buffer-pool frame. Data is valid while the frame is pinned.
 type Frame struct {
 	ID   store.PageID
 	Data page.Buf
 
 	mu      sync.RWMutex // content latch
+	io      sync.Mutex   // held by the loader while Data is read from the store
 	pin     atomic.Int32
 	dirty   atomic.Bool
+	loading atomic.Bool // a loader is filling Data; concurrent hitters wait on io
+	defunct atomic.Bool // the load failed; pin holders release via releaseDefunct
 	lastRef atomic.Uint64
 	score   atomic.Uint32
-	idx     int // position in pool.frames
-	valid   bool
+	idx     int  // position in its shard's frames slice (shard-mutex-guarded)
+	valid   bool // shard-mutex-guarded
+	onFree  bool // shard-mutex-guarded: frame is on its shard's free list
 }
 
 // Lock latches the frame's contents exclusively.
@@ -54,7 +74,7 @@ func (f *Frame) RUnlock() { f.mu.RUnlock() }
 // before the frame is reused.
 func (f *Frame) MarkDirty() { f.dirty.Store(true) }
 
-// Stats reports pool activity counters.
+// Stats reports pool activity counters, aggregated across shards.
 type Stats struct {
 	Hits          uint64
 	Misses        uint64
@@ -62,36 +82,82 @@ type Stats struct {
 	LookasideHits uint64
 	Writebacks    uint64
 	Steals        uint64 // frames taken away from the pool by a shrink
+	Contention    uint64 // shard-lock acquisitions that found the lock held
+}
+
+// shard is one stripe of the pool: its own page-table partition, frame
+// population, free list, lookaside queue, and clock hand, under its own
+// lock. Counters are shard-local so the hot paths never touch a cache line
+// shared with another shard.
+type shard struct {
+	mu     sync.RWMutex
+	frames []*Frame
+	table  map[store.PageID]*Frame
+	free   []int // indexes of frames with no page
+	hand   int
+	limit  int // this shard's share of the pool size, in frames
+	look   *lookaside[*Frame]
+
+	hits, misses, evictions, lookHits, writebacks, steals atomic.Uint64
+	contention, borrows                                   atomic.Uint64
+}
+
+// lock acquires the shard exclusively, counting contention.
+func (s *shard) lock() {
+	if !s.mu.TryLock() {
+		s.contention.Add(1)
+		s.mu.Lock()
+	}
+}
+
+// rlock acquires the shard shared, counting contention.
+func (s *shard) rlock() {
+	if !s.mu.TryRLock() {
+		s.contention.Add(1)
+		s.mu.RLock()
+	}
 }
 
 // Pool is the buffer pool. It is safe for concurrent use.
 type Pool struct {
 	st *store.Store
 
-	mu      sync.Mutex
-	frames  []*Frame
-	table   map[store.PageID]*Frame
-	free    []int // indexes of frames with no page
-	hand    int
-	limit   int // current pool size, in frames
-	minSize int
-	maxSize int
+	shards     []*shard
+	shardShift uint // 64 - log2(len(shards)); PageID hash top bits pick the shard
+	minSize    int
+	maxSize    int
 
-	refSeq    atomic.Uint64
-	limitAtom atomic.Int64 // mirror of limit readable without p.mu
-	look      *lookaside
+	// structMu serializes Resize and cross-shard frame borrowing, the only
+	// operations that move capacity between shards. It is never held while
+	// a shard lock is being waited on by the hot paths' owners: the hot
+	// paths themselves never take structMu.
+	structMu sync.Mutex
 
-	hits, misses, evictions, lookHits, writebacks, steals atomic.Uint64
+	refSeq    atomic.Uint64 // global reference clock (§2.2 segments)
+	limitAtom atomic.Int64  // total pool size in frames, readable lock-free
 }
 
 // ErrPoolExhausted is returned when every frame in the pool is pinned and
 // no victim can be found.
 var ErrPoolExhausted = errors.New("buffer: all frames pinned")
 
+// errRetry is an internal signal: the frame the caller pinned turned out
+// to be a failed load; retry the Get from scratch.
+var errRetry = errors.New("buffer: retry lookup")
+
 // New creates a pool over st with the given initial size and hard bounds
-// (in frames). The bounds do not change during the lifetime of the pool;
-// only the current size moves between them.
+// (in frames), striped into nextPow2(GOMAXPROCS) shards. The bounds do not
+// change during the lifetime of the pool; only the current size moves
+// between them.
 func New(st *store.Store, minFrames, initial, maxFrames int) *Pool {
+	return NewWithShards(st, minFrames, initial, maxFrames, 0)
+}
+
+// NewWithShards is New with an explicit shard count (rounded up to a power
+// of two, capped at maxShards); nshards <= 0 selects the default
+// nextPow2(GOMAXPROCS). A single shard reproduces the pre-striping
+// global-mutex pool, which experiments use as a baseline.
+func NewWithShards(st *store.Store, minFrames, initial, maxFrames, nshards int) *Pool {
 	if minFrames < 1 {
 		minFrames = 1
 	}
@@ -101,67 +167,126 @@ func New(st *store.Store, minFrames, initial, maxFrames int) *Pool {
 	if maxFrames < initial {
 		maxFrames = initial
 	}
+	if nshards <= 0 {
+		nshards = runtime.GOMAXPROCS(0)
+	}
+	nshards = nextPow2(nshards)
+	if nshards > maxShards {
+		nshards = maxShards
+	}
 	p := &Pool{
-		st:      st,
-		table:   make(map[store.PageID]*Frame),
-		limit:   initial,
-		minSize: minFrames,
-		maxSize: maxFrames,
-		look:    newLookaside(maxFrames),
+		st:         st,
+		minSize:    minFrames,
+		maxSize:    maxFrames,
+		shardShift: uint(64 - bits.TrailingZeros(uint(nshards))),
+	}
+	lookCap := maxFrames/nshards + 1
+	for _, quota := range apportion(initial, nshards) {
+		s := &shard{
+			table: make(map[store.PageID]*Frame),
+			limit: quota,
+			look:  newLookaside[*Frame](lookCap),
+		}
+		for j := 0; j < quota; j++ {
+			f := &Frame{idx: len(s.frames), onFree: true}
+			s.frames = append(s.frames, f)
+			s.free = append(s.free, f.idx)
+		}
+		p.shards = append(p.shards, s)
 	}
 	p.limitAtom.Store(int64(initial))
-	p.frames = make([]*Frame, 0, maxFrames)
-	for i := 0; i < initial; i++ {
-		p.addFrameLocked()
+	return p
+}
+
+// nextPow2 rounds n up to a power of two (minimum 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
 	}
 	return p
 }
 
-func (p *Pool) addFrameLocked() {
-	f := &Frame{idx: len(p.frames)}
-	p.frames = append(p.frames, f)
-	p.free = append(p.free, f.idx)
+// apportion splits total frames across n shards by largest-remainder
+// apportionment. All shards carry equal weight, so every exact quota is
+// total/n and the fractional remainders are identical; the tie-break is
+// shard index order, i.e. the first total%n shards get one extra frame.
+func apportion(total, n int) []int {
+	base, rem := total/n, total%n
+	out := make([]int, n)
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+	}
+	return out
 }
 
-// SizePages reports the pool's current size in frames.
-func (p *Pool) SizePages() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.limit
+// shardOf picks the stripe for a page: Fibonacci-hash the PageID and take
+// the top bits, so densely-allocated sequential page indexes splay evenly.
+func (p *Pool) shardOf(id store.PageID) *shard {
+	return p.shards[(uint64(id)*0x9E3779B97F4A7C15)>>p.shardShift]
 }
+
+// SizePages reports the pool's current size in frames. It reads the
+// atomic mirror and takes no lock.
+func (p *Pool) SizePages() int { return int(p.limitAtom.Load()) }
+
+// Shards reports the stripe count.
+func (p *Pool) Shards() int { return len(p.shards) }
 
 // Bounds reports the pool's immutable lower and upper size bounds.
 func (p *Pool) Bounds() (minFrames, maxFrames int) { return p.minSize, p.maxSize }
 
-// Stats returns a snapshot of the activity counters. The pool mutex is
-// held while the counters are read so the snapshot is consistent with the
-// structural state (limit, resident set) observed around it, rather than a
-// field-by-field copy racing concurrent requests.
+// Stats returns a snapshot of the activity counters, summed across shards
+// without stalling the pool: the counters are shard-local atomics, so the
+// snapshot is per-counter consistent but, unlike the pre-striping pool,
+// not tied to a single structural instant.
 func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return Stats{
-		Hits:          p.hits.Load(),
-		Misses:        p.misses.Load(),
-		Evictions:     p.evictions.Load(),
-		LookasideHits: p.lookHits.Load(),
-		Writebacks:    p.writebacks.Load(),
-		Steals:        p.steals.Load(),
+	var st Stats
+	for _, s := range p.shards {
+		st.Hits += s.hits.Load()
+		st.Misses += s.misses.Load()
+		st.Evictions += s.evictions.Load()
+		st.LookasideHits += s.lookHits.Load()
+		st.Writebacks += s.writebacks.Load()
+		st.Steals += s.steals.Load()
+		st.Contention += s.contention.Load()
 	}
+	return st
 }
 
 // AttachTelemetry publishes the pool's counters into reg under the
 // "buffer." prefix. Func-backed gauges read the pool's own atomics, so the
-// hot paths stay exactly as cheap as before.
+// hot paths stay exactly as cheap as before. Per-shard contention gauges
+// expose which stripes are hot.
 func (p *Pool) AttachTelemetry(reg *telemetry.Registry) {
-	reg.GaugeFunc("buffer.hits", func() int64 { return int64(p.hits.Load()) })
-	reg.GaugeFunc("buffer.misses", func() int64 { return int64(p.misses.Load()) })
-	reg.GaugeFunc("buffer.evictions", func() int64 { return int64(p.evictions.Load()) })
-	reg.GaugeFunc("buffer.lookaside_hits", func() int64 { return int64(p.lookHits.Load()) })
-	reg.GaugeFunc("buffer.writebacks", func() int64 { return int64(p.writebacks.Load()) })
-	reg.GaugeFunc("buffer.steals", func() int64 { return int64(p.steals.Load()) })
+	sum := func(f func(*shard) *atomic.Uint64) func() int64 {
+		return func() int64 {
+			var n uint64
+			for _, s := range p.shards {
+				n += f(s).Load()
+			}
+			return int64(n)
+		}
+	}
+	reg.GaugeFunc("buffer.hits", sum(func(s *shard) *atomic.Uint64 { return &s.hits }))
+	reg.GaugeFunc("buffer.misses", sum(func(s *shard) *atomic.Uint64 { return &s.misses }))
+	reg.GaugeFunc("buffer.evictions", sum(func(s *shard) *atomic.Uint64 { return &s.evictions }))
+	reg.GaugeFunc("buffer.lookaside_hits", sum(func(s *shard) *atomic.Uint64 { return &s.lookHits }))
+	reg.GaugeFunc("buffer.writebacks", sum(func(s *shard) *atomic.Uint64 { return &s.writebacks }))
+	reg.GaugeFunc("buffer.steals", sum(func(s *shard) *atomic.Uint64 { return &s.steals }))
+	reg.GaugeFunc("buffer.contention", sum(func(s *shard) *atomic.Uint64 { return &s.contention }))
+	reg.GaugeFunc("buffer.borrows", sum(func(s *shard) *atomic.Uint64 { return &s.borrows }))
+	reg.GaugeFunc("buffer.shards", func() int64 { return int64(len(p.shards)) })
 	reg.GaugeFunc("buffer.pool_pages", func() int64 { return p.limitAtom.Load() })
 	reg.GaugeFunc("buffer.pinned_frames", func() int64 { return int64(p.PinnedCount()) })
+	for i, s := range p.shards {
+		s := s
+		reg.GaugeFunc(fmt.Sprintf("buffer.shard%02d.contention", i),
+			func() int64 { return int64(s.contention.Load()) })
+	}
 }
 
 // touch records a reference: the frame moves to the newest reference-time
@@ -169,7 +294,9 @@ func (p *Pool) AttachTelemetry(reg *telemetry.Registry) {
 // aged across since its last reference (§2.2: "the score of a page is
 // incremented as it moves from segment to segment"). Adjacent references
 // during a table scan cross no boundary and leave the score unchanged,
-// which is how the algorithm distinguishes scan locality from re-use.
+// which is how the algorithm distinguishes scan locality from re-use. The
+// reference sequence is global across shards so segment ages stay
+// comparable pool-wide.
 func (p *Pool) touch(f *Frame) {
 	now := p.refSeq.Add(1)
 	segWidth := p.segWidth()
@@ -200,42 +327,131 @@ func (p *Pool) segWidth() uint64 {
 }
 
 // Get pins the page, reading it from the store on a miss, and returns its
-// frame.
+// frame. The hit path takes only the shard's read-lock and pins through
+// the frame's atomic, so concurrent hits never block each other; the
+// read-lock orders the pin against the shard's evictor, which holds the
+// write lock while choosing victims.
 func (p *Pool) Get(id store.PageID) (*Frame, error) {
-	p.mu.Lock()
-	if f, ok := p.table[id]; ok {
-		f.pin.Add(1)
-		p.mu.Unlock()
-		p.hits.Add(1)
+	s := p.shardOf(id)
+	for {
+		s.rlock()
+		if f, ok := s.table[id]; ok {
+			f.pin.Add(1)
+			s.mu.RUnlock()
+			f, err := p.awaitLoaded(s, f)
+			if err == errRetry {
+				continue
+			}
+			return f, err
+		}
+		s.mu.RUnlock()
+		f, err := p.load(s, id)
+		if err == errRetry {
+			continue
+		}
+		return f, err
+	}
+}
+
+// awaitLoaded completes a hit on a pinned frame: if a concurrent loader is
+// still filling the frame, wait for it on the frame's io mutex; if that
+// load failed, release the pin and signal a retry. In the steady state
+// this costs one atomic load.
+func (p *Pool) awaitLoaded(s *shard, f *Frame) (*Frame, error) {
+	if f.loading.Load() {
+		f.io.Lock()
+		//lint:ignore SA2001 empty critical section: the lock is a load barrier
+		f.io.Unlock()
+		if f.defunct.Load() {
+			p.releaseDefunct(s, f)
+			return nil, errRetry
+		}
+	}
+	s.hits.Add(1)
+	p.touch(f)
+	return f, nil
+}
+
+// releaseDefunct drops a pin taken on a frame whose load failed. The last
+// holder returns the frame to its shard's free list; until then the frame
+// is invalid, unpinned-but-held, and invisible to the clock and to grabs.
+func (p *Pool) releaseDefunct(s *shard, f *Frame) {
+	if f.pin.Add(-1) != 0 {
+		return
+	}
+	s.lock()
+	if f.defunct.Load() && f.pin.Load() == 0 && !f.valid && !f.onFree &&
+		f.idx < len(s.frames) && s.frames[f.idx] == f {
+		f.defunct.Store(false)
+		f.onFree = true
+		s.free = append(s.free, f.idx)
+	}
+	s.mu.Unlock()
+}
+
+// load handles a Get miss: grab a frame under the shard's write lock,
+// publish it in the page table with the load-in-progress mark, and read
+// the page outside the lock. Concurrent Gets for the same page pin the
+// frame and wait on its io mutex instead of issuing a second read.
+func (p *Pool) load(s *shard, id store.PageID) (*Frame, error) {
+	for {
+		s.lock()
+		// Re-check under the write lock: another goroutine may have loaded
+		// the page while we were between locks.
+		if f, ok := s.table[id]; ok {
+			f.pin.Add(1)
+			s.mu.Unlock()
+			return p.awaitLoaded(s, f)
+		}
+		f, err := s.grabLocked(p)
+		if err == ErrPoolExhausted {
+			s.mu.Unlock()
+			if p.borrow(s) {
+				continue
+			}
+			return nil, ErrPoolExhausted
+		}
+		if err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
+		f.ID = id
+		f.valid = true
+		f.pin.Store(1)
+		f.dirty.Store(false)
+		f.score.Store(0)
+		f.lastRef.Store(p.refSeq.Load()) // fresh occupant: no inherited age
+		f.loading.Store(true)
+		f.io.Lock() // published loading: hitters queue here until the read lands
+		s.table[id] = f
+		s.mu.Unlock()
+
+		s.misses.Add(1)
 		p.touch(f)
+		if rerr := p.st.Read(id, f.Data); rerr != nil {
+			// Undo under the shard lock. The frame is pinned, so neither a
+			// concurrent Resize nor Discard can have evicted or moved it
+			// across shards in the window the lock was dropped (both skip
+			// pinned frames); its idx may have been renumbered by a shrink's
+			// swap-remove, which keeps f.idx current. Re-verify the mapping
+			// anyway before deleting: the undo must never remove a different
+			// frame that re-cached the page.
+			s.lock()
+			if cur, ok := s.table[id]; ok && cur == f {
+				delete(s.table, id)
+			}
+			f.valid = false
+			f.defunct.Store(true)
+			f.loading.Store(false)
+			s.mu.Unlock()
+			f.io.Unlock()
+			p.releaseDefunct(s, f) // drop the loader's own pin
+			return nil, rerr
+		}
+		f.loading.Store(false)
+		f.io.Unlock()
 		return f, nil
 	}
-	f, err := p.grabFrameLocked()
-	if err != nil {
-		p.mu.Unlock()
-		return nil, err
-	}
-	f.ID = id
-	f.valid = true
-	f.pin.Store(1)
-	f.dirty.Store(false)
-	f.score.Store(0)
-	f.lastRef.Store(p.refSeq.Load()) // fresh occupant: no inherited age
-	p.table[id] = f
-	p.mu.Unlock()
-
-	p.misses.Add(1)
-	p.touch(f)
-	if err := p.st.Read(id, f.Data); err != nil {
-		p.mu.Lock()
-		delete(p.table, id)
-		f.valid = false
-		f.pin.Store(0)
-		p.free = append(p.free, f.idx)
-		p.mu.Unlock()
-		return nil, err
-	}
-	return f, nil
 }
 
 // NewPage allocates a fresh page in file fl, pins it, and formats it with
@@ -245,91 +461,110 @@ func (p *Pool) NewPage(fl store.FileID, t page.Type) (*Frame, error) {
 	if err != nil {
 		return nil, err
 	}
-	p.mu.Lock()
-	f, err := p.grabFrameLocked()
-	if err != nil {
-		p.mu.Unlock()
-		return nil, err
+	s := p.shardOf(id)
+	for {
+		s.lock()
+		f, err := s.grabLocked(p)
+		if err == ErrPoolExhausted {
+			s.mu.Unlock()
+			if p.borrow(s) {
+				continue
+			}
+			return nil, ErrPoolExhausted
+		}
+		if err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
+		f.ID = id
+		f.valid = true
+		f.pin.Store(1)
+		f.dirty.Store(true)
+		f.score.Store(0)
+		f.lastRef.Store(p.refSeq.Load()) // fresh occupant: no inherited age
+		s.table[id] = f
+		s.mu.Unlock()
+		p.touch(f)
+		f.Data.Init(t)
+		return f, nil
 	}
-	f.ID = id
-	f.valid = true
-	f.pin.Store(1)
-	f.dirty.Store(true)
-	f.score.Store(0)
-	f.lastRef.Store(p.refSeq.Load()) // fresh occupant: no inherited age
-	p.table[id] = f
-	p.mu.Unlock()
-	p.touch(f)
-	f.Data.Init(t)
-	return f, nil
 }
 
-// grabFrameLocked finds a frame for a new page: the free list first, then
-// the lookaside queue of immediately-reusable frames, then a clock victim.
-// Called with p.mu held.
-func (p *Pool) grabFrameLocked() (*Frame, error) {
+// grabLocked finds a frame for a new page: the shard's free list first,
+// then a materialized frame if the shard is under its limit, then the
+// lookaside queue of immediately-reusable frames, then a clock victim.
+// Called with s.mu held exclusively.
+func (s *shard) grabLocked(p *Pool) (*Frame, error) {
 	// Free frames first.
-	if len(p.free) > 0 {
-		idx := p.free[len(p.free)-1]
-		p.free = p.free[:len(p.free)-1]
-		f := p.frames[idx]
+	if len(s.free) > 0 {
+		idx := s.free[len(s.free)-1]
+		s.free = s.free[:len(s.free)-1]
+		f := s.frames[idx]
+		f.onFree = false
+		f.defunct.Store(false)
 		if f.Data == nil {
 			f.Data = make(page.Buf, page.Size)
 		}
 		return f, nil
 	}
-	// Count usable frames; if below limit, materialize another frame.
-	if len(p.frames) < p.limit {
-		p.addFrameLocked()
-		idx := p.free[len(p.free)-1]
-		p.free = p.free[:len(p.free)-1]
-		f := p.frames[idx]
-		f.Data = make(page.Buf, page.Size)
+	// Below this shard's limit: materialize another frame.
+	if len(s.frames) < s.limit {
+		f := &Frame{idx: len(s.frames), Data: make(page.Buf, page.Size)}
+		s.frames = append(s.frames, f)
 		return f, nil
 	}
-	// Lookaside queue: frames that were marked immediately reusable.
+	// Lookaside queue: frames that were marked immediately reusable. An
+	// entry may be stale (the frame was since reused, freed, or moved to
+	// another shard by a borrow), so verify identity and state before
+	// taking it.
 	for {
-		idx, ok := p.look.pop()
+		f, ok := s.look.pop()
 		if !ok {
 			break
 		}
-		f := p.frames[idx]
-		// The frame may have been re-used since it was queued; only take it
-		// if it is still invalid-and-unpinned or still marked reusable.
-		if f.pin.Load() == 0 && !f.valid {
-			p.lookHits.Add(1)
+		if f.pin.Load() == 0 && !f.valid && !f.onFree &&
+			f.idx < len(s.frames) && s.frames[f.idx] == f {
+			s.lookHits.Add(1)
+			f.defunct.Store(false)
 			if f.Data == nil {
 				f.Data = make(page.Buf, page.Size)
 			}
 			return f, nil
 		}
 	}
-	return p.evictLocked()
+	f, err := s.evictLocked(p)
+	if err == nil {
+		f.defunct.Store(false)
+	}
+	return f, err
 }
 
-// evictLocked runs the clock algorithm: sweep frames; each unpinned frame's
-// score is decayed exponentially by the number of reference-time segments
-// it has aged; the first frame whose decayed score reaches zero is the
-// victim. Called with p.mu held.
-func (p *Pool) evictLocked() (*Frame, error) {
-	n := len(p.frames)
+// evictLocked runs the clock algorithm over this shard's frames: each
+// unpinned frame's score is decayed exponentially per sweep; the first
+// frame whose decayed score reaches zero is the victim. Called with s.mu
+// held exclusively.
+func (s *shard) evictLocked(p *Pool) (*Frame, error) {
+	n := len(s.frames)
+	if n == 0 {
+		return nil, ErrPoolExhausted
+	}
 	// Halving needs up to log2(maxScore) visits per frame to drain a
 	// saturated score.
 	for pass := 0; pass < 6*n+1; pass++ {
-		p.hand = (p.hand + 1) % n
-		f := p.frames[p.hand]
+		s.hand = (s.hand + 1) % n
+		f := s.frames[s.hand]
 		if !f.valid || f.pin.Load() != 0 {
 			continue
 		}
 		decayed := f.score.Load()
 		if decayed == 0 {
 			// Victim found.
-			if err := p.cleanFrameLocked(f); err != nil {
+			if err := s.cleanFrameLocked(p, f); err != nil {
 				return nil, err
 			}
-			delete(p.table, f.ID)
+			delete(s.table, f.ID)
 			f.valid = false
-			p.evictions.Add(1)
+			s.evictions.Add(1)
 			if f.Data == nil {
 				f.Data = make(page.Buf, page.Size)
 			}
@@ -343,15 +578,76 @@ func (p *Pool) evictLocked() (*Frame, error) {
 }
 
 // cleanFrameLocked writes back a dirty frame before reuse.
-func (p *Pool) cleanFrameLocked(f *Frame) error {
+func (s *shard) cleanFrameLocked(p *Pool, f *Frame) error {
 	if f.dirty.Load() {
 		if err := p.st.Write(f.ID, f.Data); err != nil {
 			return err
 		}
-		p.writebacks.Add(1)
+		s.writebacks.Add(1)
 		f.dirty.Store(false)
 	}
 	return nil
+}
+
+// borrow moves one frame's worth of capacity from a sibling shard into s,
+// so a shard whose pages are all pinned can still serve requests while the
+// pool as a whole has room. ErrPoolExhausted is thereby a whole-pool
+// verdict, exactly as with the single global lock. Returns false when no
+// sibling can spare a frame.
+func (p *Pool) borrow(s *shard) bool {
+	p.structMu.Lock()
+	defer p.structMu.Unlock()
+	for _, t := range p.shards {
+		if t == s {
+			continue
+		}
+		t.lock()
+		// Unmaterialized capacity: transfer the allowance, no frame moves.
+		if t.limit > len(t.frames) {
+			t.limit--
+			t.mu.Unlock()
+			s.lock()
+			s.limit++
+			s.borrows.Add(1)
+			s.mu.Unlock()
+			return true
+		}
+		// A free frame.
+		if len(t.free) > 0 {
+			idx := t.free[len(t.free)-1]
+			t.free = t.free[:len(t.free)-1]
+			f := t.frames[idx]
+			f.onFree = false
+			t.removeFrameLocked(idx)
+			t.limit--
+			t.mu.Unlock()
+			p.adopt(s, f)
+			return true
+		}
+		// A clock victim.
+		if f, err := t.evictLocked(p); err == nil {
+			t.removeFrameLocked(f.idx)
+			t.limit--
+			t.mu.Unlock()
+			p.adopt(s, f)
+			return true
+		}
+		t.mu.Unlock()
+	}
+	return false
+}
+
+// adopt appends a frame taken from another shard to s's population and
+// free list.
+func (p *Pool) adopt(s *shard, f *Frame) {
+	s.lock()
+	f.idx = len(s.frames)
+	f.onFree = true
+	s.frames = append(s.frames, f)
+	s.free = append(s.free, f.idx)
+	s.limit++
+	s.borrows.Add(1)
+	s.mu.Unlock()
 }
 
 // Unpin releases a pin taken by Get or NewPage.
@@ -365,154 +661,188 @@ func (p *Pool) Unpin(f *Frame, dirty bool) {
 }
 
 // Discard removes a page from the pool without writing it back and pushes
-// its frame onto the lookaside queue for immediate reuse. Used for freed
-// heap pages and dropped temporary tables, whose contents are dead. The
-// page must be unpinned.
+// its frame onto its shard's lookaside queue for immediate reuse. Used for
+// freed heap pages and dropped temporary tables, whose contents are dead.
+// The page must be unpinned.
 func (p *Pool) Discard(id store.PageID) {
-	p.mu.Lock()
-	f, ok := p.table[id]
+	s := p.shardOf(id)
+	s.lock()
+	f, ok := s.table[id]
 	if !ok || f.pin.Load() != 0 {
-		p.mu.Unlock()
+		s.mu.Unlock()
 		return
 	}
-	delete(p.table, id)
+	delete(s.table, id)
 	f.valid = false
 	f.dirty.Store(false)
-	idx := f.idx
-	p.mu.Unlock()
-	if !p.look.push(idx) {
+	s.mu.Unlock()
+	if !s.look.push(f) {
 		// Queue full: hand the frame back via the free list instead.
-		p.mu.Lock()
-		p.free = append(p.free, idx)
-		p.mu.Unlock()
+		s.lock()
+		if !f.onFree && f.idx < len(s.frames) && s.frames[f.idx] == f {
+			f.onFree = true
+			s.free = append(s.free, f.idx)
+		}
+		s.mu.Unlock()
 	}
 }
 
-// FlushPage writes the page back if it is dirty and cached.
+// FlushPage writes the page back if it is dirty and cached. The frame is
+// pinned for the duration so eviction cannot swap the page out from under
+// the write.
 func (p *Pool) FlushPage(id store.PageID) error {
-	p.mu.Lock()
-	f, ok := p.table[id]
-	p.mu.Unlock()
+	s := p.shardOf(id)
+	s.rlock()
+	f, ok := s.table[id]
+	if ok {
+		f.pin.Add(1)
+	}
+	s.mu.RUnlock()
 	if !ok {
 		return nil
 	}
+	err := p.flushFrame(s, f)
+	p.Unpin(f, false)
+	return err
+}
+
+func (p *Pool) flushFrame(s *shard, f *Frame) error {
 	f.RLock()
 	defer f.RUnlock()
 	if f.dirty.Load() {
 		if err := p.st.Write(f.ID, f.Data); err != nil {
 			return err
 		}
-		p.writebacks.Add(1)
+		s.writebacks.Add(1)
 		f.dirty.Store(false)
 	}
 	return nil
 }
 
-// FlushAll writes back every dirty page (checkpoint support).
+// FlushAll writes back every dirty page (checkpoint support), one shard at
+// a time; dirty frames are pinned while written so they cannot be evicted
+// mid-checkpoint.
 func (p *Pool) FlushAll() error {
-	p.mu.Lock()
-	dirty := make([]*Frame, 0)
-	for _, f := range p.frames {
-		if f.valid && f.dirty.Load() {
-			dirty = append(dirty, f)
-		}
-	}
-	p.mu.Unlock()
-	for _, f := range dirty {
-		f.RLock()
-		if f.valid && f.dirty.Load() {
-			if err := p.st.Write(f.ID, f.Data); err != nil {
-				f.RUnlock()
-				return err
+	for _, s := range p.shards {
+		s.rlock()
+		dirty := make([]*Frame, 0)
+		for _, f := range s.frames {
+			if f.valid && f.dirty.Load() {
+				f.pin.Add(1)
+				dirty = append(dirty, f)
 			}
-			p.writebacks.Add(1)
-			f.dirty.Store(false)
 		}
-		f.RUnlock()
+		s.mu.RUnlock()
+		var ferr error
+		for _, f := range dirty {
+			if ferr == nil {
+				ferr = p.flushFrame(s, f)
+			}
+			p.Unpin(f, false)
+		}
+		if ferr != nil {
+			return ferr
+		}
 	}
 	return nil
 }
 
 // Resize sets the pool's size (in frames), clamped to the immutable
-// bounds. Shrinking evicts victims immediately, writing back dirty pages;
-// frames that cannot be evicted because they are pinned keep the pool
-// temporarily above target, and subsequent Resize calls retry. Returns the
-// achieved size.
+// bounds, distributing the budget across shards by largest-remainder
+// apportionment. Shrinking evicts victims immediately, free frames first,
+// writing back dirty pages; frames that cannot be evicted because they are
+// pinned keep the pool temporarily above target, and subsequent Resize
+// calls retry. Returns the achieved size.
 func (p *Pool) Resize(target int) int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.structMu.Lock()
+	defer p.structMu.Unlock()
 	if target < p.minSize {
 		target = p.minSize
 	}
 	if target > p.maxSize {
 		target = p.maxSize
 	}
-	if target >= p.limit {
-		p.limit = target
-		p.limitAtom.Store(int64(target))
-		return p.limit
+	quotas := apportion(target, len(p.shards))
+	total := 0
+	for i, s := range p.shards {
+		s.lock()
+		if quotas[i] >= s.limit {
+			s.limit = quotas[i]
+		} else {
+			s.shrinkLocked(p, quotas[i])
+		}
+		total += s.limit
+		s.mu.Unlock()
 	}
-	// Shrink: evict until the number of occupied+free frames fits, dropping
-	// freed frame memory so the process footprint actually falls.
-	excess := len(p.frames) - target
+	p.limitAtom.Store(int64(total))
+	return total
+}
+
+// shrinkLocked reduces this shard to target frames, preferring empty
+// frames, then clock victims, dropping freed frame memory so the process
+// footprint actually falls. Called with s.mu held exclusively.
+func (s *shard) shrinkLocked(p *Pool, target int) {
+	excess := len(s.frames) - target
 	for excess > 0 {
-		// Prefer empty frames.
-		if len(p.free) > 0 {
-			idx := p.free[len(p.free)-1]
-			p.free = p.free[:len(p.free)-1]
-			p.frames[idx].Data = nil // release memory
-			p.dropFrameLocked(idx)
+		if len(s.free) > 0 {
+			idx := s.free[len(s.free)-1]
+			s.free = s.free[:len(s.free)-1]
+			f := s.frames[idx]
+			f.onFree = false
+			f.Data = nil // release memory
+			s.removeFrameLocked(idx)
 			excess--
 			continue
 		}
-		f, err := p.evictLocked()
+		f, err := s.evictLocked(p)
 		if err != nil {
 			break // everything pinned; give up for now
 		}
-		p.steals.Add(1) // an occupied frame stolen from the pool by the shrink
+		s.steals.Add(1) // an occupied frame stolen from the pool by the shrink
 		f.Data = nil
-		p.dropFrameLocked(f.idx)
+		s.removeFrameLocked(f.idx)
 		excess--
 	}
-	p.limit = len(p.frames)
-	if p.limit < target {
-		p.limit = target
+	s.limit = len(s.frames)
+	if s.limit < target {
+		s.limit = target
 	}
-	p.limitAtom.Store(int64(p.limit))
-	return p.limit
 }
 
-// dropFrameLocked removes the frame at idx from the pool entirely by
-// swapping the last frame into its place.
-func (p *Pool) dropFrameLocked(idx int) {
-	last := len(p.frames) - 1
+// removeFrameLocked removes the frame at idx from the shard entirely by
+// swapping the last frame into its place. Stale lookaside entries for
+// either frame are handled at pop time by pointer-identity checks.
+func (s *shard) removeFrameLocked(idx int) {
+	last := len(s.frames) - 1
 	if idx != last {
-		moved := p.frames[last]
-		p.frames[idx] = moved
+		moved := s.frames[last]
+		s.frames[idx] = moved
 		moved.idx = idx
 		// Fix the free list entry for the moved frame, if any.
-		for i, fi := range p.free {
+		for i, fi := range s.free {
 			if fi == last {
-				p.free[i] = idx
+				s.free[i] = idx
 				break
 			}
 		}
 	}
-	p.frames = p.frames[:last]
-	if p.hand >= len(p.frames) && len(p.frames) > 0 {
-		p.hand = 0
+	s.frames = s.frames[:last]
+	if s.hand >= len(s.frames) && len(s.frames) > 0 {
+		s.hand = 0
 	}
 }
 
 // PinnedCount reports how many frames are currently pinned (diagnostics).
 func (p *Pool) PinnedCount() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	n := 0
-	for _, f := range p.frames {
-		if f.valid && f.pin.Load() > 0 {
-			n++
+	for _, s := range p.shards {
+		s.rlock()
+		for _, f := range s.frames {
+			if f.valid && f.pin.Load() > 0 {
+				n++
+			}
 		}
+		s.mu.RUnlock()
 	}
 	return n
 }
@@ -520,23 +850,27 @@ func (p *Pool) PinnedCount() int {
 // Contains reports whether the page is currently resident (used by the
 // cost model's table-residency statistics).
 func (p *Pool) Contains(id store.PageID) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	_, ok := p.table[id]
+	s := p.shardOf(id)
+	s.rlock()
+	_, ok := s.table[id]
+	s.mu.RUnlock()
 	return ok
 }
 
 // ResidentPages counts resident pages owned by the given object, by
-// scanning frame headers. The cost model uses the fraction of a table
-// resident in the buffer pool when costing access methods (§3.2).
+// scanning frame headers shard by shard. The cost model uses the fraction
+// of a table resident in the buffer pool when costing access methods
+// (§3.2).
 func (p *Pool) ResidentPages(owner uint64) int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	n := 0
-	for _, f := range p.frames {
-		if f.valid && f.Data != nil && f.Data.Owner() == owner {
-			n++
+	for _, s := range p.shards {
+		s.rlock()
+		for _, f := range s.frames {
+			if f.valid && f.Data != nil && f.Data.Owner() == owner {
+				n++
+			}
 		}
+		s.mu.RUnlock()
 	}
 	return n
 }

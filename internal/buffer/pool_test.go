@@ -8,14 +8,21 @@ import (
 	"anywheredb/internal/store"
 )
 
+// testPool builds a 4-shard pool so every test exercises the striped page
+// table, cross-shard borrowing, and per-shard clocks the same way on every
+// host (New's default shard count tracks GOMAXPROCS).
 func testPool(t *testing.T, minF, init, maxF int) (*Pool, *store.Store) {
+	return testPoolShards(t, minF, init, maxF, 4)
+}
+
+func testPoolShards(t *testing.T, minF, init, maxF, shards int) (*Pool, *store.Store) {
 	t.Helper()
 	s, err := store.Open(store.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { s.Close() })
-	return New(s, minF, init, maxF), s
+	return NewWithShards(s, minF, init, maxF, shards), s
 }
 
 func mkPage(t *testing.T, p *Pool, payload string) store.PageID {
@@ -151,7 +158,10 @@ func TestColdPageAgesOut(t *testing.T) {
 }
 
 func TestDiscardFeedsLookaside(t *testing.T) {
-	p, _ := testPool(t, 2, 8, 8)
+	// Single shard: the lookaside queue is per-shard, and this test's
+	// assertion (the next allocation reuses the discarded frame) only holds
+	// when the new page is guaranteed to land in the discarding shard.
+	p, _ := testPoolShards(t, 2, 8, 8, 1)
 	// Fill the pool so the free list is empty and the lookaside queue is the
 	// only fast path.
 	var ids []store.PageID
@@ -316,7 +326,7 @@ func TestConcurrentGets(t *testing.T) {
 }
 
 func TestLookasideQueue(t *testing.T) {
-	q := newLookaside(4)
+	q := newLookaside[int](4)
 	if _, ok := q.pop(); ok {
 		t.Fatal("empty pop should fail")
 	}
@@ -337,7 +347,7 @@ func TestLookasideQueue(t *testing.T) {
 }
 
 func TestLookasideConcurrent(t *testing.T) {
-	q := newLookaside(128)
+	q := newLookaside[int](128)
 	var wg sync.WaitGroup
 	var popped sync.Map
 	for w := 0; w < 4; w++ {

@@ -23,6 +23,7 @@ func readStats(reg *telemetry.Registry) Stats {
 		LookasideHits: v("buffer.lookaside_hits"),
 		Writebacks:    v("buffer.writebacks"),
 		Steals:        v("buffer.steals"),
+		Contention:    v("buffer.contention"),
 	}
 }
 

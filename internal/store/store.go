@@ -121,6 +121,12 @@ type Options struct {
 	Device device.Device
 	// InMemory forces memory backing even when Dir is set.
 	InMemory bool
+	// Fault, when set, is consulted before every page Read/Write with the
+	// operation name ("read" or "write"); returning a non-nil error aborts
+	// the operation before it reaches the backing file. Test fault
+	// injection for I/O-error recovery paths (e.g. the buffer pool's miss
+	// undo); nil in production.
+	Fault func(op string, id PageID) error
 }
 
 // Store is the page-file layer. It is safe for concurrent use.
@@ -271,6 +277,11 @@ func (s *Store) Free(id PageID) error {
 // Read fills buf with the page's contents, charging the device.
 func (s *Store) Read(id PageID, buf []byte) error {
 	s.dev.Read(int64(id.Index())*page.Size, page.Size)
+	if s.opts.Fault != nil {
+		if err := s.opts.Fault("read", id); err != nil {
+			return err
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.readPageLocked(id.File(), id.Index(), buf)
@@ -279,6 +290,11 @@ func (s *Store) Read(id PageID, buf []byte) error {
 // Write stores the page's contents, charging the device.
 func (s *Store) Write(id PageID, buf []byte) error {
 	s.dev.Write(int64(id.Index())*page.Size, page.Size)
+	if s.opts.Fault != nil {
+		if err := s.opts.Fault("write", id); err != nil {
+			return err
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.writePageLocked(id.File(), id.Index(), buf)

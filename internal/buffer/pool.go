@@ -362,10 +362,17 @@ func (p *Pool) awaitLoaded(s *shard, f *Frame) (*Frame, error) {
 		f.io.Lock()
 		//lint:ignore SA2001 empty critical section: the lock is a load barrier
 		f.io.Unlock()
-		if f.defunct.Load() {
-			p.releaseDefunct(s, f)
-			return nil, errRetry
-		}
+	}
+	// Check defunct unconditionally, not only when we saw the load in
+	// flight: the failed-read undo stores defunct=true before loading=false,
+	// so a hitter that pinned mid-load but reads loading only after the undo
+	// completed still observes the failure here. Skipping this check would
+	// serve the never-filled frame as a hit and leak it (releaseDefunct
+	// backs off while we hold the pin, and the clock never visits !valid
+	// frames).
+	if f.defunct.Load() {
+		p.releaseDefunct(s, f)
+		return nil, errRetry
 	}
 	s.hits.Add(1)
 	p.touch(f)
@@ -379,6 +386,14 @@ func (p *Pool) releaseDefunct(s *shard, f *Frame) {
 	if f.pin.Add(-1) != 0 {
 		return
 	}
+	p.freeDefunct(s, f)
+}
+
+// freeDefunct returns a fully-released defunct frame to its shard's free
+// list. The locked re-check makes stale calls harmless: if the frame was
+// meanwhile re-grabbed (grabLocked clears defunct before reuse) or already
+// freed, the caller backs off.
+func (p *Pool) freeDefunct(s *shard, f *Frame) {
 	s.lock()
 	if f.defunct.Load() && f.pin.Load() == 0 && !f.valid && !f.onFree &&
 		f.idx < len(s.frames) && s.frames[f.idx] == f {
@@ -650,13 +665,28 @@ func (p *Pool) adopt(s *shard, f *Frame) {
 	s.mu.Unlock()
 }
 
-// Unpin releases a pin taken by Get or NewPage.
+// Unpin releases a pin taken by Get, NewPage, or the flush paths' internal
+// pins. FlushPage/FlushAll can pin a table-resident frame whose load is
+// still in flight; if that load fails, the flusher may end up holding the
+// last pin on a defunct frame, which Unpin must route back to its shard's
+// free list — a defunct frame is invisible to the clock and to grabs, so
+// nothing else would ever reclaim it.
 func (p *Pool) Unpin(f *Frame, dirty bool) {
 	if dirty {
 		f.dirty.Store(true)
 	}
-	if f.pin.Add(-1) < 0 {
-		panic(fmt.Sprintf("buffer: unpin of unpinned frame %v", f.ID))
+	id := f.ID // stable while our pin is held: re-grabs require pin==0
+	n := f.pin.Add(-1)
+	if n < 0 {
+		panic(fmt.Sprintf("buffer: unpin of unpinned frame %v", id))
+	}
+	if n == 0 && f.defunct.Load() {
+		// The failed-load undo stores defunct before the loader's own
+		// releaseDefunct decrement, so whichever decrement reaches zero is
+		// guaranteed to observe it; checking only before the decrement would
+		// race. freeDefunct re-validates everything under the shard lock, so
+		// a false positive (frame re-grabbed in between) backs off safely.
+		p.freeDefunct(p.shardOf(id), f)
 	}
 }
 

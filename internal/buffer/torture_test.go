@@ -3,6 +3,7 @@ package buffer
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -348,6 +349,184 @@ func TestGetConcurrentWaiterOnFailedLoad(t *testing.T) {
 	if err := <-waiterDone; err != nil {
 		t.Fatal(err)
 	}
+	checkInvariants(t, p)
+}
+
+// TestHitterAfterUndoCompletes covers the narrow window the io-mutex
+// handshake cannot: a hitter pins the frame while the load is in flight but
+// only inspects it after the loader's failed-read undo has fully completed
+// (defunct set, loading already back to false). awaitLoaded must still
+// observe the failure, release the pin, and signal a retry — never serve
+// the never-filled frame as a hit or strand it off the free list.
+func TestHitterAfterUndoCompletes(t *testing.T) {
+	var (
+		failing atomic.Bool
+		target  atomic.Uint64
+	)
+	entered := make(chan struct{}, 1)
+	gate := make(chan struct{})
+	st, err := store.Open(store.Options{
+		Fault: func(op string, id store.PageID) error {
+			if op == "read" && failing.Load() && id == store.PageID(target.Load()) {
+				entered <- struct{}{} // loader is mid-read, frame published
+				<-gate
+				return errors.New("injected read fault")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	p := NewWithShards(st, 2, 8, 8, 2)
+
+	f, err := p.NewPage(store.MainFile, page.TypeTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Data.Insert([]byte("real data"))
+	id := f.ID
+	p.Unpin(f, true)
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	p.Discard(id)
+
+	target.Store(uint64(id))
+	failing.Store(true)
+	loaderErr := make(chan error, 1)
+	go func() {
+		_, err := p.Get(id)
+		loaderErr <- err
+	}()
+	<-entered // the in-flight frame is now in the page table
+
+	// Replicate Get's hit path up to the point where the pin is taken and
+	// the shard read-lock dropped, then park — exactly the raced window.
+	s := p.shardOf(id)
+	s.rlock()
+	hf, ok := s.table[id]
+	if !ok {
+		t.Fatal("in-flight frame not published in the page table")
+	}
+	hf.pin.Add(1)
+	s.mu.RUnlock()
+
+	// Let the load fail and the undo run to completion before the hitter
+	// looks at the frame: loaderErr only fires after releaseDefunct.
+	close(gate)
+	if err := <-loaderErr; err == nil {
+		t.Fatal("loader should have failed")
+	}
+
+	got, err := p.awaitLoaded(s, hf)
+	if err != errRetry {
+		t.Fatalf("awaitLoaded after completed undo: frame=%v err=%v, want errRetry", got, err)
+	}
+	failing.Store(false)
+	checkInvariants(t, p) // the frame must be back on the free list, not leaked
+
+	f2, err := p.Get(id)
+	if err != nil {
+		t.Fatalf("retry load: %v", err)
+	}
+	if string(f2.Data.Cell(0)) != "real data" {
+		t.Fatalf("retry saw garbage: %q", f2.Data.Cell(0))
+	}
+	p.Unpin(f2, false)
+	checkInvariants(t, p)
+}
+
+// TestFlusherUnpinOfFailedLoad covers the flush paths holding the last pin
+// on a defunct frame: FlushPage pins a table-resident frame whose load is
+// still in flight; the load then fails, so the loader's releaseDefunct
+// backs off (the flusher's pin is still up) and the flusher's Unpin drops
+// the final pin. Unpin must route the defunct frame back to the free list
+// rather than leak it.
+func TestFlusherUnpinOfFailedLoad(t *testing.T) {
+	var (
+		failing atomic.Bool
+		target  atomic.Uint64
+	)
+	entered := make(chan struct{}, 1)
+	gate := make(chan struct{})
+	st, err := store.Open(store.Options{
+		Fault: func(op string, id store.PageID) error {
+			if op == "read" && failing.Load() && id == store.PageID(target.Load()) {
+				entered <- struct{}{}
+				<-gate
+				return errors.New("injected read fault")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	p := NewWithShards(st, 2, 8, 8, 2)
+
+	f, err := p.NewPage(store.MainFile, page.TypeTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Data.Insert([]byte("real data"))
+	id := f.ID
+	p.Unpin(f, true)
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	p.Discard(id)
+
+	target.Store(uint64(id))
+	failing.Store(true)
+	loaderErr := make(chan error, 1)
+	go func() {
+		_, err := p.Get(id)
+		loaderErr <- err
+	}()
+	<-entered
+
+	s := p.shardOf(id)
+	s.rlock()
+	lf, ok := s.table[id]
+	if !ok {
+		t.Fatal("in-flight frame not published in the page table")
+	}
+	s.mu.RUnlock()
+
+	// Hold the content latch so the flusher, once pinned, parks inside
+	// flushFrame until after the undo has run — forcing its Unpin to be the
+	// one that drops the last pin on the defunct frame.
+	lf.Lock()
+	flusherDone := make(chan error, 1)
+	go func() {
+		flusherDone <- p.FlushPage(id)
+	}()
+	for lf.pin.Load() < 2 { // wait until the flusher holds its pin
+		runtime.Gosched()
+	}
+
+	close(gate) // the read fails; the undo marks the frame defunct
+	if err := <-loaderErr; err == nil {
+		t.Fatal("loader should have failed")
+	}
+	lf.Unlock() // release the flusher: no write (frame is clean), then Unpin
+	if err := <-flusherDone; err != nil {
+		t.Fatalf("FlushPage: %v", err)
+	}
+	failing.Store(false)
+	checkInvariants(t, p) // the frame must be back on the free list, not leaked
+
+	f2, err := p.Get(id)
+	if err != nil {
+		t.Fatalf("reload after failed load: %v", err)
+	}
+	if string(f2.Data.Cell(0)) != "real data" {
+		t.Fatalf("reload saw garbage: %q", f2.Data.Cell(0))
+	}
+	p.Unpin(f2, false)
 	checkInvariants(t, p)
 }
 

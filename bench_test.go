@@ -12,10 +12,12 @@ import (
 	"testing"
 
 	"anywheredb/internal/buffer"
+	"anywheredb/internal/exec"
 	"anywheredb/internal/experiments"
 	"anywheredb/internal/page"
 	"anywheredb/internal/store"
 	"anywheredb/internal/val"
+	"anywheredb/internal/vclock"
 )
 
 // runExp runs one experiment per benchmark iteration, reporting its key
@@ -52,6 +54,7 @@ func BenchmarkE14PlanCache(b *testing.B)        { runExp(b, "E14") }
 func BenchmarkE15IndexConsultant(b *testing.B)  { runExp(b, "E15") }
 func BenchmarkE16CEMode(b *testing.B)           { runExp(b, "E16") }
 func BenchmarkE17PoolScalability(b *testing.B)  { runExp(b, "E17") }
+func BenchmarkE18ExecThroughput(b *testing.B)   { runExp(b, "E18") }
 
 // --- Micro-benchmarks over the public API ---------------------------------
 
@@ -144,6 +147,92 @@ func BenchmarkValueEncodeDecode(b *testing.B) {
 		enc := val.EncodeRow(row)
 		if _, err := val.DecodeRow(enc); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- Vectored-executor benchmarks -----------------------------------------
+
+// BenchmarkExecBatch measures the batch protocol on four operator
+// pipelines at batch sizes 1 (the pre-refactor Volcano row path: one
+// interface call and one CPU charge per row), 64, and the default 1024.
+// rows/s counts source rows processed. The acceptance bar for the batch
+// refactor is ≥2× rows/s on scan+filter between batch=1 and batch=1024.
+func BenchmarkExecBatch(b *testing.B) {
+	const srcN = 100000
+	src := make([]exec.Row, srcN)
+	for i := range src {
+		src[i] = exec.Row{val.NewInt(int64(i)), val.NewInt(int64(i % 1000))}
+	}
+	build := make([]exec.Row, 2000)
+	for i := range build {
+		build[i] = exec.Row{val.NewInt(int64(i)), val.NewInt(int64(i % 7))}
+	}
+	pipelines := []struct {
+		name string
+		mk   func() exec.Operator
+	}{
+		{"scan", func() exec.Operator {
+			return &exec.Materialized{RowsData: src}
+		}},
+		{"filter", func() exec.Operator {
+			return &exec.Filter{
+				Input: &exec.Materialized{RowsData: src},
+				Pred:  exec.Cmp{Op: "<", L: exec.Col{Idx: 0}, R: exec.Const{V: val.NewInt(srcN / 2)}},
+			}
+		}},
+		{"join", func() exec.Operator {
+			return &exec.HashJoin{
+				Left:     &exec.Materialized{RowsData: build},
+				Right:    &exec.Materialized{RowsData: src},
+				LeftKeys: []exec.Expr{exec.Col{Idx: 1}}, RightKeys: []exec.Expr{exec.Col{Idx: 1}},
+			}
+		}},
+		{"agg", func() exec.Operator {
+			return &exec.HashGroupBy{
+				Input: &exec.Materialized{RowsData: src},
+				Keys:  []exec.Expr{exec.Col{Idx: 1}},
+				Aggs:  []exec.AggSpec{{Fn: exec.AggCountStar}},
+			}
+		}},
+	}
+	for _, p := range pipelines {
+		for _, size := range []int{1, 64, 1024} {
+			b.Run(fmt.Sprintf("%s/batch=%d", p.name, size), func(b *testing.B) {
+				st, err := store.Open(store.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(func() { st.Close() })
+				pool := buffer.New(st, 8, 1024, 2048)
+				ctx := &exec.Ctx{
+					Pool: pool, St: st, Clk: vclock.New(),
+					Workers: 1, CPURowCost: 1, ForceBatchSize: size,
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					// Counting consumer: materializing every result row would
+					// bury the protocol cost under allocator/GC noise that is
+					// identical at every batch size.
+					op := p.mk()
+					if err := op.Open(ctx); err != nil {
+						b.Fatal(err)
+					}
+					var bt exec.Batch
+					for {
+						if err := op.NextBatch(ctx, &bt); err != nil {
+							b.Fatal(err)
+						}
+						if bt.Len() == 0 {
+							break
+						}
+					}
+					if err := op.Close(ctx); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(srcN)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+			})
 		}
 	}
 }

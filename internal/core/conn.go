@@ -100,12 +100,15 @@ func (c *Conn) execCtx(task interface {
 		workers = c.db.opts.Workers
 	}
 	ctx := &exec.Ctx{
-		Pool:       c.db.pool,
-		St:         c.db.st,
-		Clk:        c.db.clk,
-		Tx:         c.tx,
-		Workers:    workers,
-		CPURowCost: c.db.opts.CPURowCost,
+		Pool:           c.db.pool,
+		St:             c.db.st,
+		Clk:            c.db.clk,
+		Tx:             c.tx,
+		Workers:        workers,
+		CPURowCost:     c.db.opts.CPURowCost,
+		ForceBatchSize: c.db.opts.ExecBatchSize,
+		Batches:        c.db.batches,
+		BatchRows:      c.db.batchRows,
 	}
 	return ctx
 }

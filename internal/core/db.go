@@ -57,6 +57,11 @@ type Options struct {
 	Workers int
 	// CPURowCost is the virtual-microsecond CPU proxy charged per row.
 	CPURowCost int64
+	// ExecBatchSize pins the executor's rows-per-batch (0 = adaptive:
+	// derived from the memory governor and worker count between batches).
+	// Setting 1 degrades to row-at-a-time execution; the differential tests
+	// use this to cross-check the batch protocol.
+	ExecBatchSize int
 	// AutoShutdown closes the database when the last connection closes
 	// (the embedded-deployment behaviour of §1).
 	AutoShutdown bool
@@ -111,6 +116,8 @@ type DB struct {
 	statements  *telemetry.Counter
 	rowsOut     *telemetry.Counter
 	statementUS *telemetry.Histogram
+	batches     *telemetry.Counter
+	batchRows   *telemetry.Histogram
 	planEnums   *telemetry.Counter
 	planVisits  *telemetry.Counter
 	planPruned  *telemetry.Counter
@@ -248,6 +255,8 @@ func Open(opts Options) (*DB, error) {
 	db.statements = db.reg.Counter("exec.statements")
 	db.rowsOut = db.reg.Counter("exec.rows_returned")
 	db.statementUS = db.reg.Histogram("exec.statement_us")
+	db.batches = db.reg.Counter("exec.batches")
+	db.batchRows = db.reg.Histogram("exec.batch_rows")
 	db.planEnums = db.reg.Counter("opt.enumerations")
 	db.planVisits = db.reg.Counter("opt.visits")
 	db.planPruned = db.reg.Counter("opt.pruned")

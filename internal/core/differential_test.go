@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"anywheredb/internal/val"
+)
+
+// The differential harness runs one seeded workload through several
+// executors that differ only in batch size — ExecBatchSize 1 degenerates
+// the vectored protocol to row-at-a-time, 7 exercises awkward partial
+// batches, 0 is the adaptive default — and asserts the engines remain
+// indistinguishable: same results, same row counts, same EXPLAIN ANALYZE
+// plan shapes and actual-row counts.
+
+// diffQuery is one workload statement plus comparison directives.
+type diffQuery struct {
+	sql string
+	// ordered: the statement has ORDER BY, so row order must match too.
+	ordered bool
+	// skipExplain: under LIMIT the batch size legitimately changes how many
+	// rows sub-operators produce before the limit is hit, so per-node
+	// actual_rows are compared only for limit-free queries.
+	skipExplain bool
+	// dml: compare RowsAffected instead of a result set.
+	dml bool
+}
+
+var diffWorkload = []diffQuery{
+	// Scans and filters.
+	{sql: "SELECT eid, ename, salary FROM emp WHERE salary > 1100"},
+	{sql: "SELECT eid FROM emp WHERE did = 3 AND eid < 150"},
+	// Projection expressions.
+	{sql: "SELECT eid, salary * 2, ename FROM emp WHERE eid < 50"},
+	// Hash join, index-nested-loop join (emp_pk), and a three-way join.
+	{sql: "SELECT ename, dname FROM emp, dept WHERE emp.did = dept.did AND salary < 1050"},
+	{sql: "SELECT ename FROM emp, dept WHERE emp.did = dept.did AND eid = 77"},
+	{sql: "SELECT e.ename, d.dname, b.tag FROM emp e, dept d, badge b " +
+		"WHERE e.did = d.did AND e.eid = b.eid AND b.tag = 'gold'"},
+	// Left outer join through explicit JOIN syntax.
+	{sql: "SELECT d.dname, b.tag FROM dept d LEFT OUTER JOIN badge b ON d.did = b.eid"},
+	// Aggregation, grouping, HAVING.
+	{sql: "SELECT COUNT(*), SUM(salary), MIN(eid), MAX(eid) FROM emp"},
+	{sql: "SELECT did, COUNT(*) AS n, AVG(salary) FROM emp GROUP BY did ORDER BY did", ordered: true},
+	{sql: "SELECT did, COUNT(*) AS n FROM emp GROUP BY did HAVING COUNT(*) > 30 ORDER BY n DESC, did", ordered: true},
+	// Sorting, with and without LIMIT.
+	{sql: "SELECT eid, salary FROM emp ORDER BY salary DESC, eid", ordered: true},
+	{sql: "SELECT eid FROM emp ORDER BY eid LIMIT 10", ordered: true, skipExplain: true},
+	{sql: "SELECT eid FROM emp WHERE did = 1 LIMIT 5", skipExplain: true},
+	// DISTINCT and UNION [ALL].
+	{sql: "SELECT DISTINCT did FROM emp"},
+	{sql: "SELECT did FROM emp WHERE eid < 20 UNION ALL SELECT did FROM dept"},
+	{sql: "SELECT did FROM emp WHERE eid < 20 UNION SELECT did FROM dept"},
+	// Subqueries.
+	{sql: "SELECT ename FROM emp WHERE EXISTS (SELECT 1 FROM badge WHERE badge.eid = emp.eid)"},
+	{sql: "SELECT ename FROM emp WHERE did IN (SELECT did FROM dept WHERE dname = 'dept-2')"},
+	// Recursive CTE.
+	{sql: "WITH RECURSIVE nums (n) AS (SELECT 1 UNION ALL SELECT n + 1 FROM nums WHERE n < 200) " +
+		"SELECT COUNT(*), SUM(n) FROM nums"},
+	{sql: "WITH RECURSIVE nums (n) AS (SELECT 1 UNION ALL SELECT n + 1 FROM nums WHERE n < 50) " +
+		"SELECT n FROM nums, dept WHERE nums.n = dept.did ORDER BY n", ordered: true},
+	// DML: mutate identically on every engine, then re-verify reads.
+	{sql: "UPDATE emp SET salary = salary + 10 WHERE did = 2", dml: true},
+	{sql: "DELETE FROM emp WHERE eid >= 280", dml: true},
+	{sql: "INSERT INTO emp VALUES (900, 'late-1', 0, 5000.5), (901, 'late-2', 1, 5001.5)", dml: true},
+	{sql: "SELECT COUNT(*), SUM(salary) FROM emp"},
+	{sql: "SELECT eid, ename FROM emp WHERE salary > 5000"},
+}
+
+// diffSeed loads the same deterministic dataset into one engine.
+func diffSeed(t *testing.T, c *Conn) {
+	t.Helper()
+	seedEmp(t, c, 300)
+	mustExec(t, c, "CREATE UNIQUE INDEX emp_pk ON emp (eid)")
+	mustExec(t, c, "CREATE TABLE badge (eid INT, tag VARCHAR(10))")
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO badge VALUES ")
+	for i := 0; i < 60; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		tag := "gold"
+		if i%3 != 0 {
+			tag = "silver"
+		}
+		fmt.Fprintf(&sb, "(%d, '%s')", i*4, tag)
+	}
+	mustExec(t, c, sb.String())
+	mustExec(t, c, "CREATE STATISTICS emp")
+	mustExec(t, c, "CREATE STATISTICS badge")
+}
+
+// renderRows canonicalizes a result set for comparison; unordered results
+// are sorted so map-iteration nondeterminism (which predates the batch
+// executor) cannot produce false diffs.
+func renderRows(rows *Rows, ordered bool) []string {
+	all := rows.All()
+	out := make([]string, len(all))
+	for i, r := range all {
+		var sb strings.Builder
+		for j, v := range r {
+			if j > 0 {
+				sb.WriteByte('|')
+			}
+			sb.WriteString(v.String())
+		}
+		out[i] = sb.String()
+	}
+	if !ordered {
+		sort.Strings(out)
+	}
+	return out
+}
+
+// renderExplain canonicalizes EXPLAIN ANALYZE output down to the columns
+// that must be batch-size invariant: operator label, est_rows, actual_rows.
+// Invocations and time_us legitimately differ (fewer, larger batches).
+func renderExplain(rows *Rows) []string {
+	all := rows.All()
+	out := make([]string, len(all))
+	for i, r := range all {
+		out[i] = r[0].String() + "|" + r[1].String() + "|" + r[2].String()
+	}
+	return out
+}
+
+func diffCompare(t *testing.T, q diffQuery, name string, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("%s: %q: %d rows vs %d on row path", name, q.sql, len(got), len(want))
+		return
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("%s: %q: row %d differs:\n  batch: %s\n  row:   %s", name, q.sql, i, got[i], want[i])
+			return
+		}
+	}
+}
+
+func TestDifferentialRowVsBatch(t *testing.T) {
+	type engine struct {
+		name string
+		c    *Conn
+	}
+	var engines []engine
+	for _, cfg := range []struct {
+		name string
+		size int
+	}{
+		{"row(batch=1)", 1},
+		{"batch=7", 7},
+		{"batch=adaptive", 0},
+	} {
+		db := openDB(t, Options{ExecBatchSize: cfg.size})
+		c := conn(t, db)
+		diffSeed(t, c)
+		engines = append(engines, engine{cfg.name, c})
+	}
+	base := engines[0]
+
+	for _, q := range diffWorkload {
+		if q.dml {
+			res, err := base.c.Exec(q.sql)
+			if err != nil {
+				t.Fatalf("%s: %q: %v", base.name, q.sql, err)
+			}
+			for _, e := range engines[1:] {
+				r, err := e.c.Exec(q.sql)
+				if err != nil {
+					t.Fatalf("%s: %q: %v", e.name, q.sql, err)
+				}
+				if r.RowsAffected != res.RowsAffected {
+					t.Errorf("%s: %q: affected %d vs %d on row path",
+						e.name, q.sql, r.RowsAffected, res.RowsAffected)
+				}
+			}
+			continue
+		}
+
+		want := renderRows(mustQuery(t, base.c, q.sql), q.ordered)
+		for _, e := range engines[1:] {
+			got := renderRows(mustQuery(t, e.c, q.sql), q.ordered)
+			diffCompare(t, q, e.name, got, want)
+		}
+
+		if q.skipExplain {
+			continue
+		}
+		wantEx := renderExplain(mustQuery(t, base.c, "EXPLAIN ANALYZE "+q.sql))
+		for _, e := range engines[1:] {
+			gotEx := renderExplain(mustQuery(t, e.c, "EXPLAIN ANALYZE "+q.sql))
+			diffCompare(t, diffQuery{sql: "EXPLAIN ANALYZE " + q.sql}, e.name, gotEx, wantEx)
+		}
+	}
+}
+
+// TestDifferentialParams re-checks the prepared-statement path: parameters
+// flow through plan-cache hits identically on both protocols.
+func TestDifferentialParams(t *testing.T) {
+	rowDB := openDB(t, Options{ExecBatchSize: 1})
+	batchDB := openDB(t, Options{})
+	rc, bc := conn(t, rowDB), conn(t, batchDB)
+	diffSeed(t, rc)
+	diffSeed(t, bc)
+
+	q := "SELECT ename, salary FROM emp WHERE did = ? AND eid < ?"
+	for i := 0; i < 8; i++ {
+		params := []val.Value{val.NewInt(int64(i % 5)), val.NewInt(int64(40 * (i + 1)))}
+		want := renderRows(mustQuery(t, rc, q, params...), false)
+		got := renderRows(mustQuery(t, bc, q, params...), false)
+		diffCompare(t, diffQuery{sql: q}, "batch=adaptive", got, want)
+	}
+}

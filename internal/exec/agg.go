@@ -251,17 +251,19 @@ func (g *HashGroupBy) Open(ctx *Ctx) error {
 		return err
 	}
 	g.inputOpen = true
+	var in Batch
 	for {
-		row, err := g.Input.Next(ctx)
-		if err != nil {
+		if err := g.Input.NextBatch(ctx, &in); err != nil {
 			return err
 		}
-		if row == nil {
+		if in.Len() == 0 {
 			break
 		}
-		ctx.ChargeRows(1)
-		if err := g.addRow(ctx, row); err != nil {
-			return err
+		ctx.ChargeRows(in.Len())
+		for _, row := range in.Rows {
+			if err := g.addRow(ctx, row); err != nil {
+				return err
+			}
 		}
 	}
 	g.inputOpen = false
@@ -461,13 +463,9 @@ func (g *HashGroupBy) resultRow(grp *group) Row {
 	return out
 }
 
-func (g *HashGroupBy) Next(ctx *Ctx) (Row, error) {
-	if g.pos >= len(g.out) {
-		return nil, nil
-	}
-	r := g.out[g.pos]
-	g.pos++
-	return r, nil
+func (g *HashGroupBy) NextBatch(ctx *Ctx, out *Batch) error {
+	copyChunk(ctx, out, g.out, &g.pos)
+	return nil
 }
 
 func (g *HashGroupBy) Close(ctx *Ctx) error {
@@ -485,37 +483,49 @@ func (g *HashGroupBy) Close(ctx *Ctx) error {
 	return nil
 }
 
-// HashDistinct removes duplicate rows.
+// HashDistinct removes duplicate rows, streaming batch-at-a-time.
 type HashDistinct struct {
 	Input Operator
 	seen  map[uint64][]Row
+	in    Batch
+	eof   bool
 }
 
 func (d *HashDistinct) Open(ctx *Ctx) error {
 	d.seen = map[uint64][]Row{}
+	d.in.Reset()
+	d.eof = false
 	return d.Input.Open(ctx)
 }
 
-func (d *HashDistinct) Next(ctx *Ctx) (Row, error) {
-	for {
-		row, err := d.Input.Next(ctx)
-		if err != nil || row == nil {
-			return nil, err
+func (d *HashDistinct) NextBatch(ctx *Ctx, out *Batch) error {
+	out.Reset()
+	target := ctx.BatchSize()
+	for out.Len() < target && !d.eof {
+		if err := d.Input.NextBatch(ctx, &d.in); err != nil {
+			return err
 		}
-		h := val.HashRow(row)
-		dup := false
-		for _, prev := range d.seen[h] {
-			if rowsEqualNullSafe(prev, row) {
-				dup = true
-				break
+		if d.in.Len() == 0 {
+			d.eof = true
+			break
+		}
+		for _, row := range d.in.Rows {
+			h := val.HashRow(row)
+			dup := false
+			for _, prev := range d.seen[h] {
+				if rowsEqualNullSafe(prev, row) {
+					dup = true
+					break
+				}
 			}
+			if dup {
+				continue
+			}
+			d.seen[h] = append(d.seen[h], row)
+			out.Add(row)
 		}
-		if dup {
-			continue
-		}
-		d.seen[h] = append(d.seen[h], row)
-		return row, nil
 	}
+	return nil
 }
 
 func (d *HashDistinct) Close(ctx *Ctx) error {

@@ -58,6 +58,8 @@ type HashJoin struct {
 	matchSeen  []bool // per build row (heap order), for LeftOuter
 	buildRows  int64
 	emitQ      []Row
+	emitPos    int   // consumed prefix of emitQ (index, not re-slice: O(1) pops)
+	inBuf      Batch // reusable input batch for build and probe pulls
 	probeDone  bool
 	spillQueue []int // indexes of spilled partitions to post-process
 	leftWidth  int
@@ -179,6 +181,8 @@ func (j *HashJoin) Open(ctx *Ctx) error {
 	j.matchSeen = j.matchSeen[:0]
 	j.buildRows = 0
 	j.emitQ = nil
+	j.emitPos = 0
+	j.inBuf.Reset()
 	j.probeDone = false
 	j.spillQueue = nil
 	j.spillCount = 0
@@ -192,18 +196,19 @@ func (j *HashJoin) Open(ctx *Ctx) error {
 		return err
 	}
 	j.leftOpen = true
-	// Build phase.
+	// Build phase, one input batch at a time.
 	for {
-		row, err := j.Left.Next(ctx)
-		if err != nil {
+		if err := j.Left.NextBatch(ctx, &j.inBuf); err != nil {
 			return err
 		}
-		if row == nil {
+		if j.inBuf.Len() == 0 {
 			break
 		}
-		j.leftWidth = len(row)
-		if err := j.addBuildRow(ctx, row); err != nil {
-			return err
+		for _, row := range j.inBuf.Rows {
+			j.leftWidth = len(row)
+			if err := j.addBuildRow(ctx, row); err != nil {
+				return err
+			}
 		}
 	}
 	if err := j.Left.Close(ctx); err != nil {
@@ -364,26 +369,39 @@ func (j *HashJoin) evictPartition(pi int) (int, error) {
 	return freed, nil
 }
 
-func (j *HashJoin) Next(ctx *Ctx) (Row, error) {
-	if j.mode == "inl" {
-		return j.nextINL(ctx)
+// popEmitQ moves queued output rows into out (up to target) and truncates
+// the queue once fully consumed.
+func (j *HashJoin) popEmitQ(out *Batch, target int) {
+	for j.emitPos < len(j.emitQ) && out.Len() < target {
+		out.Add(j.emitQ[j.emitPos])
+		j.emitPos++
 	}
+	if j.emitPos >= len(j.emitQ) {
+		j.emitQ = j.emitQ[:0]
+		j.emitPos = 0
+	}
+}
+
+func (j *HashJoin) NextBatch(ctx *Ctx, out *Batch) error {
+	if j.mode == "inl" {
+		return j.nextINLBatch(ctx, out)
+	}
+	out.Reset()
+	target := ctx.BatchSize()
 	for {
-		if len(j.emitQ) > 0 {
-			r := j.emitQ[0]
-			j.emitQ = j.emitQ[1:]
-			return r, nil
+		j.popEmitQ(out, target)
+		if out.Len() >= target {
+			return nil
 		}
 		if !j.probeDone {
-			row, err := j.Right.Next(ctx)
-			if err != nil {
-				return nil, err
+			if err := j.Right.NextBatch(ctx, &j.inBuf); err != nil {
+				return err
 			}
-			if row == nil {
+			if j.inBuf.Len() == 0 {
 				j.probeDone = true
 				j.rightOpen = false
 				if err := j.Right.Close(ctx); err != nil {
-					return nil, err
+					return err
 				}
 				// Queue spilled partitions for post-processing.
 				for i, p := range j.parts {
@@ -393,9 +411,9 @@ func (j *HashJoin) Next(ctx *Ctx) (Row, error) {
 				}
 				continue
 			}
-			ctx.ChargeRows(1)
-			if err := j.probeRow(ctx, row); err != nil {
-				return nil, err
+			ctx.ChargeRows(j.inBuf.Len())
+			if err := j.probeBatch(ctx, j.inBuf.Rows); err != nil {
+				return err
 			}
 			continue
 		}
@@ -403,55 +421,68 @@ func (j *HashJoin) Next(ctx *Ctx) (Row, error) {
 			pi := j.spillQueue[0]
 			j.spillQueue = j.spillQueue[1:]
 			if err := j.processSpilled(ctx, pi); err != nil {
-				return nil, err
+				return err
 			}
 			continue
 		}
 		// Null-padding pass for LeftOuter.
 		if j.LeftOuter {
 			if err := j.emitUnmatched(ctx); err != nil {
-				return nil, err
+				return err
 			}
 			j.LeftOuter = false // run once
 			continue
 		}
-		return nil, nil
+		return nil
 	}
 }
 
-func (j *HashJoin) probeRow(ctx *Ctx, row Row) error {
-	keys, ok, err := evalKeys(j.RightKeys, row)
-	if err != nil {
-		return err
+// probeBatch probes one batch of right rows against the in-memory
+// partitions, deferring rows destined for spilled partitions so each
+// partition takes one batched run append per input batch.
+func (j *HashJoin) probeBatch(ctx *Ctx, rows []Row) error {
+	var pending map[int][]Row // spilled-partition rows, flushed batch-wise
+	for _, row := range rows {
+		keys, ok, err := evalKeys(j.RightKeys, row)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue // NULL key matches nothing
+		}
+		h := val.HashRow(keys)
+		pi := int(h % uint64(j.Partitions))
+		p := j.parts[pi]
+		if p.spilled {
+			if pending == nil {
+				pending = make(map[int][]Row)
+			}
+			pending[pi] = append(pending[pi], row)
+			continue
+		}
+		for _, br := range p.ht[h] {
+			b, err := j.h.Row(br.ref)
+			if err != nil {
+				return err
+			}
+			brow, err := val.DecodeRow(b)
+			if err != nil {
+				return err
+			}
+			if !keysEqual(j.LeftKeys, brow, keys) {
+				continue
+			}
+			j.matchSeen[br.idx] = true
+			j.emitQ = append(j.emitQ, concatRows(brow, row))
+		}
 	}
-	if !ok {
-		return nil // NULL key matches nothing
-	}
-	h := val.HashRow(keys)
-	pi := int(h % uint64(j.Partitions))
-	p := j.parts[pi]
-	if p.spilled {
+	for pi, rs := range pending {
+		p := j.parts[pi]
 		w := runWriter{ctx: ctx, r: p.probe}
-		if err := w.add(row); err != nil {
+		if err := w.addBatch(rs); err != nil {
 			return err
 		}
 		p.probe = w.r
-		return nil
-	}
-	for _, br := range p.ht[h] {
-		b, err := j.h.Row(br.ref)
-		if err != nil {
-			return err
-		}
-		brow, err := val.DecodeRow(b)
-		if err != nil {
-			return err
-		}
-		if !keysEqual(j.LeftKeys, brow, keys) {
-			continue
-		}
-		j.matchSeen[br.idx] = true
-		j.emitQ = append(j.emitQ, concatRows(brow, row))
 	}
 	return nil
 }
@@ -610,9 +641,10 @@ func (j *HashJoin) emitUnmatched(ctx *Ctx) error {
 	return nil
 }
 
-// nextINL drives the alternate index-nested-loops strategy: the build rows
-// (already in the heap) become the outer side, probing the index.
-func (j *HashJoin) nextINL(ctx *Ctx) (Row, error) {
+// nextINLBatch drives the alternate index-nested-loops strategy: the build
+// rows (already in the heap) become the outer side, probing the index.
+func (j *HashJoin) nextINLBatch(ctx *Ctx, out *Batch) error {
+	out.Reset()
 	if j.inl == nil {
 		j.inl = &inlState{}
 		// Collect build rows from the heap in insertion order.
@@ -621,11 +653,11 @@ func (j *HashJoin) nextINL(ctx *Ctx) (Row, error) {
 				for _, br := range refs {
 					b, err := j.h.Row(br.ref)
 					if err != nil {
-						return nil, err
+						return err
 					}
 					row, err := val.DecodeRow(b)
 					if err != nil {
-						return nil, err
+						return err
 					}
 					j.inl.outer = append(j.inl.outer, row)
 				}
@@ -633,59 +665,65 @@ func (j *HashJoin) nextINL(ctx *Ctx) (Row, error) {
 		}
 	}
 	s := j.inl
+	target := ctx.BatchSize()
+	charged := 0
+	defer func() { ctx.ChargeRows(charged) }()
 	for {
-		if len(s.queue) > 0 {
-			r := s.queue[0]
-			s.queue = s.queue[1:]
-			return r, nil
+		for s.qpos < len(s.queue) && out.Len() < target {
+			out.Add(s.queue[s.qpos])
+			s.qpos++
 		}
-		if s.pos >= len(s.outer) {
-			return nil, nil
+		if s.qpos >= len(s.queue) {
+			s.queue = s.queue[:0]
+			s.qpos = 0
+		}
+		if out.Len() >= target || s.pos >= len(s.outer) {
+			return nil
 		}
 		orow := s.outer[s.pos]
 		s.pos++
 		keys, ok, err := evalKeys(j.LeftKeys, orow)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		matched := false
 		if ok {
 			key := val.EncodeKey(keys)
 			it, err := j.Alt.Index.Tree.Seek(key)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			for ; it.Valid() && hasPrefix(it.Key(), key); it.Next() {
 				rid := table.RIDFromBytes(it.Value())
 				irow, err := j.Alt.Table.Get(rid)
 				if err != nil {
 					it.Close()
-					return nil, err
+					return err
 				}
-				out := concatRows(orow, irow)
+				o := concatRows(orow, irow)
 				if j.Alt.Pred != nil {
-					v, err := j.Alt.Pred.Test(out)
+					v, err := j.Alt.Pred.Test(o)
 					if err != nil {
 						it.Close()
-						return nil, err
+						return err
 					}
 					if v != True {
 						continue
 					}
 				}
 				matched = true
-				s.queue = append(s.queue, out)
+				s.queue = append(s.queue, o)
 			}
 			if err := it.Err(); err != nil {
 				it.Close()
-				return nil, err
+				return err
 			}
 			it.Close()
 		}
 		if !matched && j.LeftOuter {
 			s.queue = append(s.queue, padRight(orow, j.RightWidth))
 		}
-		ctx.ChargeRows(1)
+		charged++
 	}
 }
 
@@ -693,6 +731,7 @@ type inlState struct {
 	outer []Row
 	pos   int
 	queue []Row
+	qpos  int
 }
 
 func (j *HashJoin) Close(ctx *Ctx) error {
@@ -742,12 +781,10 @@ type NestedLoopJoin struct {
 	rightRows []Row
 	rpos      int
 	matched   bool
-	queue     []Row
 }
 
 func (n *NestedLoopJoin) Open(ctx *Ctx) error {
 	n.pos, n.rpos = 0, 0
-	n.queue = nil
 	var err error
 	n.leftRows, err = Drain(ctx, n.Left)
 	if err != nil {
@@ -761,44 +798,49 @@ func (n *NestedLoopJoin) Open(ctx *Ctx) error {
 	return nil
 }
 
-func (n *NestedLoopJoin) Next(ctx *Ctx) (Row, error) {
-	for {
-		if len(n.queue) > 0 {
-			r := n.queue[0]
-			n.queue = n.queue[1:]
-			return r, nil
-		}
+func (n *NestedLoopJoin) NextBatch(ctx *Ctx, out *Batch) error {
+	out.Reset()
+	target := ctx.BatchSize()
+	charged := 0
+	defer func() { ctx.ChargeRows(charged) }()
+	for out.Len() < target {
 		if n.pos >= len(n.leftRows) {
-			return nil, nil
+			return nil
 		}
 		lrow := n.leftRows[n.pos]
 		if n.rpos == 0 {
 			n.matched = false
 		}
-		for n.rpos < len(n.rightRows) {
+		for n.rpos < len(n.rightRows) && out.Len() < target {
 			rrow := n.rightRows[n.rpos]
 			n.rpos++
-			out := concatRows(lrow, rrow)
-			ctx.ChargeRows(1)
+			o := concatRows(lrow, rrow)
+			charged++
 			if n.Pred != nil {
-				v, err := n.Pred.Test(out)
+				v, err := n.Pred.Test(o)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				if v != True {
 					continue
 				}
 			}
 			n.matched = true
-			return out, nil
+			out.Add(o)
 		}
-		// Exhausted right side for this left row.
-		if !n.matched && n.LeftOuter {
-			n.queue = append(n.queue, padRight(lrow, n.RightWidth))
+		if n.rpos >= len(n.rightRows) {
+			// Exhausted right side for this left row.
+			if !n.matched && n.LeftOuter {
+				if out.Len() >= target {
+					return nil // pad on the next call; matched survives
+				}
+				out.Add(padRight(lrow, n.RightWidth))
+			}
+			n.pos++
+			n.rpos = 0
 		}
-		n.pos++
-		n.rpos = 0
 	}
+	return nil
 }
 
 func (n *NestedLoopJoin) Close(ctx *Ctx) error {
@@ -818,56 +860,84 @@ type IndexNLJoin struct {
 	RightWidth int
 
 	queue []Row
+	qpos  int
+	in    Batch
+	ipos  int
+	eof   bool
 }
 
 func (n *IndexNLJoin) Open(ctx *Ctx) error {
-	n.queue = nil
+	n.queue, n.qpos = nil, 0
+	n.in.Reset()
+	n.ipos = 0
+	n.eof = false
 	return n.Left.Open(ctx)
 }
 
-func (n *IndexNLJoin) Next(ctx *Ctx) (Row, error) {
+func (n *IndexNLJoin) NextBatch(ctx *Ctx, out *Batch) error {
+	out.Reset()
+	target := ctx.BatchSize()
+	charged := 0
+	defer func() { ctx.ChargeRows(charged) }()
 	for {
-		if len(n.queue) > 0 {
-			r := n.queue[0]
-			n.queue = n.queue[1:]
-			return r, nil
+		for n.qpos < len(n.queue) && out.Len() < target {
+			out.Add(n.queue[n.qpos])
+			n.qpos++
 		}
-		lrow, err := n.Left.Next(ctx)
-		if err != nil || lrow == nil {
-			return nil, err
+		if n.qpos >= len(n.queue) {
+			n.queue = n.queue[:0]
+			n.qpos = 0
 		}
-		ctx.ChargeRows(1)
+		if out.Len() >= target {
+			return nil
+		}
+		if n.ipos >= n.in.Len() {
+			if n.eof {
+				return nil
+			}
+			if err := n.Left.NextBatch(ctx, &n.in); err != nil {
+				return err
+			}
+			n.ipos = 0
+			if n.in.Len() == 0 {
+				n.eof = true
+				return nil
+			}
+		}
+		lrow := n.in.Rows[n.ipos]
+		n.ipos++
+		charged++
 		keys, ok, err := evalKeys(n.LeftKeys, lrow)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		matched := false
 		if ok {
 			key := val.EncodeKey(keys)
 			it, err := n.Index.Tree.Seek(key)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			for ; it.Valid() && hasPrefix(it.Key(), key); it.Next() {
 				rid := table.RIDFromBytes(it.Value())
 				irow, err := n.Table.Get(rid)
 				if err != nil {
 					it.Close()
-					return nil, err
+					return err
 				}
-				out := concatRows(lrow, irow)
+				o := concatRows(lrow, irow)
 				if n.Pred != nil {
-					v, err := n.Pred.Test(out)
+					v, err := n.Pred.Test(o)
 					if err != nil {
 						it.Close()
-						return nil, err
+						return err
 					}
 					if v != True {
 						continue
 					}
 				}
 				matched = true
-				n.queue = append(n.queue, out)
+				n.queue = append(n.queue, o)
 			}
 			it.Close()
 		}

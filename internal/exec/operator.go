@@ -5,6 +5,7 @@ import (
 	"anywheredb/internal/mem"
 	"anywheredb/internal/store"
 	"anywheredb/internal/table"
+	"anywheredb/internal/telemetry"
 	"anywheredb/internal/txn"
 	"anywheredb/internal/val"
 	"anywheredb/internal/vclock"
@@ -26,6 +27,13 @@ type Ctx struct {
 	// CPURowCost is a CPU proxy: virtual µs charged to the clock per row
 	// processed, so "actual cost" measurements include CPU. 0 disables it.
 	CPURowCost int64
+	// ForceBatchSize pins BatchSize to a fixed value (tests, benchmarks,
+	// the differential row-path harness). 0 = adaptive.
+	ForceBatchSize int
+	// Batches / BatchRows are optional engine telemetry for batches
+	// delivered at the plan root (wired by core; nil in bare rigs).
+	Batches   *telemetry.Counter
+	BatchRows *telemetry.Histogram
 }
 
 // ChargeRows adds the CPU proxy cost of n rows to the virtual clock.
@@ -35,10 +43,14 @@ func (c *Ctx) ChargeRows(n int) {
 	}
 }
 
-// Operator is a Volcano-style iterator.
+// Operator is a batch-at-a-time iterator (a vectored Volcano protocol).
+// NextBatch resets out, then fills it with up to ctx.BatchSize() rows; an
+// empty batch means end of input. The Batch container belongs to the
+// caller and is recycled between calls, while the Row values placed in it
+// stay valid until Close. Use RowIterator for row-at-a-time consumption.
 type Operator interface {
 	Open(ctx *Ctx) error
-	Next(ctx *Ctx) (Row, error) // (nil, nil) at end of input
+	NextBatch(ctx *Ctx, out *Batch) error
 	Close(ctx *Ctx) error
 }
 
@@ -50,11 +62,8 @@ type TableScan struct {
 
 	rows []Row // materialized page batch
 	pos  int
-	err  error
 	rids []table.RID
-	// WithRIDs makes the scan append a hidden RID handle column (used by
-	// UPDATE/DELETE plans); see RIDOf.
-	cur table.RID
+	cur  table.RID
 }
 
 func (s *TableScan) Open(ctx *Ctx) error {
@@ -68,15 +77,13 @@ func (s *TableScan) Open(ctx *Ctx) error {
 	})
 }
 
-func (s *TableScan) Next(ctx *Ctx) (Row, error) {
-	if s.pos >= len(s.rows) {
-		return nil, nil
+func (s *TableScan) NextBatch(ctx *Ctx, out *Batch) error {
+	copyChunk(ctx, out, s.rows, &s.pos)
+	if n := out.Len(); n > 0 {
+		s.cur = s.rids[s.pos-1]
+		ctx.ChargeRows(n)
 	}
-	r := s.rows[s.pos]
-	s.cur = s.rids[s.pos]
-	s.pos++
-	ctx.ChargeRows(1)
-	return r, nil
+	return nil
 }
 
 // RIDOf reports the RID of the most recently returned row.
@@ -181,15 +188,13 @@ func hasPrefix(k, p []byte) bool {
 	return true
 }
 
-func (s *IndexScan) Next(ctx *Ctx) (Row, error) {
-	if s.pos >= len(s.rows) {
-		return nil, nil
+func (s *IndexScan) NextBatch(ctx *Ctx, out *Batch) error {
+	copyChunk(ctx, out, s.rows, &s.pos)
+	if n := out.Len(); n > 0 {
+		s.cur = s.rids[s.pos-1]
+		ctx.ChargeRows(n)
 	}
-	r := s.rows[s.pos]
-	s.cur = s.rids[s.pos]
-	s.pos++
-	ctx.ChargeRows(1)
-	return r, nil
+	return nil
 }
 
 // RIDOf reports the RID of the most recently returned row.
@@ -212,29 +217,43 @@ type Filter struct {
 	Obs   Observer
 
 	matched, tested float64
+	in              Batch
+	verdicts        []Bool3
+	eof             bool
 }
 
 func (f *Filter) Open(ctx *Ctx) error {
 	f.matched, f.tested = 0, 0
+	f.eof = false
+	f.in.Reset()
 	return f.Input.Open(ctx)
 }
 
-func (f *Filter) Next(ctx *Ctx) (Row, error) {
-	for {
-		row, err := f.Input.Next(ctx)
-		if err != nil || row == nil {
-			return nil, err
+func (f *Filter) NextBatch(ctx *Ctx, out *Batch) error {
+	out.Reset()
+	target := ctx.BatchSize()
+	for out.Len() < target && !f.eof {
+		if err := f.Input.NextBatch(ctx, &f.in); err != nil {
+			return err
 		}
-		f.tested++
-		v, err := f.Pred.Test(row)
+		if f.in.Len() == 0 {
+			f.eof = true
+			break
+		}
+		var err error
+		f.verdicts, err = TestBatch(f.Pred, f.in.Rows, f.verdicts[:0])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if v == True {
-			f.matched++
-			return row, nil
+		f.tested += float64(f.in.Len())
+		for i, v := range f.verdicts {
+			if v == True {
+				out.Add(f.in.Rows[i])
+			}
 		}
 	}
+	f.matched += float64(out.Len())
+	return nil
 }
 
 func (f *Filter) Close(ctx *Ctx) error {
@@ -244,27 +263,49 @@ func (f *Filter) Close(ctx *Ctx) error {
 	return f.Input.Close(ctx)
 }
 
-// Project evaluates expressions over input rows.
+// Project evaluates expressions over input rows, one expression across the
+// whole batch at a time.
 type Project struct {
 	Input Operator
 	Exprs []Expr
+
+	in   Batch
+	cols []val.Value // column-major scratch, len = exprs × batch rows
 }
 
 func (p *Project) Open(ctx *Ctx) error { return p.Input.Open(ctx) }
 
-func (p *Project) Next(ctx *Ctx) (Row, error) {
-	row, err := p.Input.Next(ctx)
-	if err != nil || row == nil {
-		return nil, err
+func (p *Project) NextBatch(ctx *Ctx, out *Batch) error {
+	out.Reset()
+	if err := p.Input.NextBatch(ctx, &p.in); err != nil {
+		return err
 	}
-	out := make(Row, len(p.Exprs))
-	for i, e := range p.Exprs {
-		out[i], err = e.Eval(row)
+	n := p.in.Len()
+	if n == 0 {
+		return nil
+	}
+	p.cols = p.cols[:0]
+	for _, e := range p.Exprs {
+		var err error
+		p.cols, err = EvalBatch(e, p.in.Rows, p.cols)
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return out, nil
+	// Transpose the column-major scratch into fresh output rows (rows must
+	// stay valid after the scratch is recycled on the next call).
+	w := len(p.Exprs)
+	flat := make([]val.Value, w*n)
+	for c := 0; c < w; c++ {
+		col := p.cols[c*n : (c+1)*n]
+		for r, v := range col {
+			flat[r*w+c] = v
+		}
+	}
+	for r := 0; r < n; r++ {
+		out.Add(flat[r*w : (r+1)*w : (r+1)*w])
+	}
+	return nil
 }
 
 func (p *Project) Close(ctx *Ctx) error { return p.Input.Close(ctx) }
@@ -281,16 +322,29 @@ func (l *Limit) Open(ctx *Ctx) error {
 	return l.Input.Open(ctx)
 }
 
-func (l *Limit) Next(ctx *Ctx) (Row, error) {
-	if l.seen >= l.N {
-		return nil, nil
+func (l *Limit) NextBatch(ctx *Ctx, out *Batch) error {
+	rem := l.N - l.seen
+	if rem <= 0 {
+		out.Reset()
+		return nil
 	}
-	row, err := l.Input.Next(ctx)
-	if err != nil || row == nil {
-		return nil, err
+	// Bound the child's batch to what the limit can still consume, so a
+	// small LIMIT does not trigger a full default-size batch of upstream
+	// work per call.
+	saved := ctx.ForceBatchSize
+	if int64(ctx.BatchSize()) > rem {
+		ctx.ForceBatchSize = int(rem)
 	}
-	l.seen++
-	return row, nil
+	err := l.Input.NextBatch(ctx, out)
+	ctx.ForceBatchSize = saved
+	if err != nil {
+		return err
+	}
+	if int64(out.Len()) > rem {
+		out.Rows = out.Rows[:rem]
+	}
+	l.seen += int64(out.Len())
+	return nil
 }
 
 func (l *Limit) Close(ctx *Ctx) error { return l.Input.Close(ctx) }
@@ -311,18 +365,18 @@ func (u *UnionAll) Open(ctx *Ctx) error {
 	return nil
 }
 
-func (u *UnionAll) Next(ctx *Ctx) (Row, error) {
+func (u *UnionAll) NextBatch(ctx *Ctx, out *Batch) error {
 	for u.cur < len(u.Inputs) {
-		row, err := u.Inputs[u.cur].Next(ctx)
-		if err != nil {
-			return nil, err
+		if err := u.Inputs[u.cur].NextBatch(ctx, out); err != nil {
+			return err
 		}
-		if row != nil {
-			return row, nil
+		if out.Len() > 0 {
+			return nil
 		}
 		u.cur++
 	}
-	return nil, nil
+	out.Reset()
+	return nil
 }
 
 func (u *UnionAll) Close(ctx *Ctx) error {
@@ -343,21 +397,23 @@ type Values struct {
 
 func (v *Values) Open(ctx *Ctx) error { v.pos = 0; return nil }
 
-func (v *Values) Next(ctx *Ctx) (Row, error) {
-	if v.pos >= len(v.Rows) {
-		return nil, nil
-	}
-	exprs := v.Rows[v.pos]
-	v.pos++
-	out := make(Row, len(exprs))
-	var err error
-	for i, e := range exprs {
-		out[i], err = e.Eval(nil)
-		if err != nil {
-			return nil, err
+func (v *Values) NextBatch(ctx *Ctx, out *Batch) error {
+	out.Reset()
+	target := ctx.BatchSize()
+	for out.Len() < target && v.pos < len(v.Rows) {
+		exprs := v.Rows[v.pos]
+		v.pos++
+		row := make(Row, len(exprs))
+		var err error
+		for i, e := range exprs {
+			row[i], err = e.Eval(nil)
+			if err != nil {
+				return err
+			}
 		}
+		out.Add(row)
 	}
-	return out, nil
+	return nil
 }
 
 func (v *Values) Close(ctx *Ctx) error { return nil }
@@ -371,35 +427,9 @@ type Materialized struct {
 
 func (m *Materialized) Open(ctx *Ctx) error { m.pos = 0; return nil }
 
-func (m *Materialized) Next(ctx *Ctx) (Row, error) {
-	if m.pos >= len(m.RowsData) {
-		return nil, nil
-	}
-	r := m.RowsData[m.pos]
-	m.pos++
-	return r, nil
+func (m *Materialized) NextBatch(ctx *Ctx, out *Batch) error {
+	copyChunk(ctx, out, m.RowsData, &m.pos)
+	return nil
 }
 
 func (m *Materialized) Close(ctx *Ctx) error { return nil }
-
-// Drain runs an operator to completion, returning all rows. If Open fails
-// partway through a tree, Close still runs so operators release their
-// buffer-pool pins and temp pages.
-func Drain(ctx *Ctx, op Operator) ([]Row, error) {
-	if err := op.Open(ctx); err != nil {
-		op.Close(ctx)
-		return nil, err
-	}
-	defer op.Close(ctx)
-	var out []Row
-	for {
-		row, err := op.Next(ctx)
-		if err != nil {
-			return nil, err
-		}
-		if row == nil {
-			return out, nil
-		}
-		out = append(out, row)
-	}
-}

@@ -98,8 +98,10 @@ func (p *ParallelPipeline) buildTable(ctx *Ctx, j *PipeJoin) (*pipeTable, error)
 		}
 		return t, nil
 	}
-	// Parallel build: workers take rows first-come-first-served, building
-	// separate hash tables that are merged afterwards (§4.4 extension).
+	// Parallel build: workers claim batches of rows first-come-first-served,
+	// building separate hash tables that are merged afterwards (§4.4
+	// extension). The claim size is re-read per batch, so governor or worker
+	// changes apply at the next claim.
 	var cursor atomic.Int64
 	parts := make([]*pipeTable, nw)
 	errs := make([]error, nw)
@@ -111,13 +113,15 @@ func (p *ParallelPipeline) buildTable(ctx *Ctx, j *PipeJoin) (*pipeTable, error)
 			t := newPipeTable(len(rows)/nw+1, j.UseBloom)
 			parts[w] = t
 			for {
-				i := cursor.Add(1) - 1
-				if int(i) >= len(rows) {
+				lo, hi := claimBatch(ctx, &cursor, len(rows))
+				if lo >= hi {
 					return
 				}
-				if err := t.add(j.BuildKeys, rows[i]); err != nil {
-					errs[w] = err
-					return
+				for _, row := range rows[lo:hi] {
+					if err := t.add(j.BuildKeys, row); err != nil {
+						errs[w] = err
+						return
+					}
 				}
 			}
 		}(w)
@@ -190,8 +194,66 @@ func (t *pipeTable) bloomMiss(h uint64) bool {
 	return t.bloom[b1/64]&(1<<(b1%64)) == 0 || t.bloom[b2/64]&(1<<(b2%64)) == 0
 }
 
-// probe runs the parallel probe phase: workers pull source rows FCFS and
-// push each through every join in the pipeline.
+// claimBatch reserves the next batch of row indexes [lo, hi) from a shared
+// FCFS cursor. The claim size is ctx.BatchSize(), re-read per claim, so the
+// §4.4 adaptation points (governor squeeze, worker changes) apply at batch
+// granularity: this is the "exchange carries batches, not rows" half of the
+// vectored protocol.
+func claimBatch(ctx *Ctx, cursor *atomic.Int64, total int) (int, int) {
+	n := int64(ctx.BatchSize())
+	hi := cursor.Add(n)
+	lo := hi - n
+	if lo >= int64(total) {
+		return total, total
+	}
+	if hi > int64(total) {
+		hi = int64(total)
+	}
+	return int(lo), int(hi)
+}
+
+// pipeOne pushes one source row through every join in the pipeline,
+// returning the resulting output rows. Safe for concurrent use: it only
+// reads the shared, immutable tables.
+func (p *ParallelPipeline) pipeOne(src Row) ([]Row, error) {
+	rows := []Row{src}
+	for ji := range p.Joins {
+		j := &p.Joins[ji]
+		t := p.tables[ji]
+		var next []Row
+		for _, r := range rows {
+			kv, ok, err := evalKeys(j.ProbeKeys, r)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			h := val.HashRow(kv)
+			if t.bloomMiss(h) {
+				continue
+			}
+			for _, brow := range t.ht[h] {
+				bkv, ok, err := evalKeys(j.BuildKeys, brow)
+				if err != nil {
+					return nil, err
+				}
+				if !ok || !valsEqual(kv, bkv) {
+					continue
+				}
+				next = append(next, concatRows(r, brow))
+			}
+		}
+		rows = next
+		if len(rows) == 0 {
+			break
+		}
+	}
+	return rows, nil
+}
+
+// probe runs the parallel probe phase: workers claim batches of source rows
+// FCFS and push each through every join in the pipeline.
 func (p *ParallelPipeline) probe(ctx *Ctx) error {
 	srcRows, err := Drain(ctx, p.Source)
 	if err != nil {
@@ -212,50 +274,22 @@ func (p *ParallelPipeline) probe(ctx *Ctx) error {
 			var local []Row
 			for {
 				// Dynamic reduction: workers beyond the current target stop
-				// taking new rows (§4.4).
+				// taking new batches (§4.4).
 				if int32(w) >= p.workers.Load() {
 					break
 				}
-				i := cursor.Add(1) - 1
-				if int(i) >= len(srcRows) {
+				lo, hi := claimBatch(ctx, &cursor, len(srcRows))
+				if lo >= hi {
 					break
 				}
-				rows := []Row{srcRows[i]}
-				for ji := range p.Joins {
-					j := &p.Joins[ji]
-					t := p.tables[ji]
-					var next []Row
-					for _, r := range rows {
-						kv, ok, err := evalKeys(j.ProbeKeys, r)
-						if err != nil {
-							errs[w] = err
-							return
-						}
-						if !ok {
-							continue
-						}
-						h := val.HashRow(kv)
-						if t.bloomMiss(h) {
-							continue
-						}
-						for _, brow := range t.ht[h] {
-							bkv, ok, err := evalKeys(j.BuildKeys, brow)
-							if err != nil {
-								errs[w] = err
-								return
-							}
-							if !ok || !valsEqual(kv, bkv) {
-								continue
-							}
-							next = append(next, concatRows(r, brow))
-						}
+				for _, src := range srcRows[lo:hi] {
+					rows, err := p.pipeOne(src)
+					if err != nil {
+						errs[w] = err
+						return
 					}
-					rows = next
-					if len(rows) == 0 {
-						break
-					}
+					local = append(local, rows...)
 				}
-				local = append(local, rows...)
 			}
 			outs[w] = local
 		}(w)
@@ -268,44 +302,17 @@ func (p *ParallelPipeline) probe(ctx *Ctx) error {
 	}
 	// Workers that stopped early leave a cursor remainder; finish serially.
 	for {
-		i := cursor.Add(1) - 1
-		if int(i) >= len(srcRows) {
+		lo, hi := claimBatch(ctx, &cursor, len(srcRows))
+		if lo >= hi {
 			break
 		}
-		rows := []Row{srcRows[i]}
-		for ji := range p.Joins {
-			j := &p.Joins[ji]
-			t := p.tables[ji]
-			var next []Row
-			for _, r := range rows {
-				kv, ok, err := evalKeys(j.ProbeKeys, r)
-				if err != nil {
-					return err
-				}
-				if !ok {
-					continue
-				}
-				h := val.HashRow(kv)
-				if t.bloomMiss(h) {
-					continue
-				}
-				for _, brow := range t.ht[h] {
-					bkv, ok, err := evalKeys(j.BuildKeys, brow)
-					if err != nil {
-						return err
-					}
-					if !ok || !valsEqual(kv, bkv) {
-						continue
-					}
-					next = append(next, concatRows(r, brow))
-				}
+		for _, src := range srcRows[lo:hi] {
+			rows, err := p.pipeOne(src)
+			if err != nil {
+				return err
 			}
-			rows = next
-			if len(rows) == 0 {
-				break
-			}
+			p.out = append(p.out, rows...)
 		}
-		p.out = append(p.out, rows...)
 	}
 	for _, o := range outs {
 		p.out = append(p.out, o...)
@@ -325,13 +332,9 @@ func valsEqual(a, b []val.Value) bool {
 	return true
 }
 
-func (p *ParallelPipeline) Next(ctx *Ctx) (Row, error) {
-	if p.pos >= len(p.out) {
-		return nil, nil
-	}
-	r := p.out[p.pos]
-	p.pos++
-	return r, nil
+func (p *ParallelPipeline) NextBatch(ctx *Ctx, out *Batch) error {
+	copyChunk(ctx, out, p.out, &p.pos)
+	return nil
 }
 
 func (p *ParallelPipeline) Close(ctx *Ctx) error {

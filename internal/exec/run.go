@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"anywheredb/internal/buffer"
 	"anywheredb/internal/page"
 	"anywheredb/internal/store"
 	"anywheredb/internal/val"
@@ -15,47 +16,68 @@ type run struct {
 	rows  int
 }
 
-// runWriter appends rows to a run.
+// runWriter appends rows to a run. Writing is batch-oriented: addBatch pins
+// the tail page once per batch and packs rows until it overflows, so the
+// pool round-trips scale with pages written, not rows written. No pin is
+// held between calls.
 type runWriter struct {
 	ctx *Ctx
 	r   run
-	cur *frameRef
-}
-
-type frameRef struct {
-	f  interface{ MarkDirty() }
-	id store.PageID
+	one [1]Row // scratch for the row-at-a-time wrapper
 }
 
 func newRunWriter(ctx *Ctx) *runWriter { return &runWriter{ctx: ctx} }
 
+// add appends one row (wrapper over addBatch for the few per-row sites).
 func (w *runWriter) add(row Row) error {
-	enc := val.EncodeRow(row)
-	for attempt := 0; attempt < 2; attempt++ {
-		if len(w.r.pages) > 0 {
-			last := w.r.pages[len(w.r.pages)-1]
-			f, err := w.ctx.Pool.Get(last)
-			if err != nil {
-				return err
-			}
-			slot := f.Data.Insert(enc)
-			if slot >= 0 {
-				f.MarkDirty()
-				w.ctx.Pool.Unpin(f, true)
-				w.r.rows++
-				return nil
-			}
-			w.ctx.Pool.Unpin(f, false)
-		}
-		// Need a fresh page.
-		f, err := w.ctx.Pool.NewPage(store.TempFile, page.TypeTemp)
+	w.one[0] = row
+	return w.addBatch(w.one[:])
+}
+
+// addBatch appends a batch of rows with one pool Get for the tail page plus
+// one NewPage per page the batch overflows into.
+func (w *runWriter) addBatch(rows []Row) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	var f *buffer.Frame
+	dirty := false
+	if len(w.r.pages) > 0 {
+		var err error
+		f, err = w.ctx.Pool.Get(w.r.pages[len(w.r.pages)-1])
 		if err != nil {
 			return err
 		}
-		w.r.pages = append(w.r.pages, f.ID)
-		w.ctx.Pool.Unpin(f, true)
 	}
-	return errRowTooBig
+	for _, row := range rows {
+		enc := val.EncodeRow(row)
+		for attempt := 0; ; attempt++ {
+			if f != nil {
+				if slot := f.Data.Insert(enc); slot >= 0 {
+					f.MarkDirty()
+					dirty = true
+					w.r.rows++
+					break
+				}
+				w.ctx.Pool.Unpin(f, dirty)
+				f, dirty = nil, false
+			}
+			if attempt > 0 {
+				// A fresh page could not hold the row either.
+				return errRowTooBig
+			}
+			nf, err := w.ctx.Pool.NewPage(store.TempFile, page.TypeTemp)
+			if err != nil {
+				return err
+			}
+			w.r.pages = append(w.r.pages, nf.ID)
+			f, dirty = nf, true
+		}
+	}
+	if f != nil {
+		w.ctx.Pool.Unpin(f, dirty)
+	}
+	return nil
 }
 
 var errRowTooBig = errTooBig{}
@@ -66,15 +88,18 @@ func (errTooBig) Error() string { return "exec: spilled row exceeds page capacit
 
 func (w *runWriter) finish() run { return w.r }
 
-// each iterates the run's rows in order.
-func (r *run) each(ctx *Ctx, fn func(Row) error) error {
+// eachBatch iterates the run page by page, yielding each page's rows as one
+// batch: one pool Get decodes a whole page. The slice is only valid during
+// the callback.
+func (r *run) eachBatch(ctx *Ctx, fn func([]Row) error) error {
+	var rows []Row
 	for _, id := range r.pages {
 		f, err := ctx.Pool.Get(id)
 		if err != nil {
 			return err
 		}
 		f.RLock()
-		var rows []Row
+		rows = rows[:0]
 		for s := 0; s < f.Data.NumSlots(); s++ {
 			cell := f.Data.Cell(s)
 			if cell == nil {
@@ -90,13 +115,23 @@ func (r *run) each(ctx *Ctx, fn func(Row) error) error {
 		}
 		f.RUnlock()
 		ctx.Pool.Unpin(f, false)
+		if err := fn(rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// each iterates the run's rows in order.
+func (r *run) each(ctx *Ctx, fn func(Row) error) error {
+	return r.eachBatch(ctx, func(rows []Row) error {
 		for _, row := range rows {
 			if err := fn(row); err != nil {
 				return err
 			}
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // rowsCount reports the number of rows written to the run.

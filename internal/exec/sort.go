@@ -68,16 +68,16 @@ func (s *Sort) Open(ctx *Ctx) error {
 	}
 	s.inputOpen = true
 	maxRows := s.MaxRowsInMemory
+	var in Batch
 	for {
-		row, err := s.Input.Next(ctx)
-		if err != nil {
+		if err := s.Input.NextBatch(ctx, &in); err != nil {
 			return err
 		}
-		if row == nil {
+		if in.Len() == 0 {
 			break
 		}
-		ctx.ChargeRows(1)
-		s.buf = append(s.buf, row)
+		ctx.ChargeRows(in.Len())
+		s.buf = append(s.buf, in.Rows...)
 		if maxRows > 0 && len(s.buf) >= maxRows {
 			if err := s.flushRun(ctx); err != nil {
 				return err
@@ -129,10 +129,8 @@ func (s *Sort) flushRun(ctx *Ctx) error {
 	}
 	s.sortBuf()
 	w := newRunWriter(ctx)
-	for _, row := range s.buf {
-		if err := w.add(row); err != nil {
-			return err
-		}
+	if err := w.addBatch(s.buf); err != nil {
+		return err
 	}
 	s.runs = append(s.runs, w.finish())
 	s.buf = s.buf[:0]
@@ -150,8 +148,8 @@ func (s *Sort) merge(ctx *Ctx) error {
 	cursors := make([][]Row, len(s.runs))
 	for i := range s.runs {
 		var rows []Row
-		if err := s.runs[i].each(ctx, func(r Row) error {
-			rows = append(rows, r)
+		if err := s.runs[i].eachBatch(ctx, func(batch []Row) error {
+			rows = append(rows, batch...)
 			return nil
 		}); err != nil {
 			return err
@@ -182,13 +180,9 @@ func (s *Sort) merge(ctx *Ctx) error {
 	return nil
 }
 
-func (s *Sort) Next(ctx *Ctx) (Row, error) {
-	if s.pos >= len(s.merged) {
-		return nil, nil
-	}
-	r := s.merged[s.pos]
-	s.pos++
-	return r, nil
+func (s *Sort) NextBatch(ctx *Ctx, out *Batch) error {
+	copyChunk(ctx, out, s.merged, &s.pos)
+	return nil
 }
 
 func (s *Sort) Close(ctx *Ctx) error {
@@ -302,13 +296,9 @@ func (r *RecursiveUnion) Open(ctx *Ctx) error {
 	return nil
 }
 
-func (r *RecursiveUnion) Next(ctx *Ctx) (Row, error) {
-	if r.pos >= len(r.out) {
-		return nil, nil
-	}
-	row := r.out[r.pos]
-	r.pos++
-	return row, nil
+func (r *RecursiveUnion) NextBatch(ctx *Ctx, out *Batch) error {
+	copyChunk(ctx, out, r.out, &r.pos)
+	return nil
 }
 
 func (r *RecursiveUnion) Close(ctx *Ctx) error {

@@ -8,9 +8,10 @@ import "fmt"
 // per-node actuals that EXPLAIN ANALYZE prints next to the optimizer's
 // estimates, making Eq. 3 rank-preservation errors visible per query.
 type NodeStats struct {
-	Invocations  int64 // Next calls (including the EOF call)
-	Rows         int64 // non-nil rows returned
-	VTimeMicros  int64 // inclusive virtual µs in Open+Next+Close
+	Invocations  int64 // NextBatch calls (including the EOF call)
+	Rows         int64 // rows returned
+	Batches      int64 // non-empty batches returned
+	VTimeMicros  int64 // inclusive virtual µs in Open+NextBatch+Close
 	MemPeakPages int   // high-water MemoryPages() for mem.Consumer operators
 }
 
@@ -21,7 +22,8 @@ type memSized interface{ MemoryPages() int }
 // Stat wraps an operator and accrues NodeStats as the tree runs. All
 // operator iteration is single-threaded (ParallelPipeline drains its
 // children before fanning out workers), so the fields are plain integers —
-// instrumentation costs two clock reads and a few adds per Next.
+// instrumentation costs two clock reads and a few adds per batch, not per
+// row.
 type Stat struct {
 	Inner Operator
 	S     NodeStats
@@ -35,17 +37,18 @@ func (s *Stat) Open(ctx *Ctx) error {
 	return err
 }
 
-func (s *Stat) Next(ctx *Ctx) (Row, error) {
+func (s *Stat) NextBatch(ctx *Ctx, out *Batch) error {
 	start := s.now(ctx)
-	row, err := s.Inner.Next(ctx)
+	err := s.Inner.NextBatch(ctx, out)
 	s.S.VTimeMicros += s.now(ctx) - start
 	s.S.Invocations++
-	if row != nil {
-		s.S.Rows++
+	if n := out.Len(); n > 0 {
+		s.S.Rows += int64(n)
+		s.S.Batches++
 	} else {
 		s.sampleMem() // end of stream: catch the build-phase high water
 	}
-	return row, err
+	return err
 }
 
 func (s *Stat) Close(ctx *Ctx) error {

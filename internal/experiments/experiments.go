@@ -5,8 +5,8 @@
 // the optimizer-governor ablations (E8), histogram feedback (E9), adaptive
 // hash join (E10), the memory governor and low-memory fallbacks (E11),
 // intra-query parallelism (E12), page replacement (E13), the plan cache
-// (E14), the Index Consultant (E15), the CE-mode governor (E16), and
-// sharded buffer-pool scalability (E17).
+// (E14), the Index Consultant (E15), the CE-mode governor (E16), sharded
+// buffer-pool scalability (E17), and vectored-executor throughput (E18).
 //
 // Each experiment returns a Report: a paper-shaped table plus the key
 // metrics asserted by the benchmarks in bench_test.go and summarized in
@@ -70,7 +70,7 @@ func All() ([]*Report, error) {
 		E5RankPreservation, E6HundredWayJoin, E7DampingAblation,
 		E8GovernorQuota, E9HistogramFeedback, E10AdaptiveHashJoin,
 		E11LowMemory, E12Parallelism, E13Replacement, E14PlanCache,
-		E15IndexConsultant, E16CEMode, E17PoolScalability,
+		E15IndexConsultant, E16CEMode, E17PoolScalability, E18ExecThroughput,
 	}
 	var out []*Report
 	for _, run := range runs {
@@ -83,7 +83,7 @@ func All() ([]*Report, error) {
 	return out, nil
 }
 
-// ByID runs one experiment by id ("E1".."E17").
+// ByID runs one experiment by id ("E1".."E18").
 func ByID(id string) (*Report, error) {
 	m := map[string]func() (*Report, error){
 		"E1": E1CacheGovernor, "E2": E2DefaultDTT, "E3": E3CalibrateHDD,
@@ -91,7 +91,7 @@ func ByID(id string) (*Report, error) {
 		"E7": E7DampingAblation, "E8": E8GovernorQuota, "E9": E9HistogramFeedback,
 		"E10": E10AdaptiveHashJoin, "E11": E11LowMemory, "E12": E12Parallelism,
 		"E13": E13Replacement, "E14": E14PlanCache, "E15": E15IndexConsultant,
-		"E16": E16CEMode, "E17": E17PoolScalability,
+		"E16": E16CEMode, "E17": E17PoolScalability, "E18": E18ExecThroughput,
 	}
 	run, ok := m[strings.ToUpper(id)]
 	if !ok {

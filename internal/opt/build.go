@@ -166,9 +166,9 @@ func cteCols(cte *sqlparse.CTE, names []string, rows [][]val.Value) []table.Colu
 // errOp propagates a build error through the operator interface.
 type errOp struct{ err error }
 
-func (e *errOp) Open(*exec.Ctx) error             { return e.err }
-func (e *errOp) Next(*exec.Ctx) (exec.Row, error) { return nil, e.err }
-func (e *errOp) Close(*exec.Ctx) error            { return nil }
+func (e *errOp) Open(*exec.Ctx) error                   { return e.err }
+func (e *errOp) NextBatch(*exec.Ctx, *exec.Batch) error { return e.err }
+func (e *errOp) Close(*exec.Ctx) error                  { return nil }
 
 // buildQueryBlock handles one SELECT block plus its UNION chain.
 func buildQueryBlock(sel *sqlparse.Select, benv *BuildEnv, ctes map[string]*MaterializedCTE) (*Plan, error) {

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"anywheredb/internal/dtt"
+	"anywheredb/internal/exec"
 	"anywheredb/internal/page"
 	"anywheredb/internal/table"
 )
@@ -23,6 +24,15 @@ type Env struct {
 	// CPURowCostUS is the CPU proxy cost per row in virtual microseconds;
 	// it must match exec.Ctx.CPURowCost for Eq. 3 concordance.
 	CPURowCostUS float64
+	// CPUBatchCostUS prices the per-batch dispatch overhead of the vectored
+	// executor (one NextBatch interface call, one stat sample, one governor
+	// re-read per batch). Amortized over BatchRows it is a fraction of a
+	// percent of the per-row cost, but it keeps the proxy honest for plans
+	// whose operators emit many near-empty batches.
+	CPUBatchCostUS float64
+	// BatchRows is the modeled rows-per-batch (the executor's default; the
+	// true value adapts to the governor at run time).
+	BatchRows float64
 
 	// Quota is the optimizer governor's initial visit quota (0 = default).
 	// The paper permits applications to set it per statement.
@@ -47,6 +57,12 @@ func (e *Env) fill() {
 	if e.CPURowCostUS == 0 {
 		e.CPURowCostUS = 1
 	}
+	if e.CPUBatchCostUS == 0 {
+		e.CPUBatchCostUS = 4
+	}
+	if e.BatchRows == 0 {
+		e.BatchRows = exec.DefaultBatchSize
+	}
 	if e.Quota == 0 {
 		e.Quota = 4000
 	}
@@ -60,6 +76,15 @@ func (e *Env) fill() {
 
 // DefaultQuota is exported for tests and ablations.
 const DefaultQuota = 4000
+
+// cpuCost prices processing rows through one operator level under the
+// batch protocol: a per-row term plus the amortized per-batch overhead.
+func (e *Env) cpuCost(rows float64) float64 {
+	if rows <= 0 {
+		return 0
+	}
+	return rows*e.CPURowCostUS + math.Ceil(rows/e.BatchRows)*e.CPUBatchCostUS
+}
 
 // rowBytes estimates a quantifier's row width.
 func rowBytes(q *Quant) float64 {
@@ -96,7 +121,7 @@ func (e *Env) seqScanCost(t *table.Table, repeated bool) float64 {
 		res = e.residentBoost(res, pages)
 	}
 	io := pages * (1 - res) * e.DTT.Cost(dtt.Read, e.PageSize, 1)
-	cpu := float64(t.RowCount()) * e.CPURowCostUS
+	cpu := e.cpuCost(float64(t.RowCount()))
 	return io + cpu
 }
 
@@ -114,7 +139,7 @@ func (e *Env) indexProbeCost(t *table.Table, ix *table.Index, matchRows float64)
 	clustering := ix.Tree.Stats.Clustering()
 	pagesTouched := matchRows*(1-clustering) + math.Min(matchRows, matchRows/16+1)*clustering
 	fetch := pagesTouched * (1 - res) * e.DTT.Cost(dtt.Read, e.PageSize, int64(tablePages))
-	cpu := (height + matchRows) * e.CPURowCostUS
+	cpu := height*e.CPURowCostUS + e.cpuCost(matchRows)
 	return descend + fetch + cpu
 }
 
@@ -174,7 +199,7 @@ func (e *Env) stepCost(q *Query, placed map[int]bool, leftCard float64, st Step)
 	if st.Method == MethodScan {
 		// First quantifier.
 		if qt.Table == nil {
-			return float64(len(qt.Rows)) * e.CPURowCostUS, math.Max(localCard, 1)
+			return e.cpuCost(float64(len(qt.Rows))), math.Max(localCard, 1)
 		}
 		if st.Index != nil {
 			return e.indexProbeCost(qt.Table, st.Index, localCard), math.Max(localCard, 1)
@@ -187,14 +212,14 @@ func (e *Env) stepCost(q *Query, placed map[int]bool, leftCard float64, st Step)
 	switch st.Method {
 	case MethodHash:
 		// Build on the accumulated side, probe with the new quantifier.
-		build := leftCard*e.CPURowCostUS + e.spillPenalty(leftCard, 64)
+		build := e.cpuCost(leftCard) + e.spillPenalty(leftCard, 64)
 		var probe float64
 		if qt.Table != nil {
 			probe = e.seqScanCost(qt.Table, false)
 		} else {
-			probe = float64(len(qt.Rows)) * e.CPURowCostUS
+			probe = e.cpuCost(float64(len(qt.Rows)))
 		}
-		return build + probe + outCard*e.CPURowCostUS, outCard
+		return build + probe + e.cpuCost(outCard), outCard
 	case MethodINL:
 		if qt.Table == nil || st.Index == nil {
 			return math.Inf(1), outCard
@@ -206,10 +231,10 @@ func (e *Env) stepCost(q *Query, placed map[int]bool, leftCard float64, st Step)
 		if qt.Table != nil {
 			inner = e.seqScanCost(qt.Table, true)
 		} else {
-			inner = float64(len(qt.Rows)) * e.CPURowCostUS
+			inner = e.cpuCost(float64(len(qt.Rows)))
 		}
 		// Inner is materialized once; per-outer-row pass is CPU.
-		return inner + leftCard*localCard*e.CPURowCostUS, outCard
+		return inner + e.cpuCost(leftCard*localCard), outCard
 	}
 	return math.Inf(1), outCard
 }

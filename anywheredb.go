@@ -33,7 +33,20 @@ package anywheredb
 
 import (
 	"anywheredb/internal/core"
+	"anywheredb/internal/faultinject"
 	"anywheredb/internal/val"
+)
+
+// Error taxonomy. Every I/O failure surfaced by the engine is classified
+// so callers can decide with errors.Is whether to retry (transient),
+// degrade (permanent), distrust the data (corrupt), or treat the process
+// as dead (crashed). ErrReadOnly marks statements refused in degraded mode.
+var (
+	ErrTransient = faultinject.ErrTransient
+	ErrPermanent = faultinject.ErrPermanent
+	ErrCorrupt   = faultinject.ErrCorrupt
+	ErrCrashed   = faultinject.ErrCrashed
+	ErrReadOnly  = core.ErrReadOnly
 )
 
 // Options configures a database. See core.Options for field semantics.

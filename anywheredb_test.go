@@ -1,8 +1,11 @@
 package anywheredb
 
 import (
+	"errors"
 	"fmt"
 	"testing"
+
+	"anywheredb/internal/faultinject"
 )
 
 // The public façade: a downstream user's first contact with the library.
@@ -73,5 +76,41 @@ func TestPublicAPIPersistence(t *testing.T) {
 	rows, err := conn2.Query("SELECT v FROM kv WHERE k = ?", Str("answer"))
 	if err != nil || rows.Count() != 1 || rows.All()[0][0].I != 42 {
 		t.Fatalf("persistence: %v %v", rows, err)
+	}
+}
+
+// The public error taxonomy: a downstream user classifying I/O failures
+// with errors.Is against the re-exported sentinels, and observing the
+// engine latch read-only degraded mode on a permanently failed WAL.
+func TestErrorTaxonomy(t *testing.T) {
+	sched := faultinject.NewSchedule(faultinject.Config{
+		Seed:           1,
+		PermanentAfter: map[faultinject.Op]int{faultinject.OpWALFlush: 1},
+	})
+	db, err := Open(Options{Dir: t.TempDir(), Injector: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	conn, err := db.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Exec("CREATE TABLE t (id INT)"); err != nil {
+		t.Fatal(err)
+	}
+	var werr error
+	for i := 0; i < 5 && werr == nil; i++ {
+		_, werr = conn.Exec("INSERT INTO t VALUES (1)")
+	}
+	if !errors.Is(werr, ErrPermanent) {
+		t.Fatalf("want ErrPermanent, got %v", werr)
+	}
+	if _, err := conn.Exec("INSERT INTO t VALUES (2)"); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("degraded write: want ErrReadOnly, got %v", err)
+	}
+	if _, err := conn.Query("SELECT id FROM t"); err != nil {
+		t.Fatalf("degraded read failed: %v", err)
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"anywheredb/internal/faultinject"
 	"anywheredb/internal/page"
 	"anywheredb/internal/store"
 	"anywheredb/internal/telemetry"
@@ -135,6 +136,27 @@ type Pool struct {
 
 	refSeq    atomic.Uint64 // global reference clock (§2.2 segments)
 	limitAtom atomic.Int64  // total pool size in frames, readable lock-free
+
+	// fh holds fault handling installed by SetFaultPolicy/SetWriteGuard
+	// (nil until then, preserving the pool's original raw-I/O behaviour).
+	// Atomic so installation at open time is safe against early traffic.
+	fh atomic.Pointer[faultHandling]
+}
+
+// faultHandling bundles the pool's transient-I/O retry policy with the
+// write guard enforcing the WAL-before-data rule.
+type faultHandling struct {
+	pol   faultinject.RetryPolicy
+	stats *faultinject.Stats
+	// guard runs before any dirty database page is written back (eviction,
+	// FlushPage, FlushAll), receiving the page id and the exact bytes about
+	// to land. Core wires it to log a full page image and group-flush the
+	// WAL, so (a) a stolen dirty page can never reach disk ahead of the log
+	// records that describe — and can undo — its uncommitted contents, and
+	// (b) a torn in-place write can always be repaired from the logged
+	// image. Temp-file pages are exempt: they hold no logged data and die
+	// at restart.
+	guard func(id store.PageID, data []byte) error
 }
 
 // ErrPoolExhausted is returned when every frame in the pool is pinned and
@@ -287,6 +309,53 @@ func (p *Pool) AttachTelemetry(reg *telemetry.Registry) {
 		reg.GaugeFunc(fmt.Sprintf("buffer.shard%02d.contention", i),
 			func() int64 { return int64(s.contention.Load()) })
 	}
+}
+
+// SetFaultPolicy installs bounded-retry handling for transient I/O errors
+// on the miss path and the writeback paths. stats may be nil. Call before
+// the pool serves concurrent traffic.
+func (p *Pool) SetFaultPolicy(pol faultinject.RetryPolicy, stats *faultinject.Stats) {
+	cur := p.fh.Load()
+	next := &faultHandling{pol: pol, stats: stats}
+	if cur != nil {
+		next.guard = cur.guard
+	}
+	p.fh.Store(next)
+}
+
+// SetWriteGuard installs a hook called before every dirty non-temp page
+// writeback (the WAL-before-data rule; see faultHandling.guard).
+func (p *Pool) SetWriteGuard(guard func(id store.PageID, data []byte) error) {
+	cur := p.fh.Load()
+	next := &faultHandling{guard: guard}
+	if cur != nil {
+		next.pol, next.stats = cur.pol, cur.stats
+	}
+	p.fh.Store(next)
+}
+
+// ioRead loads a page from the store, retrying transient faults.
+func (p *Pool) ioRead(id store.PageID, buf page.Buf) error {
+	fh := p.fh.Load()
+	if fh == nil {
+		return p.st.Read(id, buf)
+	}
+	return faultinject.Retry(fh.pol, fh.stats, func() error { return p.st.Read(id, buf) })
+}
+
+// ioWrite writes a page back to the store: write guard first (log before
+// data), then the write itself with transient faults retried.
+func (p *Pool) ioWrite(id store.PageID, buf page.Buf) error {
+	fh := p.fh.Load()
+	if fh == nil {
+		return p.st.Write(id, buf)
+	}
+	if fh.guard != nil && id.File() != store.TempFile {
+		if err := fh.guard(id, buf); err != nil {
+			return err
+		}
+	}
+	return faultinject.Retry(fh.pol, fh.stats, func() error { return p.st.Write(id, buf) })
 }
 
 // touch records a reference: the frame moves to the newest reference-time
@@ -443,7 +512,7 @@ func (p *Pool) load(s *shard, id store.PageID) (*Frame, error) {
 
 		s.misses.Add(1)
 		p.touch(f)
-		if rerr := p.st.Read(id, f.Data); rerr != nil {
+		if rerr := p.ioRead(id, f.Data); rerr != nil {
 			// Undo under the shard lock. The frame is pinned, so neither a
 			// concurrent Resize nor Discard can have evicted or moved it
 			// across shards in the window the lock was dropped (both skip
@@ -595,7 +664,7 @@ func (s *shard) evictLocked(p *Pool) (*Frame, error) {
 // cleanFrameLocked writes back a dirty frame before reuse.
 func (s *shard) cleanFrameLocked(p *Pool, f *Frame) error {
 	if f.dirty.Load() {
-		if err := p.st.Write(f.ID, f.Data); err != nil {
+		if err := p.ioWrite(f.ID, f.Data); err != nil {
 			return err
 		}
 		s.writebacks.Add(1)
@@ -740,7 +809,7 @@ func (p *Pool) flushFrame(s *shard, f *Frame) error {
 	f.RLock()
 	defer f.RUnlock()
 	if f.dirty.Load() {
-		if err := p.st.Write(f.ID, f.Data); err != nil {
+		if err := p.ioWrite(f.ID, f.Data); err != nil {
 			return err
 		}
 		s.writebacks.Add(1)

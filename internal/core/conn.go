@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"os"
@@ -25,6 +26,10 @@ type Conn struct {
 	tx        *txn.Txn // explicit transaction, nil = autocommit
 	planCache *opt.PlanCache
 	closed    bool
+	// stmtCtx is the context of the statement currently running on this
+	// connection (a Conn serves one statement at a time). Operators and
+	// DML loops poll it at batch boundaries.
+	stmtCtx context.Context
 	// Workers overrides the database's default intra-query parallelism.
 	Workers int
 }
@@ -103,6 +108,7 @@ func (c *Conn) execCtx(task interface {
 		Pool:           c.db.pool,
 		St:             c.db.st,
 		Clk:            c.db.clk,
+		Context:        c.stmtCtx,
 		Tx:             c.tx,
 		Workers:        workers,
 		CPURowCost:     c.db.opts.CPURowCost,
@@ -130,13 +136,24 @@ func (c *Conn) optEnv() *opt.Env {
 
 // Exec runs a statement that returns no rows.
 func (c *Conn) Exec(sql string, params ...val.Value) (Result, error) {
-	res, _, err := c.run(sql, params, false)
+	return c.ExecContext(context.Background(), sql, params...)
+}
+
+// ExecContext runs a statement under a context: cancellation and deadline
+// expiry are observed at batch boundaries and abort the statement.
+func (c *Conn) ExecContext(ctx context.Context, sql string, params ...val.Value) (Result, error) {
+	res, _, err := c.run(ctx, sql, params, false)
 	return res, err
 }
 
 // Query runs a statement returning rows.
 func (c *Conn) Query(sql string, params ...val.Value) (*Rows, error) {
-	_, rows, err := c.run(sql, params, true)
+	return c.QueryContext(context.Background(), sql, params...)
+}
+
+// QueryContext runs a statement returning rows under a context.
+func (c *Conn) QueryContext(ctx context.Context, sql string, params ...val.Value) (*Rows, error) {
+	_, rows, err := c.run(ctx, sql, params, true)
 	if err != nil {
 		return nil, err
 	}
@@ -146,13 +163,42 @@ func (c *Conn) Query(sql string, params ...val.Value) (*Rows, error) {
 	return rows, nil
 }
 
-func (c *Conn) run(sql string, params []val.Value, wantRows bool) (Result, *Rows, error) {
+// interrupted reports the current statement's cancellation state.
+func (c *Conn) interrupted() error {
+	if c.stmtCtx == nil {
+		return nil
+	}
+	return c.stmtCtx.Err()
+}
+
+func (c *Conn) run(ctx context.Context, sql string, params []val.Value, wantRows bool) (Result, *Rows, error) {
 	if c.closed {
 		return Result{}, nil, fmt.Errorf("core: connection closed")
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if to := c.db.opts.StatementTimeout; to > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, to)
+			defer cancel()
+		}
+	}
+	c.stmtCtx = ctx
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return Result{}, nil, err
+	}
+	if c.db.degraded.Load() {
+		// Read-only degraded mode: refuse anything that would write. The
+		// application can still query, roll back, and shut down cleanly.
+		switch stmt.(type) {
+		case *sqlparse.Begin, *sqlparse.CreateTable, *sqlparse.CreateIndex,
+			*sqlparse.DropTable, *sqlparse.LoadTable, *sqlparse.Insert,
+			*sqlparse.Update, *sqlparse.Delete, *sqlparse.Calibrate:
+			return Result{}, nil, ErrReadOnly
+		}
 	}
 
 	start := c.db.clk.Now()
@@ -216,6 +262,9 @@ func (c *Conn) run(sql string, params []val.Value, wantRows bool) (Result, *Rows
 		err = fmt.Errorf("core: unsupported statement %T", stmt)
 	}
 	if err != nil {
+		// A permanent I/O failure on the write path latches read-only
+		// degraded mode; the error still reaches the caller.
+		c.db.enterDegraded(err)
 		return Result{}, nil, err
 	}
 
@@ -361,6 +410,9 @@ func (c *Conn) loadTable(s *sqlparse.LoadTable) (Result, error) {
 	tx, done := c.autoTxn()
 	var n int64
 	for _, rec := range recs {
+		if err := c.interrupted(); err != nil {
+			return Result{}, done(err)
+		}
 		if len(rec) != len(tbl.Columns) {
 			return Result{}, done(fmt.Errorf("core: CSV row has %d fields, want %d", len(rec), len(tbl.Columns)))
 		}

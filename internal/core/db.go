@@ -8,9 +8,15 @@
 package core
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"anywheredb/internal/btree"
 	"anywheredb/internal/buffer"
@@ -19,6 +25,7 @@ import (
 	"anywheredb/internal/device"
 	"anywheredb/internal/dtt"
 	"anywheredb/internal/exec"
+	"anywheredb/internal/faultinject"
 	"anywheredb/internal/lock"
 	"anywheredb/internal/mem"
 	"anywheredb/internal/opt"
@@ -33,6 +40,12 @@ import (
 	"anywheredb/internal/vclock"
 	"anywheredb/internal/wal"
 )
+
+// ErrReadOnly is returned for write statements once the database has
+// entered read-only degraded mode after a permanent I/O failure on the
+// commit path (graceful degradation: reads keep working off whatever is
+// already durable or cached, writes are refused rather than risked).
+var ErrReadOnly = errors.New("core: database is in read-only degraded mode")
 
 // Options configures a database instance.
 type Options struct {
@@ -67,6 +80,20 @@ type Options struct {
 	AutoShutdown bool
 	// OptimizerQuota overrides the optimizer governor's visit quota.
 	OptimizerQuota int
+
+	// Injector, when non-nil, is consulted on every storage and WAL
+	// operation and at named crashpoints (fault injection / torture).
+	Injector faultinject.Injector
+	// RetryPolicy bounds transient-I/O retries in the buffer pool and WAL
+	// flush paths. The zero value selects the default policy.
+	RetryPolicy faultinject.RetryPolicy
+	// StatementTimeout bounds each statement's wall-clock time (0 = none).
+	// Cancellation is observed at batch boundaries in every operator.
+	StatementTimeout time.Duration
+	// ParanoidRecovery re-applies the recovery plan a second time after
+	// redo/undo and verifies the replay was idempotent (the logical page
+	// content must not change). Torture tests run with this on.
+	ParanoidRecovery bool
 }
 
 func (o *Options) fill() {
@@ -91,6 +118,9 @@ func (o *Options) fill() {
 	if o.Workers <= 0 {
 		o.Workers = 1
 	}
+	if o.RetryPolicy.MaxAttempts == 0 {
+		o.RetryPolicy = faultinject.DefaultRetryPolicy()
+	}
 }
 
 // DB is an open database.
@@ -110,6 +140,12 @@ type DB struct {
 	memG    *mem.Governor
 	dttMod  *dtt.Model
 	reg     *telemetry.Registry
+
+	// Fault handling: the shared injector (nil without injection), the
+	// engine-wide fault counters, and the degraded-mode latch.
+	inj        faultinject.Injector
+	faultStats faultinject.Stats
+	degraded   atomic.Bool
 
 	// Executor-level counters (the component counters live on their
 	// components and are published as func-backed gauges).
@@ -148,8 +184,9 @@ type StatementTracer interface {
 func Open(opts Options) (*DB, error) {
 	opts.fill()
 	db := &DB{opts: opts, clk: opts.Clock, tables: map[string]*table.Table{}}
+	db.inj = faultinject.Counted(opts.Injector, &db.faultStats)
 
-	st, err := store.Open(store.Options{Dir: opts.Dir, Device: opts.Device})
+	st, err := store.Open(store.Options{Dir: opts.Dir, Device: opts.Device, Injector: db.inj})
 	if err != nil {
 		return nil, err
 	}
@@ -165,26 +202,58 @@ func Open(opts Options) (*DB, error) {
 		return nil, err
 	}
 	db.log = log
+	log.SetInjector(db.inj, opts.RetryPolicy, &db.faultStats)
+	// failOpen releases file handles on any later Open failure without
+	// syncing: a failed open (e.g. a crash injected during recovery) must
+	// leave the on-disk state exactly as it found it.
+	failOpen := func(err error) (*DB, error) {
+		_ = log.CloseNoFlush()
+		_ = st.CloseNoSync()
+		return nil, err
+	}
 
 	db.pool = buffer.New(st, opts.PoolMinPages, opts.PoolInitPages, opts.PoolMaxPages)
+	db.pool.SetFaultPolicy(opts.RetryPolicy, &db.faultStats)
+	// WAL-before-data, plus torn-write protection: before any dirty page is
+	// written back (steal-policy evictions included), log a full image of
+	// the bytes about to land and group-flush the WAL. The flush makes every
+	// record describing the page durable ahead of the data write, and the
+	// image lets recovery repair a torn in-place write — without it, a tear
+	// destroys rows whose log records a prior checkpoint already truncated.
+	db.pool.SetWriteGuard(func(id store.PageID, data []byte) error {
+		log.Append(&wal.Record{Type: wal.RecPageImage, Page: id, After: data})
+		return log.Flush()
+	})
 
 	fresh := st.PageCount(store.MainFile) == 1
+
+	// Crash recovery FIRST, before anything reads pages: logged page images
+	// repair torn writes to catalog and lock pages just as they do data
+	// pages, so catalog.Load and lock.NewManager must not run until the
+	// plan has been applied. (Recovery itself needs only store+pool+log.)
+	recovered := false
+	if !fresh {
+		recovered, err = db.recover()
+		if err != nil {
+			return failOpen(err)
+		}
+	}
+
 	if fresh {
 		db.cat, err = catalog.Create(db.pool, st)
 	} else {
 		db.cat, err = catalog.Load(db.pool, st)
 	}
 	if err != nil {
-		st.Close()
-		return nil, err
+		return failOpen(err)
 	}
 
 	db.locks, err = lock.NewManager(db.pool, st)
 	if err != nil {
-		st.Close()
-		return nil, err
+		return failOpen(err)
 	}
 	db.txns = txn.NewManager(log, db.locks)
+	db.txns.SetInjector(db.inj)
 
 	// DTT model: calibrated model from the catalog, else the generic
 	// default (§4.2).
@@ -197,20 +266,27 @@ func Open(opts Options) (*DB, error) {
 		db.dttMod = dtt.Default()
 	}
 
-	// Attach tables from the catalog and recover statistics.
+	// Attach tables from the catalog and recover statistics. Recovery has
+	// already run: the page chains Attach walks reflect every replayed
+	// RecPageLink, and torn pages were restored from their logged images.
 	for _, name := range db.cat.TableNames() {
 		tm, _ := db.cat.GetTable(name)
 		if err := db.attachTable(tm); err != nil {
-			st.Close()
-			return nil, err
+			return failOpen(err)
 		}
 	}
 
-	// Crash recovery: redo committed work, undo losers.
-	if !fresh {
-		if err := db.recover(); err != nil {
-			st.Close()
-			return nil, err
+	// After a non-trivial replay the index trees (not WAL-logged) may be
+	// stale relative to the heaps: rebuild them from heap scans, then
+	// checkpoint so the recovered state is durable and the log is clear.
+	if recovered {
+		for _, tbl := range db.tables {
+			if err := tbl.RebuildIndexes(); err != nil {
+				return failOpen(err)
+			}
+		}
+		if err := db.Checkpoint(); err != nil {
+			return failOpen(err)
 		}
 	}
 
@@ -252,6 +328,15 @@ func Open(opts Options) (*DB, error) {
 	db.locks.AttachTelemetry(db.reg)
 	db.memG.AttachTelemetry(db.reg)
 	db.cacheG.AttachTelemetry(db.reg)
+	db.reg.GaugeFunc("fault.injected", func() int64 { return int64(db.faultStats.Injected.Load()) })
+	db.reg.GaugeFunc("fault.retried", func() int64 { return int64(db.faultStats.Retried.Load()) })
+	db.reg.GaugeFunc("fault.gaveup", func() int64 { return int64(db.faultStats.GaveUp.Load()) })
+	db.reg.GaugeFunc("core.degraded", func() int64 {
+		if db.degraded.Load() {
+			return 1
+		}
+		return 0
+	})
 	db.statements = db.reg.Counter("exec.statements")
 	db.rowsOut = db.reg.Counter("exec.rows_returned")
 	db.statementUS = db.reg.Histogram("exec.statement_us")
@@ -324,12 +409,108 @@ func (db *DB) attachTable(tm *catalog.TableMeta) error {
 	return nil
 }
 
-// recover replays the WAL: committed data records are redone against the
-// pages, loser records are undone (reverse order).
-func (db *DB) recover() error {
+// recover replays the WAL: page-chain links are re-established, committed
+// data records are redone against the pages, loser records are undone
+// (reverse order). It reports whether any work was replayed.
+func (db *DB) recover() (bool, error) {
 	plan, err := db.log.Analyze()
 	if err != nil {
-		return err
+		return false, err
+	}
+	if len(plan.Links)+len(plan.Redo)+len(plan.Undo)+len(plan.Images) == 0 {
+		return false, nil
+	}
+	pages := planPages(plan)
+	// A crash loses the store header, so the on-disk page count can lag
+	// behind pages the WAL knows about: make every logged page addressable
+	// before replaying onto it (unwritten tails read back as zero pages).
+	for _, id := range pages {
+		db.st.EnsureAllocated(id)
+	}
+	if err := db.applyPlan(plan); err != nil {
+		return false, err
+	}
+	if db.inj != nil {
+		if err := db.inj.Crashpoint("recovery.after_redo"); err != nil {
+			return false, err
+		}
+	}
+	if db.opts.ParanoidRecovery {
+		before, err := db.snapshotPages(pages)
+		if err != nil {
+			return false, err
+		}
+		if err := db.applyPlan(plan); err != nil {
+			return false, err
+		}
+		after, err := db.snapshotPages(pages)
+		if err != nil {
+			return false, err
+		}
+		for i := range before {
+			if before[i] != after[i] {
+				return false, faultinject.Corrupt(fmt.Errorf(
+					"core: recovery replay not idempotent: %q became %q", before[i], after[i]))
+			}
+		}
+	}
+	// Recovered state is the new baseline.
+	if err := db.pool.FlushAll(); err != nil {
+		return false, err
+	}
+	if err := db.st.Sync(); err != nil {
+		return false, err
+	}
+	if err := db.log.Truncate(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// planPages collects the distinct pages a recovery plan touches, including
+// the targets of page-link records.
+func planPages(plan *wal.RecoveryPlan) []store.PageID {
+	seen := map[store.PageID]bool{}
+	for id := range plan.Images {
+		seen[id] = true
+	}
+	for _, r := range plan.Links {
+		seen[r.Page] = true
+		if len(r.After) >= 8 {
+			seen[store.PageID(binary.LittleEndian.Uint64(r.After))] = true
+		}
+	}
+	for _, r := range plan.Redo {
+		seen[r.Page] = true
+	}
+	for _, r := range plan.Undo {
+		seen[r.Page] = true
+	}
+	ids := make([]store.PageID, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// applyPlan runs one full pass of the recovery plan. Every step is
+// conditional on current page state, so the pass is idempotent and can be
+// re-run (ParanoidRecovery does exactly that).
+func (db *DB) applyPlan(plan *wal.RecoveryPlan) error {
+	// Page images first: each page's newest logged image is the exact bytes
+	// of its last attempted write, so restoring it repairs any torn write.
+	// The conditional link/redo/undo passes then replay everything logged
+	// after the image was taken (changes already inside the image no-op).
+	for _, id := range sortedPageIDs(plan.Images) {
+		if err := db.applyImage(plan.Images[id]); err != nil {
+			return err
+		}
+	}
+	for _, r := range plan.Links {
+		if err := db.applyLink(r); err != nil {
+			return err
+		}
 	}
 	for _, r := range plan.Redo {
 		if err := db.applyRedo(r); err != nil {
@@ -341,14 +522,79 @@ func (db *DB) recover() error {
 			return err
 		}
 	}
-	// Recovered state is the new baseline.
-	if err := db.pool.FlushAll(); err != nil {
-		return err
+	return nil
+}
+
+// sortedPageIDs returns a map's page-id keys in ascending order, so image
+// application (and paranoid re-application) runs in a deterministic order.
+func sortedPageIDs(m map[store.PageID]*wal.Record) []store.PageID {
+	ids := make([]store.PageID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
 	}
-	if err := db.st.Sync(); err != nil {
-		return err
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// applyImage writes a logged full-page image back over the page.
+func (db *DB) applyImage(r *wal.Record) error {
+	f, err := db.pool.Get(r.Page)
+	if err != nil {
+		return nil
 	}
-	return db.log.Truncate()
+	f.Lock()
+	if len(r.After) == len(f.Data) && string(f.Data) != string(r.After) {
+		copy(f.Data, r.After)
+		f.MarkDirty()
+	}
+	f.Unlock()
+	db.pool.Unpin(f, true)
+	return nil
+}
+
+// applyLink re-establishes a heap-chain link (redo-always: chain growth is
+// structural and never undone — an empty tail page is harmless). Pages
+// that never reached disk before the crash read back as zero pages and are
+// initialised here.
+func (db *DB) applyLink(r *wal.Record) error {
+	if len(r.After) < 8 {
+		return nil
+	}
+	next := binary.LittleEndian.Uint64(r.After)
+	f, err := db.pool.Get(r.Page)
+	if err != nil {
+		return nil
+	}
+	f.Lock()
+	dirty := false
+	if f.Data.Type() == page.TypeFree {
+		f.Data.Init(page.TypeTable)
+		f.Data.SetOwner(r.Table)
+		dirty = true
+	}
+	if f.Data.Next() != next {
+		f.Data.SetNext(next)
+		dirty = true
+	}
+	if dirty {
+		f.MarkDirty()
+	}
+	f.Unlock()
+	db.pool.Unpin(f, true)
+
+	nf, err := db.pool.Get(store.PageID(next))
+	if err != nil {
+		return nil
+	}
+	nf.Lock()
+	if nf.Data.Type() == page.TypeFree {
+		nf.Data.Init(page.TypeTable)
+		nf.Data.SetOwner(r.Table)
+		nf.MarkDirty()
+	}
+	nf.Unlock()
+	db.pool.Unpin(nf, true)
+	return nil
 }
 
 func (db *DB) tableByID(id uint64) *table.Table {
@@ -370,6 +616,11 @@ func (db *DB) applyRedo(r *wal.Record) error {
 	defer db.pool.Unpin(f, true)
 	f.Lock()
 	defer f.Unlock()
+	if f.Data.Type() == page.TypeFree {
+		f.Data.Init(page.TypeTable)
+		f.Data.SetOwner(r.Table)
+		f.MarkDirty()
+	}
 	switch r.Type {
 	case wal.RecInsert, wal.RecUpdate:
 		cur := f.Data.Cell(int(r.Slot))
@@ -400,6 +651,11 @@ func (db *DB) applyUndo(r *wal.Record) error {
 	defer db.pool.Unpin(f, true)
 	f.Lock()
 	defer f.Unlock()
+	if f.Data.Type() == page.TypeFree {
+		f.Data.Init(page.TypeTable)
+		f.Data.SetOwner(r.Table)
+		f.MarkDirty()
+	}
 	switch r.Type {
 	case wal.RecInsert:
 		cur := f.Data.Cell(int(r.Slot))
@@ -420,6 +676,34 @@ func (db *DB) applyUndo(r *wal.Record) error {
 		}
 	}
 	return nil
+}
+
+// snapshotPages captures one logical description per page: type, owner,
+// next pointer, and every live cell. Replay idempotency is judged on this
+// logical content — raw bytes may legitimately differ between passes
+// (slot-array garbage accounting, compaction offsets) when a redo insert
+// re-fires into a slot a later redo delete had freed.
+func (db *DB) snapshotPages(ids []store.PageID) ([]string, error) {
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		f, err := db.pool.Get(id)
+		if err != nil {
+			out = append(out, fmt.Sprintf("%v:unreadable", id))
+			continue
+		}
+		f.RLock()
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%v t=%d o=%d n=%d", id, f.Data.Type(), f.Data.Owner(), f.Data.Next())
+		for s := 0; s < f.Data.NumSlots(); s++ {
+			if c := f.Data.Cell(s); c != nil {
+				fmt.Fprintf(&sb, " %d=%x", s, c)
+			}
+		}
+		f.RUnlock()
+		db.pool.Unpin(f, false)
+		out = append(out, sb.String())
+	}
+	return out, nil
 }
 
 // Table implements opt.Resolver.
@@ -499,10 +783,17 @@ func (db *DB) Checkpoint() error {
 	if err := db.log.Flush(); err != nil {
 		return err
 	}
+	if db.inj != nil {
+		if err := db.inj.Crashpoint("checkpoint.before_truncate"); err != nil {
+			return err
+		}
+	}
 	return db.log.Truncate()
 }
 
-// Close checkpoints and shuts the database down.
+// Close checkpoints and shuts the database down. In degraded mode no
+// writes are attempted — the checkpoint is skipped and files are closed
+// as-is; the WAL on disk still recovers the last durable state.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	if db.closed {
@@ -511,6 +802,10 @@ func (db *DB) Close() error {
 	}
 	db.closed = true
 	db.mu.Unlock()
+	if db.degraded.Load() {
+		db.log.CloseNoFlush()
+		return db.st.CloseNoSync()
+	}
 	if err := db.Checkpoint(); err != nil {
 		return err
 	}
@@ -518,6 +813,30 @@ func (db *DB) Close() error {
 		return err
 	}
 	return db.st.Close()
+}
+
+// Crash simulates abrupt process death for the torture harness: the WAL's
+// volatile buffer and every never-flushed page are discarded; nothing is
+// synced. The store header on disk keeps its pre-crash page count.
+func (db *DB) Crash() {
+	db.mu.Lock()
+	db.closed = true
+	db.mu.Unlock()
+	db.log.CloseNoFlush()
+	_ = db.st.CloseNoSync()
+}
+
+// Degraded reports whether the database is in read-only degraded mode.
+func (db *DB) Degraded() bool { return db.degraded.Load() }
+
+// enterDegraded latches read-only mode when err is a permanent I/O
+// failure; it reports whether the error was classified permanent.
+func (db *DB) enterDegraded(err error) bool {
+	if err == nil || !errors.Is(err, faultinject.ErrPermanent) {
+		return false
+	}
+	db.degraded.Store(true)
+	return true
 }
 
 // Closed reports whether the database has shut down.

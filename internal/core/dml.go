@@ -482,6 +482,9 @@ func (c *Conn) execInsert(s *sqlparse.Insert, params []val.Value) (Result, error
 	tx, done := c.autoTxn()
 	var n int64
 	for _, values := range sourceRows {
+		if err := c.interrupted(); err != nil {
+			return Result{}, done(err)
+		}
 		if _, err := tbl.Insert(tx, buildRow(values)); err != nil {
 			return Result{}, done(err)
 		}
@@ -518,6 +521,9 @@ func (c *Conn) execUpdate(s *sqlparse.Update, params []val.Value) (Result, *opt.
 	tx, done := c.autoTxn()
 	var n int64
 	for i, rid := range rids {
+		if err := c.interrupted(); err != nil {
+			return Result{}, nil, done(err)
+		}
 		newRow := append([]val.Value(nil), rows[i]...)
 		for k, sc := range s.Set {
 			v, err := evalSimpleScalar(tbl, sc.Expr, rows[i], params)
@@ -552,6 +558,9 @@ func (c *Conn) execDelete(s *sqlparse.Delete, params []val.Value) (Result, *opt.
 	tx, done := c.autoTxn()
 	var n int64
 	for _, rid := range rids {
+		if err := c.interrupted(); err != nil {
+			return Result{}, nil, done(err)
+		}
 		if err := tbl.Delete(tx, rid); err != nil {
 			if errors.Is(err, table.ErrNotFound) {
 				continue

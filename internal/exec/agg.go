@@ -247,12 +247,18 @@ func (g *HashGroupBy) Open(ctx *Ctx) error {
 		ctx.Task.Register(g, g.Depth)
 		g.registered = true
 	}
+	// Mark the child open BEFORE Open is attempted: a child whose Open
+	// failed mid-way may hold pinned heap pages that only its Close
+	// releases, so Close must still reach it.
+	g.inputOpen = true
 	if err := g.Input.Open(ctx); err != nil {
 		return err
 	}
-	g.inputOpen = true
 	var in Batch
 	for {
+		if err := ctx.Interrupted(); err != nil {
+			return err
+		}
 		if err := g.Input.NextBatch(ctx, &in); err != nil {
 			return err
 		}
@@ -502,6 +508,9 @@ func (d *HashDistinct) NextBatch(ctx *Ctx, out *Batch) error {
 	out.Reset()
 	target := ctx.BatchSize()
 	for out.Len() < target && !d.eof {
+		if err := ctx.Interrupted(); err != nil {
+			return err
+		}
 		if err := d.Input.NextBatch(ctx, &d.in); err != nil {
 			return err
 		}

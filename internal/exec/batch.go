@@ -270,6 +270,9 @@ func Drain(ctx *Ctx, op Operator) ([]Row, error) {
 	var out []Row
 	var b Batch
 	for {
+		if err := ctx.Interrupted(); err != nil {
+			return nil, err
+		}
 		if err := op.NextBatch(ctx, &b); err != nil {
 			return nil, err
 		}

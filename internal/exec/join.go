@@ -192,12 +192,20 @@ func (j *HashJoin) Open(ctx *Ctx) error {
 		j.registered = true
 	}
 
+	// Mark the child open BEFORE Open is attempted: a child whose Open
+	// failed mid-way (e.g. statement cancellation during a nested build)
+	// may hold pinned heap pages that only its Close releases, so Close
+	// must reach it — the same close-even-if-Open-failed convention Drain
+	// applies to the root.
+	j.leftOpen = true
 	if err := j.Left.Open(ctx); err != nil {
 		return err
 	}
-	j.leftOpen = true
 	// Build phase, one input batch at a time.
 	for {
+		if err := ctx.Interrupted(); err != nil {
+			return err
+		}
 		if err := j.Left.NextBatch(ctx, &j.inBuf); err != nil {
 			return err
 		}
@@ -223,10 +231,10 @@ func (j *HashJoin) Open(ctx *Ctx) error {
 		j.mode = "inl"
 		return nil
 	}
+	j.rightOpen = true
 	if err := j.Right.Open(ctx); err != nil {
 		return err
 	}
-	j.rightOpen = true
 	return nil
 }
 
@@ -389,6 +397,9 @@ func (j *HashJoin) NextBatch(ctx *Ctx, out *Batch) error {
 	out.Reset()
 	target := ctx.BatchSize()
 	for {
+		if err := ctx.Interrupted(); err != nil {
+			return err
+		}
 		j.popEmitQ(out, target)
 		if out.Len() >= target {
 			return nil
@@ -804,6 +815,10 @@ func (n *NestedLoopJoin) NextBatch(ctx *Ctx, out *Batch) error {
 	charged := 0
 	defer func() { ctx.ChargeRows(charged) }()
 	for out.Len() < target {
+		// O(left×right) work per output batch: poll per left row.
+		if err := ctx.Interrupted(); err != nil {
+			return err
+		}
 		if n.pos >= len(n.leftRows) {
 			return nil
 		}
@@ -880,6 +895,9 @@ func (n *IndexNLJoin) NextBatch(ctx *Ctx, out *Batch) error {
 	charged := 0
 	defer func() { ctx.ChargeRows(charged) }()
 	for {
+		if err := ctx.Interrupted(); err != nil {
+			return err
+		}
 		for n.qpos < len(n.queue) && out.Len() < target {
 			out.Add(n.queue[n.qpos])
 			n.qpos++

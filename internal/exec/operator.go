@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"context"
+
 	"anywheredb/internal/buffer"
 	"anywheredb/internal/mem"
 	"anywheredb/internal/store"
@@ -18,6 +20,9 @@ type Ctx struct {
 	Clk  *vclock.Clock
 	Task *mem.Task // memory governor task; may be nil
 	Tx   *txn.Txn  // may be nil
+	// Context carries the statement's cancellation/deadline signal; nil
+	// means uncancellable. Operators poll Interrupted at batch boundaries.
+	Context context.Context
 	// Params are the statement's positional parameters (1-based in SQL,
 	// 0-based here).
 	Params []val.Value
@@ -35,6 +40,23 @@ type Ctx struct {
 	Batches   *telemetry.Counter
 	BatchRows *telemetry.Histogram
 }
+
+// Interrupted reports the statement's cancellation state: context.Canceled
+// after a cancel, context.DeadlineExceeded past an expired statement
+// timeout, nil otherwise. Long-running operators poll it at every batch
+// boundary (and every few hundred rows inside materializing loops), so a
+// cancelled statement stops within roughly one batch and unwinds through
+// Close, releasing all of its buffer-pool pins.
+func (c *Ctx) Interrupted() error {
+	if c.Context == nil {
+		return nil
+	}
+	return c.Context.Err()
+}
+
+// interruptEvery is how many rows a materializing loop may process between
+// Interrupted polls.
+const interruptEvery = 256
 
 // ChargeRows adds the CPU proxy cost of n rows to the virtual clock.
 func (c *Ctx) ChargeRows(n int) {
@@ -70,7 +92,13 @@ func (s *TableScan) Open(ctx *Ctx) error {
 	s.pos = 0
 	s.rows = s.rows[:0]
 	s.rids = s.rids[:0]
+	n := 0
 	return s.Table.Scan(func(rid table.RID, row Row) (bool, error) {
+		if n++; n%interruptEvery == 0 {
+			if err := ctx.Interrupted(); err != nil {
+				return false, err
+			}
+		}
 		s.rows = append(s.rows, row)
 		s.rids = append(s.rids, rid)
 		return true, nil
@@ -132,7 +160,13 @@ func (s *IndexScan) Open(ctx *Ctx) error {
 		return err
 	}
 	defer it.Close()
+	n := 0
 	for ; it.Valid(); it.Next() {
+		if n++; n%interruptEvery == 0 {
+			if err := ctx.Interrupted(); err != nil {
+				return err
+			}
+		}
 		if s.Hi != nil {
 			c := compareBytes(it.Key(), s.Hi)
 			if c > 0 || (c == 0 && !s.HiInc) {
@@ -233,6 +267,11 @@ func (f *Filter) NextBatch(ctx *Ctx, out *Batch) error {
 	out.Reset()
 	target := ctx.BatchSize()
 	for out.Len() < target && !f.eof {
+		// A selective filter may pull many input batches to fill one
+		// output batch: poll cancellation at each inner boundary.
+		if err := ctx.Interrupted(); err != nil {
+			return err
+		}
 		if err := f.Input.NextBatch(ctx, &f.in); err != nil {
 			return err
 		}

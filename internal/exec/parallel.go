@@ -278,6 +278,10 @@ func (p *ParallelPipeline) probe(ctx *Ctx) error {
 				if int32(w) >= p.workers.Load() {
 					break
 				}
+				if err := ctx.Interrupted(); err != nil {
+					errs[w] = err
+					return
+				}
 				lo, hi := claimBatch(ctx, &cursor, len(srcRows))
 				if lo >= hi {
 					break

@@ -63,13 +63,19 @@ func (s *Sort) Open(ctx *Ctx) error {
 		ctx.Task.Register(s, s.Depth)
 		s.registered = true
 	}
+	// Mark the child open BEFORE Open is attempted: a child whose Open
+	// failed mid-way may hold pinned heap pages that only its Close
+	// releases, so Close must still reach it.
+	s.inputOpen = true
 	if err := s.Input.Open(ctx); err != nil {
 		return err
 	}
-	s.inputOpen = true
 	maxRows := s.MaxRowsInMemory
 	var in Batch
 	for {
+		if err := ctx.Interrupted(); err != nil {
+			return err
+		}
 		if err := s.Input.NextBatch(ctx, &in); err != nil {
 			return err
 		}
@@ -157,7 +163,12 @@ func (s *Sort) merge(ctx *Ctx) error {
 		cursors[i] = rows
 	}
 	idx := make([]int, len(cursors))
-	for {
+	for n := 0; ; n++ {
+		if n%interruptEvery == 0 {
+			if err := ctx.Interrupted(); err != nil {
+				return err
+			}
+		}
 		best := -1
 		for i := range cursors {
 			if idx[i] >= len(cursors[i]) {

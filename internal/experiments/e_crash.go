@@ -1,0 +1,394 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+
+	"anywheredb/internal/core"
+	"anywheredb/internal/faultinject"
+	"anywheredb/internal/val"
+)
+
+// Crash-recovery torture (E19). A seeded DML workload runs against a real
+// on-disk database while a deterministic fault schedule injects transient
+// I/O errors and crashes the "machine" at scheduled operations and named
+// crashpoints (mid-eviction, mid-WAL-flush, either side of the commit
+// flush, before checkpoint truncation, and mid-recovery). After every
+// cycle the database is reopened cleanly and the recovered contents are
+// compared against a model kept in plain memory:
+//
+//   - durability: every acknowledged commit is present;
+//   - atomicity: no uncommitted transaction is visible, in full or part;
+//   - idempotency: replaying the same log again must not change the
+//     database (enforced by ParanoidRecovery on every recovery).
+//
+// A commit whose COMMIT statement returned an error during a crash is
+// indeterminate — the classic ambiguity — and the verifier accepts either
+// fate, but nothing in between.
+
+// CrashTortureConfig parameterizes one torture run.
+type CrashTortureConfig struct {
+	// Cycles is the number of crash/recover cycles (default 50).
+	Cycles int
+	// Seed drives the workload and every fault schedule.
+	Seed int64
+	// Dir is the database directory (required: crashes need real files).
+	Dir string
+	// OpsPerCycle is the number of transactions attempted per cycle
+	// (default 8); each transaction runs one to three DML statements.
+	OpsPerCycle int
+	// RecoveryCrashEvery makes every Nth crashed cycle also crash during
+	// the subsequent recovery before re-recovering cleanly (default 5).
+	RecoveryCrashEvery int
+}
+
+// CrashTortureResult summarizes a run.
+type CrashTortureResult struct {
+	Cycles          int // cycles completed
+	Crashes         int // scheduled crashes that fired
+	RecoveryCrashes int // crashes injected mid-recovery
+	Commits         int // transactions acknowledged committed
+	Rollbacks       int // transactions rolled back after a statement error
+	Indeterminate   int // commits with unknown fate (crash during COMMIT)
+
+	// Engine fault counters accumulated across all cycles.
+	Injected, Retried, GaveUp uint64
+}
+
+// kvOp is one model-visible mutation.
+type kvOp struct {
+	kind byte // 'i' insert, 'u' update, 'd' delete
+	k, v int64
+}
+
+func applyOps(m map[int64]int64, ops []kvOp) map[int64]int64 {
+	out := make(map[int64]int64, len(m)+len(ops))
+	for k, v := range m {
+		out[k] = v
+	}
+	for _, op := range ops {
+		switch op.kind {
+		case 'i', 'u':
+			out[op.k] = op.v
+		case 'd':
+			delete(out, op.k)
+		}
+	}
+	return out
+}
+
+func kvKeys(m map[int64]int64) []int64 {
+	out := make([]int64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func kvEqual(a, b map[int64]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+// CrashTorture runs the harness and verifies the recovery invariants after
+// every cycle. It returns an error on the first invariant violation.
+func CrashTorture(cfg CrashTortureConfig) (*CrashTortureResult, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("experiments: CrashTorture needs a directory")
+	}
+	if cfg.Cycles <= 0 {
+		cfg.Cycles = 50
+	}
+	if cfg.OpsPerCycle <= 0 {
+		cfg.OpsPerCycle = 8
+	}
+	if cfg.RecoveryCrashEvery <= 0 {
+		cfg.RecoveryCrashEvery = 5
+	}
+
+	res := &CrashTortureResult{}
+	master := rand.New(rand.NewSource(cfg.Seed))
+	model := map[int64]int64{}
+	nextKey := int64(1)
+
+	// Seed schema and rows, checkpointed durably before torture begins.
+	{
+		db, err := core.Open(core.Options{Dir: cfg.Dir})
+		if err != nil {
+			return nil, err
+		}
+		conn, err := db.Connect()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := conn.Exec("CREATE TABLE kv (k INT, v INT)"); err != nil {
+			return nil, err
+		}
+		if _, err := conn.Exec("CREATE UNIQUE INDEX kv_k ON kv (k)"); err != nil {
+			return nil, err
+		}
+		for i := 0; i < 16; i++ {
+			v := master.Int63n(1_000_000)
+			if _, err := conn.Exec("INSERT INTO kv VALUES (?, ?)", val.NewInt(nextKey), val.NewInt(v)); err != nil {
+				return nil, err
+			}
+			model[nextKey] = v
+			nextKey++
+		}
+		conn.Close()
+		if err := db.Close(); err != nil {
+			return nil, err
+		}
+	}
+
+	// harvest accumulates a database's fault counters into the result.
+	harvest := func(db *core.DB) {
+		if v, ok := db.Telemetry().Value("fault.injected"); ok {
+			res.Injected += uint64(v)
+		}
+		if v, ok := db.Telemetry().Value("fault.retried"); ok {
+			res.Retried += uint64(v)
+		}
+		if v, ok := db.Telemetry().Value("fault.gaveup"); ok {
+			res.GaveUp += uint64(v)
+		}
+	}
+
+	// verify reopens cleanly, replays the log (paranoid), and checks the
+	// surviving contents against the model — with and without the cycle's
+	// indeterminate transaction, if any.
+	verify := func(cycle int, indet []kvOp) error {
+		db, err := core.Open(core.Options{Dir: cfg.Dir, ParanoidRecovery: true})
+		if err != nil {
+			return fmt.Errorf("cycle %d: clean recovery failed: %w", cycle, err)
+		}
+		conn, err := db.Connect()
+		if err != nil {
+			db.Close()
+			return err
+		}
+		rows, err := conn.Query("SELECT k, v FROM kv")
+		if err != nil {
+			db.Close()
+			return fmt.Errorf("cycle %d: post-recovery read failed: %w", cycle, err)
+		}
+		got := map[int64]int64{}
+		for _, r := range rows.All() {
+			got[r[0].I] = r[1].I
+		}
+		switch {
+		case kvEqual(got, model):
+			// Indeterminate commit (if any) did not survive: a loser.
+		case indet != nil && kvEqual(got, applyOps(model, indet)):
+			// Indeterminate commit proved durable: adopt it.
+			model = applyOps(model, indet)
+		default:
+			db.Close()
+			return fmt.Errorf("cycle %d: recovery invariant violation: %d rows recovered, want %d (indeterminate txn: %v)",
+				cycle, len(got), len(model), indet != nil)
+		}
+		conn.Close()
+		return db.Close()
+	}
+
+	for cycle := 0; cycle < cfg.Cycles; cycle++ {
+		// Deterministic per-cycle fault schedule: low-probability transient
+		// faults everywhere, plus one scheduled crash in most cycles.
+		fcfg := faultinject.Config{
+			Seed: master.Int63(),
+			TransientProb: map[faultinject.Op]float64{
+				faultinject.OpRead:     0.005,
+				faultinject.OpWrite:    0.005,
+				faultinject.OpWALFlush: 0.01,
+			},
+		}
+		switch master.Intn(6) {
+		case 0:
+			fcfg.CrashOps = map[faultinject.Op]int{faultinject.OpWrite: 1 + master.Intn(30)}
+		case 1:
+			fcfg.CrashOps = map[faultinject.Op]int{faultinject.OpWALFlush: 1 + master.Intn(12)}
+		case 2:
+			fcfg.Crashpoints = map[string]int{"commit.before_flush": 1 + master.Intn(6)}
+		case 3:
+			fcfg.Crashpoints = map[string]int{"commit.after_flush": 1 + master.Intn(6)}
+		case 4:
+			fcfg.Crashpoints = map[string]int{"checkpoint.before_truncate": 1}
+		case 5:
+			// No scheduled crash: a pure transient-retry cycle.
+		}
+		sched := faultinject.NewSchedule(fcfg)
+		wl := rand.New(rand.NewSource(master.Int63()))
+
+		db, err := core.Open(core.Options{
+			Dir:              cfg.Dir,
+			Injector:         sched,
+			ParanoidRecovery: true,
+		})
+		var indet []kvOp
+		if err != nil {
+			// The schedule crashed (or starved) the open itself — usually a
+			// crash during this open's recovery of the previous cycle.
+			if sched.Crashed() {
+				res.Crashes++
+			}
+		} else {
+			conn, cerr := db.Connect()
+			if cerr != nil {
+				db.Crash()
+				return res, cerr
+			}
+		workload:
+			for t := 0; t < cfg.OpsPerCycle; t++ {
+				if _, err := conn.Exec("BEGIN"); err != nil {
+					break
+				}
+				work := applyOps(model, nil) // copy of committed state
+				var ops []kvOp
+				failed := false
+				nops := 1 + wl.Intn(3)
+				for j := 0; j < nops; j++ {
+					keys := kvKeys(work)
+					var op kvOp
+					r := wl.Float64()
+					switch {
+					case len(keys) == 0 || r < 0.5:
+						op = kvOp{kind: 'i', k: nextKey, v: wl.Int63n(1_000_000)}
+						nextKey++ // burn the key even if the txn dies
+					case r < 0.8:
+						op = kvOp{kind: 'u', k: keys[wl.Intn(len(keys))], v: wl.Int63n(1_000_000)}
+					default:
+						op = kvOp{kind: 'd', k: keys[wl.Intn(len(keys))]}
+					}
+					var err error
+					switch op.kind {
+					case 'i':
+						_, err = conn.Exec("INSERT INTO kv VALUES (?, ?)", val.NewInt(op.k), val.NewInt(op.v))
+					case 'u':
+						_, err = conn.Exec("UPDATE kv SET v = ? WHERE k = ?", val.NewInt(op.v), val.NewInt(op.k))
+					case 'd':
+						_, err = conn.Exec("DELETE FROM kv WHERE k = ?", val.NewInt(op.k))
+					}
+					if err != nil {
+						_, _ = conn.Exec("ROLLBACK")
+						res.Rollbacks++
+						failed = true
+						break
+					}
+					work = applyOps(work, []kvOp{op})
+					ops = append(ops, op)
+				}
+				if failed {
+					if sched.Crashed() {
+						break workload
+					}
+					continue
+				}
+				if _, err := conn.Exec("COMMIT"); err != nil {
+					// Commit fate unknown: the commit record may or may not
+					// have become durable before the crash.
+					indet = ops
+					res.Indeterminate++
+					break workload
+				}
+				res.Commits++
+				model = work
+			}
+			harvest(db)
+			if sched.Crashed() {
+				res.Crashes++
+				db.Crash()
+			} else if err := db.Close(); err != nil {
+				// A close-time crash (e.g. checkpoint.before_truncate).
+				if sched.Crashed() {
+					res.Crashes++
+				}
+				db.Crash()
+			}
+		}
+
+		// Optionally crash again during the recovery itself, then recover
+		// cleanly: recovery must be restartable from any point.
+		if sched.Crashed() && cycle%cfg.RecoveryCrashEvery == 0 {
+			rs := faultinject.NewSchedule(faultinject.Config{
+				Seed:        master.Int63(),
+				Crashpoints: map[string]int{"recovery.after_redo": 1},
+			})
+			rdb, rerr := core.Open(core.Options{Dir: cfg.Dir, Injector: rs, ParanoidRecovery: true})
+			if rerr == nil {
+				// No recovery work, so the crashpoint never fired.
+				harvest(rdb)
+				rdb.Close()
+			} else {
+				res.RecoveryCrashes++
+			}
+		}
+
+		if err := verify(cycle, indet); err != nil {
+			return res, err
+		}
+		res.Cycles++
+	}
+	return res, nil
+}
+
+// E19CrashRecovery: crash-recovery torture under deterministic fault
+// injection. The paper's zero-administration claim (§1) rests on the
+// engine surviving exactly this: power loss and flaky I/O with no DBA to
+// repair anything afterwards.
+func E19CrashRecovery() (*Report, error) {
+	dir, err := os.MkdirTemp("", "anywheredb-e19-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	res, err := CrashTorture(CrashTortureConfig{
+		Cycles:             60,
+		Seed:               19,
+		Dir:                dir,
+		OpsPerCycle:        8,
+		RecoveryCrashEvery: 5,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	table := fmt.Sprintf(
+		"cycles                 %6d\n"+
+			"crashes                %6d\n"+
+			"recovery crashes       %6d\n"+
+			"commits acknowledged   %6d\n"+
+			"rollbacks              %6d\n"+
+			"indeterminate commits  %6d\n"+
+			"faults injected        %6d\n"+
+			"transient retries      %6d\n"+
+			"retries exhausted      %6d\n"+
+			"invariant violations        0",
+		res.Cycles, res.Crashes, res.RecoveryCrashes, res.Commits,
+		res.Rollbacks, res.Indeterminate, res.Injected, res.Retried, res.GaveUp)
+
+	return &Report{
+		ID:    "E19",
+		Title: "Crash-recovery torture under deterministic fault injection",
+		Table: table,
+		Metrics: map[string]float64{
+			"cycles":         float64(res.Cycles),
+			"crashes":        float64(res.Crashes),
+			"commits":        float64(res.Commits),
+			"indeterminate":  float64(res.Indeterminate),
+			"fault_injected": float64(res.Injected),
+			"fault_retried":  float64(res.Retried),
+			"fault_gaveup":   float64(res.GaveUp),
+		},
+	}, nil
+}

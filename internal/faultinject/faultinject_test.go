@@ -1,0 +1,185 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestClassifyIs(t *testing.T) {
+	cause := fmt.Errorf("disk exploded")
+	err := Transient(cause)
+	if !errors.Is(err, ErrTransient) {
+		t.Fatal("Transient wrap lost its class")
+	}
+	if !errors.Is(err, cause) {
+		t.Fatal("Transient wrap lost its cause")
+	}
+	if errors.Is(err, ErrPermanent) {
+		t.Fatal("Transient classified as Permanent")
+	}
+	// Wrapping further preserves the class.
+	outer := fmt.Errorf("store: write 0:3: %w", err)
+	if !errors.Is(outer, ErrTransient) {
+		t.Fatal("fmt.Errorf chain lost the class")
+	}
+	// Re-classifying with the same class does not stack.
+	if Transient(err) != err {
+		t.Fatal("double Transient wrap should be a no-op")
+	}
+	if Transient(nil) != ErrTransient {
+		t.Fatal("Transient(nil) should be the bare sentinel")
+	}
+}
+
+func TestRetryTransientThenSuccess(t *testing.T) {
+	var st Stats
+	calls := 0
+	err := Retry(RetryPolicy{MaxAttempts: 4}, &st, func() error {
+		calls++
+		if calls < 3 {
+			return Transient(fmt.Errorf("attempt %d", calls))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("retry should have succeeded: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if got := st.Retried.Load(); got != 2 {
+		t.Fatalf("Retried = %d, want 2", got)
+	}
+	if got := st.GaveUp.Load(); got != 0 {
+		t.Fatalf("GaveUp = %d, want 0", got)
+	}
+}
+
+func TestRetryGivesUpAndStopsOnPermanent(t *testing.T) {
+	var st Stats
+	calls := 0
+	err := Retry(RetryPolicy{MaxAttempts: 3}, &st, func() error {
+		calls++
+		return Transient(fmt.Errorf("always"))
+	})
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("want transient error, got %v", err)
+	}
+	if calls != 3 || st.GaveUp.Load() != 1 {
+		t.Fatalf("calls=%d gaveup=%d, want 3/1", calls, st.GaveUp.Load())
+	}
+
+	calls = 0
+	err = Retry(RetryPolicy{MaxAttempts: 5}, &st, func() error {
+		calls++
+		return Permanent(fmt.Errorf("gone"))
+	})
+	if !errors.Is(err, ErrPermanent) || calls != 1 {
+		t.Fatalf("permanent error must not retry: calls=%d err=%v", calls, err)
+	}
+}
+
+func TestRetryZeroPolicySingleAttempt(t *testing.T) {
+	calls := 0
+	err := Retry(RetryPolicy{}, nil, func() error {
+		calls++
+		return Transient(fmt.Errorf("x"))
+	})
+	if calls != 1 || err == nil {
+		t.Fatalf("zero policy must mean exactly one attempt, got %d", calls)
+	}
+}
+
+func TestScheduleDeterminism(t *testing.T) {
+	cfg := Config{
+		Seed:          42,
+		TransientProb: map[Op]float64{OpRead: 0.3},
+		CorruptProb:   map[Op]float64{OpWrite: 0.3},
+	}
+	run := func() []string {
+		s := NewSchedule(cfg)
+		var trace []string
+		buf := []byte("0123456789abcdef")
+		for i := 0; i < 50; i++ {
+			_, err := s.Fault(OpRead, uint64(i), nil)
+			repl, _ := s.Fault(OpWrite, uint64(i), buf)
+			trace = append(trace, fmt.Sprintf("%v/%v", err != nil, string(repl)))
+		}
+		return trace
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverged at step %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestScheduleCrashOp(t *testing.T) {
+	s := NewSchedule(Config{Seed: 1, CrashOps: map[Op]int{OpWrite: 3}})
+	data := []byte("pagedatapagedata")
+	for i := 1; i <= 2; i++ {
+		if repl, err := s.Fault(OpWrite, uint64(i), data); repl != nil || err != nil {
+			t.Fatalf("write %d should pass: %v", i, err)
+		}
+	}
+	repl, err := s.Fault(OpWrite, 3, data)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write 3 should crash, got %v", err)
+	}
+	if len(repl) >= len(data) {
+		t.Fatalf("crashing write must be torn: got %d bytes of %d", len(repl), len(data))
+	}
+	if !s.Crashed() {
+		t.Fatal("Crashed() should report true")
+	}
+	// Everything after the crash fails, including reads and crashpoints.
+	if _, err := s.Fault(OpRead, 9, nil); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash read should fail: %v", err)
+	}
+	if err := s.Crashpoint("commit.before_flush"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash crashpoint should fail: %v", err)
+	}
+}
+
+func TestScheduleCrashpointAndPermanent(t *testing.T) {
+	s := NewSchedule(Config{Seed: 7, Crashpoints: map[string]int{"commit.after_flush": 2}})
+	if err := s.Crashpoint("commit.after_flush"); err != nil {
+		t.Fatalf("first hit should pass: %v", err)
+	}
+	if err := s.Crashpoint("commit.before_flush"); err != nil {
+		t.Fatalf("other names should pass: %v", err)
+	}
+	if err := s.Crashpoint("commit.after_flush"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("second hit should crash: %v", err)
+	}
+
+	p := NewSchedule(Config{Seed: 7, PermanentAfter: map[Op]int{OpWALFlush: 2}})
+	if _, err := p.Fault(OpWALFlush, 0, []byte("x")); err != nil {
+		t.Fatalf("first flush should pass: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := p.Fault(OpWALFlush, 0, []byte("x")); !errors.Is(err, ErrPermanent) {
+			t.Fatalf("flush after threshold must be permanent: %v", err)
+		}
+	}
+}
+
+func TestCountedStats(t *testing.T) {
+	var st Stats
+	s := NewSchedule(Config{Seed: 1, TransientProb: map[Op]float64{OpRead: 1.0}})
+	inj := Counted(s, &st)
+	if _, err := inj.Fault(OpRead, 1, nil); !errors.Is(err, ErrTransient) {
+		t.Fatalf("expected transient: %v", err)
+	}
+	if _, err := inj.Fault(OpWrite, 1, nil); err != nil {
+		t.Fatalf("write should pass: %v", err)
+	}
+	if got := st.Injected.Load(); got != 1 {
+		t.Fatalf("Injected = %d, want 1", got)
+	}
+	if Counted(nil, &st) != nil {
+		t.Fatal("Counted(nil) must be nil")
+	}
+}

@@ -1,0 +1,115 @@
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// Config describes one deterministic fault schedule. Every probability is
+// driven by a seeded generator, so a (Config, Seed) pair replays the exact
+// same fault sequence — the property the crash-torture harness depends on
+// to shrink failures.
+type Config struct {
+	// Seed drives every probabilistic decision.
+	Seed int64
+
+	// TransientProb is the per-op probability (0..1) of injecting a
+	// transient error instead of performing the operation.
+	TransientProb map[Op]float64
+	// CorruptProb is the per-op probability of silently corrupting the
+	// data written (flipping bytes in a copy); only meaningful for ops
+	// that carry data.
+	CorruptProb map[Op]float64
+	// PermanentAfter, when > 0 for an op, makes every occurrence of that
+	// op from the Nth onward (1-based) fail permanently — the
+	// media-went-bad scenario behind read-only degraded mode.
+	PermanentAfter map[Op]int
+
+	// CrashOps schedules a crash on the Nth occurrence (1-based) of an
+	// op. A crashing write is torn: a prefix of the data reaches the
+	// medium before the failure surfaces.
+	CrashOps map[Op]int
+	// Crashpoints schedules a crash at the Nth hit (1-based) of a named
+	// crashpoint.
+	Crashpoints map[string]int
+}
+
+// Schedule is a deterministic Injector built from a Config. After a
+// scheduled crash fires, every subsequent operation fails with ErrCrashed
+// until the Schedule is discarded — the simulated machine is off.
+type Schedule struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	cfg     Config
+	opCount map[Op]int
+	cpCount map[string]int
+	crashed atomic.Bool
+}
+
+// NewSchedule builds a schedule.
+func NewSchedule(cfg Config) *Schedule {
+	return &Schedule{
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		cfg:     cfg,
+		opCount: map[Op]int{},
+		cpCount: map[string]int{},
+	}
+}
+
+// Crashed reports whether a scheduled crash has fired.
+func (s *Schedule) Crashed() bool { return s.crashed.Load() }
+
+// Fault implements Injector.
+func (s *Schedule) Fault(op Op, arg uint64, data []byte) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed.Load() {
+		return nil, Crashed(fmt.Errorf("%v %d after crash", op, arg))
+	}
+	s.opCount[op]++
+	n := s.opCount[op]
+
+	if at := s.cfg.CrashOps[op]; at > 0 && n >= at {
+		s.crashed.Store(true)
+		if len(data) > 0 {
+			// Torn write: a random-length prefix lands before power is lost.
+			torn := s.rng.Intn(len(data))
+			return append([]byte(nil), data[:torn]...), Crashed(fmt.Errorf("crash during %v %d", op, arg))
+		}
+		return nil, Crashed(fmt.Errorf("crash during %v %d", op, arg))
+	}
+	if after := s.cfg.PermanentAfter[op]; after > 0 && n >= after {
+		return nil, Permanent(fmt.Errorf("%v %d: device failed", op, arg))
+	}
+	if p := s.cfg.TransientProb[op]; p > 0 && s.rng.Float64() < p {
+		return nil, Transient(fmt.Errorf("%v %d: transient fault", op, arg))
+	}
+	if p := s.cfg.CorruptProb[op]; p > 0 && len(data) > 0 && s.rng.Float64() < p {
+		repl := append([]byte(nil), data...)
+		// Flip a few bytes at a random position: a silent media corruption
+		// that only CRC framing (WAL) or later validation can catch.
+		at := s.rng.Intn(len(repl))
+		for i := 0; i < 4 && at+i < len(repl); i++ {
+			repl[at+i] ^= 0xA5
+		}
+		return repl, nil
+	}
+	return nil, nil
+}
+
+// Crashpoint implements Injector.
+func (s *Schedule) Crashpoint(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed.Load() {
+		return Crashed(fmt.Errorf("crashpoint %q after crash", name))
+	}
+	s.cpCount[name]++
+	if at := s.cfg.Crashpoints[name]; at > 0 && s.cpCount[name] >= at {
+		s.crashed.Store(true)
+		return Crashed(fmt.Errorf("crash at %q", name))
+	}
+	return nil
+}

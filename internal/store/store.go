@@ -11,12 +11,15 @@ package store
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
 
 	"anywheredb/internal/device"
+	"anywheredb/internal/faultinject"
 	"anywheredb/internal/page"
 )
 
@@ -123,16 +126,40 @@ type Options struct {
 	InMemory bool
 	// Fault, when set, is consulted before every page Read/Write with the
 	// operation name ("read" or "write"); returning a non-nil error aborts
-	// the operation before it reaches the backing file. Test fault
-	// injection for I/O-error recovery paths (e.g. the buffer pool's miss
-	// undo); nil in production.
+	// the operation before it reaches the backing file. Deprecated in
+	// favour of Injector — it is adapted into one at Open — but kept so
+	// existing fault-injection tests work unchanged.
 	Fault func(op string, id PageID) error
+	// Injector, when set, intercepts page I/O with the full faultinject
+	// protocol: classified errors, torn writes, and silent corruption.
+	// Takes precedence over Fault. Nil in production.
+	Injector faultinject.Injector
 }
+
+// legacyFault adapts the old Fault hook to the Injector interface: reads
+// and writes map to their operation names; ops the old hook never saw
+// (sync) pass through.
+type legacyFault struct {
+	fn func(op string, id PageID) error
+}
+
+func (l legacyFault) Fault(op faultinject.Op, arg uint64, _ []byte) ([]byte, error) {
+	switch op {
+	case faultinject.OpRead:
+		return nil, l.fn("read", PageID(arg))
+	case faultinject.OpWrite:
+		return nil, l.fn("write", PageID(arg))
+	}
+	return nil, nil
+}
+
+func (l legacyFault) Crashpoint(string) error { return nil }
 
 // Store is the page-file layer. It is safe for concurrent use.
 type Store struct {
 	opts Options
 	dev  device.Device
+	inj  faultinject.Injector
 
 	mu    sync.Mutex
 	files [16]fileState
@@ -144,9 +171,12 @@ const headerMagic = "ANYWHDB1"
 // after Open; dbspaces are created on demand by AddDBSpace; the temp file
 // is always memory-backed and starts empty.
 func Open(opts Options) (*Store, error) {
-	s := &Store{opts: opts, dev: opts.Device}
+	s := &Store{opts: opts, dev: opts.Device, inj: opts.Injector}
 	if s.dev == nil {
 		s.dev = device.RAM{}
+	}
+	if s.inj == nil && opts.Fault != nil {
+		s.inj = legacyFault{fn: opts.Fault}
 	}
 	if err := s.openFile(MainFile); err != nil {
 		return nil, err
@@ -277,8 +307,8 @@ func (s *Store) Free(id PageID) error {
 // Read fills buf with the page's contents, charging the device.
 func (s *Store) Read(id PageID, buf []byte) error {
 	s.dev.Read(int64(id.Index())*page.Size, page.Size)
-	if s.opts.Fault != nil {
-		if err := s.opts.Fault("read", id); err != nil {
+	if s.inj != nil {
+		if _, err := s.inj.Fault(faultinject.OpRead, uint64(id), nil); err != nil {
 			return err
 		}
 	}
@@ -287,12 +317,25 @@ func (s *Store) Read(id PageID, buf []byte) error {
 	return s.readPageLocked(id.File(), id.Index(), buf)
 }
 
-// Write stores the page's contents, charging the device.
+// Write stores the page's contents, charging the device. An injector may
+// tear the write (a prefix reaches the medium before the error surfaces)
+// or silently corrupt it (the medium receives altered bytes, the caller
+// sees success).
 func (s *Store) Write(id PageID, buf []byte) error {
 	s.dev.Write(int64(id.Index())*page.Size, page.Size)
-	if s.opts.Fault != nil {
-		if err := s.opts.Fault("write", id); err != nil {
-			return err
+	if s.inj != nil {
+		repl, ferr := s.inj.Fault(faultinject.OpWrite, uint64(id), buf[:page.Size])
+		if repl != nil {
+			s.mu.Lock()
+			werr := s.writeRawLocked(id.File(), id.Index(), repl)
+			s.mu.Unlock()
+			if ferr == nil {
+				ferr = werr
+			}
+			return ferr // the (torn or corrupt) replacement is all that lands
+		}
+		if ferr != nil {
+			return ferr
 		}
 	}
 	s.mu.Lock()
@@ -302,8 +345,29 @@ func (s *Store) Write(id PageID, buf []byte) error {
 
 func (s *Store) readPageLocked(f FileID, idx uint64, buf []byte) error {
 	st := &s.files[f]
-	if _, err := st.back.ReadAt(buf[:page.Size], int64(idx)*page.Size); err != nil {
+	n, err := st.back.ReadAt(buf[:page.Size], int64(idx)*page.Size)
+	if errors.Is(err, io.EOF) {
+		// Reading past the file's end yields a zero page: recovery redoes
+		// work onto pages that were allocated but never written back.
+		for i := n; i < page.Size; i++ {
+			buf[i] = 0
+		}
+		return nil
+	}
+	if err != nil {
 		return fmt.Errorf("store: read %d:%d: %w", f, idx, err)
+	}
+	return nil
+}
+
+// writeRawLocked lands a partial (torn) page image at the page's offset.
+func (s *Store) writeRawLocked(f FileID, idx uint64, b []byte) error {
+	st := &s.files[f]
+	if len(b) == 0 {
+		return nil
+	}
+	if _, err := st.back.WriteAt(b, int64(idx)*page.Size); err != nil {
+		return fmt.Errorf("store: write %d:%d: %w", f, idx, err)
 	}
 	return nil
 }
@@ -314,6 +378,23 @@ func (s *Store) writePageLocked(f FileID, idx uint64, buf []byte) error {
 		return fmt.Errorf("store: write %d:%d: %w", f, idx, err)
 	}
 	return nil
+}
+
+// EnsureAllocated grows file f's in-memory page count to cover id. Crash
+// recovery calls it for every page the durable log references: the on-disk
+// header (written only at Sync) can predate pages that were allocated and
+// logged before the crash, and without the bump a later Alloc would hand
+// the same index out twice.
+func (s *Store) EnsureAllocated(id PageID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := &s.files[id.File()]
+	if !st.present {
+		return
+	}
+	if idx := id.Index(); idx >= st.pageCount {
+		st.pageCount = idx + 1
+	}
 }
 
 // PageCount reports the pages allocated in file f (including its header).
@@ -340,6 +421,11 @@ func (s *Store) TotalBytes() int64 {
 
 // Sync flushes headers and file contents to stable storage.
 func (s *Store) Sync() error {
+	if s.inj != nil {
+		if _, err := s.inj.Fault(faultinject.OpSync, 0, nil); err != nil {
+			return err
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for f := range s.files {
@@ -369,6 +455,13 @@ func (s *Store) Close() error {
 	if err := s.Sync(); err != nil {
 		return err
 	}
+	return s.CloseNoSync()
+}
+
+// CloseNoSync closes all files without syncing or rewriting headers — the
+// simulated power-loss path. Whatever the headers said at the last Sync is
+// what recovery will see; in-memory page counts and free chains are lost.
+func (s *Store) CloseNoSync() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for f := range s.files {

@@ -219,7 +219,7 @@ func (t *Table) Insert(tx *txn.Txn, row []val.Value) (RID, error) {
 		}
 	}
 
-	rid, err := t.insertBytes(enc)
+	rid, err := t.insertBytes(tx, enc)
 	if err != nil {
 		return RID{}, err
 	}
@@ -244,8 +244,10 @@ func (t *Table) Insert(tx *txn.Txn, row []val.Value) (RID, error) {
 }
 
 // insertBytes places the encoded row into the chain's tail, growing it as
-// needed.
-func (t *Table) insertBytes(enc []byte) (RID, error) {
+// needed. When the chain grows under a transaction, the new linkage is
+// logged as a RecPageLink record so recovery can rebuild the chain even if
+// only some of the affected pages reached disk. tx may be nil (bulk load).
+func (t *Table) insertBytes(tx *txn.Txn, enc []byte) (RID, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	f, err := t.pool.Get(t.last)
@@ -273,6 +275,11 @@ func (t *Table) insertBytes(enc []byte) (RID, error) {
 	f.MarkDirty()
 	f.Unlock()
 	t.pool.Unpin(f, true)
+	if tx != nil {
+		var next [8]byte
+		binary.LittleEndian.PutUint64(next[:], uint64(nf.ID))
+		tx.Log(&wal.Record{Type: wal.RecPageLink, Table: t.ID, Page: f.ID, After: next[:]})
+	}
 	t.last = nf.ID
 	t.pages.Add(1)
 	slot = nf.Data.Insert(enc)
@@ -427,7 +434,7 @@ func (t *Table) Update(tx *txn.Txn, rid RID, newRow []val.Value) (RID, error) {
 		if err := t.removeRow(rid); err != nil {
 			return RID{}, err
 		}
-		newRID, err = t.insertBytes(newEnc)
+		newRID, err = t.insertBytes(tx, newEnc)
 		if err != nil {
 			return RID{}, err
 		}
@@ -550,6 +557,23 @@ func (t *Table) AddIndexIn(file store.FileID, id uint64, name string, cols []int
 	}
 	t.Indexes = append(t.Indexes, ix)
 	return ix, nil
+}
+
+// RebuildIndexes repopulates every index from a fresh heap scan. Crash
+// recovery replays heap pages only — index trees are not logged — so after
+// a non-trivial replay the trees may be stale and must be rebuilt. The old
+// trees' pages are abandoned to their file (reclaimed at the next full
+// vacuum; acceptable for a crash path).
+func (t *Table) RebuildIndexes() error {
+	old := t.Indexes
+	t.Indexes = nil
+	for _, ix := range old {
+		if _, err := t.AddIndexIn(t.file, ix.ID, ix.Name, ix.Cols, ix.Unique); err != nil {
+			t.Indexes = old
+			return fmt.Errorf("table %s: rebuild index %s: %w", t.Name, ix.Name, err)
+		}
+	}
+	return nil
 }
 
 // RemoveIndex detaches an index (used to drop the Index Consultant's

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"sync"
 
+	"anywheredb/internal/faultinject"
 	"anywheredb/internal/lock"
 	"anywheredb/internal/wal"
 )
@@ -18,6 +19,7 @@ var ErrDone = errors.New("txn: transaction already committed or rolled back")
 type Manager struct {
 	log   *wal.Log
 	locks *lock.Manager
+	inj   faultinject.Injector
 
 	mu     sync.Mutex
 	next   uint64
@@ -51,6 +53,23 @@ func (m *Manager) Active() int {
 
 // Log exposes the transaction log (for checkpointing).
 func (m *Manager) Log() *wal.Log { return m.log }
+
+// SetInjector arms named commit-path crashpoints. inj may be nil.
+func (m *Manager) SetInjector(inj faultinject.Injector) {
+	m.mu.Lock()
+	m.inj = inj
+	m.mu.Unlock()
+}
+
+func (m *Manager) crashpoint(name string) error {
+	m.mu.Lock()
+	inj := m.inj
+	m.mu.Unlock()
+	if inj == nil {
+		return nil
+	}
+	return inj.Crashpoint(name)
+}
 
 // Txn is one transaction. A Txn is used by a single goroutine.
 type Txn struct {
@@ -88,18 +107,52 @@ func (t *Txn) Lock(obj uint64, key []byte, mode lock.Mode) error {
 }
 
 // Commit makes the transaction durable: commit record, group flush, lock
-// release.
+// release. A crash before the flush leaves the transaction a loser (it is
+// undone at recovery); a crash after the flush leaves it durable even
+// though the caller saw an error — the classic indeterminate commit.
+//
+// When the flush itself fails, the transaction's in-memory changes are
+// compensated before the error is returned: the engine may keep serving
+// reads (degraded mode), and those reads must not see data the caller was
+// just told did not commit. A rollback record is appended behind the
+// stranded commit record, so if a later flush lands both the transaction
+// is still recovered as rolled back.
 func (t *Txn) Commit() error {
 	if t.done {
 		return ErrDone
 	}
 	t.done = true
+	if err := t.m.crashpoint("commit.before_flush"); err != nil {
+		t.compensate()
+		t.finish()
+		return err
+	}
 	t.m.log.Append(&wal.Record{Type: wal.RecCommit, Txn: t.id})
 	if err := t.m.log.Flush(); err != nil {
+		t.compensate()
+		t.finish()
+		return err
+	}
+	if err := t.m.crashpoint("commit.after_flush"); err != nil {
+		// The commit IS durable; only the caller's acknowledgement was
+		// lost. In-memory state already matches the durable state, so no
+		// compensation here.
+		t.finish()
 		return err
 	}
 	t.finish()
 	return nil
+}
+
+// compensate undoes the transaction's in-memory changes after a failed
+// commit flush. Undo errors are ignored: on a crashed or failed device the
+// in-memory state is about to be discarded anyway, and recovery will undo
+// from the log.
+func (t *Txn) compensate() {
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		_ = t.undo[i]()
+	}
+	t.m.log.Append(&wal.Record{Type: wal.RecRollback, Txn: t.id})
 }
 
 // Rollback undoes the transaction's changes (reverse order) and releases

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"anywheredb/internal/faultinject"
 	"anywheredb/internal/store"
 	"anywheredb/internal/telemetry"
 )
@@ -29,12 +30,29 @@ const (
 	RecDelete
 	RecUpdate
 	RecCheckpoint
+	// RecPageLink records heap-chain growth: Page is the old tail, After
+	// carries the 8-byte id of the page linked after it. Chain linkage is
+	// physical structure shared by every transaction that later inserts
+	// into the new page, so recovery redoes these records unconditionally
+	// (even for losers) and never undoes them — an abandoned empty page
+	// is harmless, an unreachable committed row is not.
+	RecPageLink
+	// RecPageImage carries a full page image in After. The buffer pool logs
+	// one (and flushes the log) immediately before every in-place data-page
+	// write, so a torn or partial page write can always be repaired from the
+	// log: recovery restores the newest image of each page before applying
+	// redo/undo. This is the double-write technique routed through the log —
+	// without it, a torn write destroys rows whose log records were already
+	// truncated by an earlier checkpoint, and no amount of replay can bring
+	// them back.
+	RecPageImage
 )
 
 var recNames = map[RecType]string{
 	RecBegin: "begin", RecCommit: "commit", RecRollback: "rollback",
 	RecInsert: "insert", RecDelete: "delete", RecUpdate: "update",
-	RecCheckpoint: "checkpoint",
+	RecCheckpoint: "checkpoint", RecPageLink: "pagelink",
+	RecPageImage: "pageimage",
 }
 
 func (t RecType) String() string {
@@ -67,11 +85,27 @@ type Log struct {
 	tail   uint64 // next append offset
 	buffer []byte // pending, unflushed bytes
 
+	// Fault handling, set once before concurrent use (SetInjector).
+	inj   faultinject.Injector
+	pol   faultinject.RetryPolicy
+	stats *faultinject.Stats
+
 	records     atomic.Uint64 // records appended
 	checkpoints atomic.Uint64 // checkpoint records appended
 	flushes     atomic.Uint64 // non-empty group-commit flushes
 	truncates   atomic.Uint64
 	bytes       atomic.Uint64 // payload+frame bytes appended
+}
+
+// SetInjector installs fault interception and transient-retry handling for
+// the group-commit flush path. Must be called before the log is used
+// concurrently. stats may be nil.
+func (l *Log) SetInjector(inj faultinject.Injector, pol faultinject.RetryPolicy, stats *faultinject.Stats) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inj = inj
+	l.pol = pol
+	l.stats = stats
 }
 
 // AttachTelemetry publishes the log's counters into reg under "wal.".
@@ -100,8 +134,38 @@ func Open(path string) (*Log, error) {
 		return nil, err
 	}
 	l.f = f
-	l.tail = uint64(info.Size())
+	// Rewind the append position to the end of the valid record prefix:
+	// a crash can leave a torn frame at the tail, and appending after it
+	// would strand the new records behind garbage Scan refuses to cross.
+	data := make([]byte, info.Size())
+	if _, err := f.ReadAt(data, 0); err != nil && info.Size() > 0 {
+		f.Close()
+		return nil, fmt.Errorf("wal: open scan: %w", err)
+	}
+	l.tail = validPrefix(data)
 	return l, nil
+}
+
+// validPrefix walks frames from the start and returns the byte offset just
+// past the last intact record; everything after is a torn/corrupt tail.
+func validPrefix(data []byte) uint64 {
+	off := uint64(0)
+	for off+8 <= uint64(len(data)) {
+		n := binary.LittleEndian.Uint32(data[off:])
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if off+8+uint64(n) > uint64(len(data)) {
+			break
+		}
+		payload := data[off+8 : off+8+uint64(n)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break
+		}
+		if _, err := decode(payload); err != nil {
+			break
+		}
+		off += 8 + uint64(n)
+	}
+	return off
 }
 
 func encode(r *Record) []byte {
@@ -174,26 +238,65 @@ func (l *Log) Append(r *Record) LSN {
 }
 
 // Flush forces buffered records to stable storage (group commit: one flush
-// covers every record appended since the last).
+// covers every record appended since the last). Transient flush faults are
+// retried with bounded exponential backoff; a crashing flush may land a
+// torn prefix of the buffer, which the recovery Scan drops at the first
+// incomplete frame.
 func (l *Log) Flush() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if len(l.buffer) == 0 {
 		return nil
 	}
+	if err := faultinject.Retry(l.pol, l.stats, l.flushOnceLocked); err != nil {
+		return err
+	}
+	l.tail += uint64(len(l.buffer))
+	l.buffer = l.buffer[:0]
+	l.flushes.Add(1)
+	return nil
+}
+
+// flushOnceLocked attempts one write+sync of the buffer, consulting the
+// injector first. On a torn flush the surviving prefix is written before
+// the error is surfaced; the tail does not advance, so the caller's view
+// is "commit failed" while the medium holds an incomplete frame — exactly
+// the state a real power loss leaves behind.
+func (l *Log) flushOnceLocked() error {
+	out := l.buffer
+	if l.inj != nil {
+		repl, ferr := l.inj.Fault(faultinject.OpWALFlush, l.tail, l.buffer)
+		if ferr != nil {
+			if repl != nil {
+				l.writeRawLocked(repl)
+			}
+			return ferr
+		}
+		if repl != nil {
+			out = repl // silent corruption: the medium gets altered bytes
+		}
+	}
+	if err := l.writeRawLocked(out); err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
+	}
+	return nil
+}
+
+// writeRawLocked lands bytes at the current tail and syncs.
+func (l *Log) writeRawLocked(b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
 	if l.f != nil {
-		if _, err := l.f.WriteAt(l.buffer, int64(l.tail)); err != nil {
+		if _, err := l.f.WriteAt(b, int64(l.tail)); err != nil {
 			return fmt.Errorf("wal: flush: %w", err)
 		}
 		if err := l.f.Sync(); err != nil {
 			return fmt.Errorf("wal: sync: %w", err)
 		}
-	} else {
-		l.mem = append(l.mem, l.buffer...)
+		return nil
 	}
-	l.tail += uint64(len(l.buffer))
-	l.buffer = l.buffer[:0]
-	l.flushes.Add(1)
+	l.mem = append(l.mem, b...)
 	return nil
 }
 
@@ -251,13 +354,25 @@ type RecoveryPlan struct {
 	// Undo holds the data records of uncommitted ("loser") transactions, in
 	// reverse LSN order, ready to be compensated.
 	Undo []*Record
+	// Links holds every RecPageLink in LSN order. Chain growth is redone
+	// unconditionally — regardless of the owning transaction's fate — and
+	// never undone; see RecPageLink.
+	Links []*Record
+	// Images maps each page to its newest full-page image (see
+	// RecPageImage). Recovery writes these back first, repairing any torn
+	// in-place write, then lets the conditional redo/undo passes replay the
+	// changes logged after the image was taken.
+	Images map[store.PageID]*Record
 	// Committed is the set of committed transaction ids.
 	Committed map[uint64]bool
 }
 
 // Analyze scans the log and partitions work into redo and undo sets.
 func (l *Log) Analyze() (*RecoveryPlan, error) {
-	plan := &RecoveryPlan{Committed: map[uint64]bool{}}
+	plan := &RecoveryPlan{
+		Committed: map[uint64]bool{},
+		Images:    map[store.PageID]*Record{},
+	}
 	var all []*Record
 	err := l.Scan(func(_ LSN, r *Record) error {
 		switch r.Type {
@@ -270,6 +385,10 @@ func (l *Log) Analyze() (*RecoveryPlan, error) {
 			plan.Committed[r.Txn] = false
 		case RecInsert, RecDelete, RecUpdate:
 			all = append(all, r)
+		case RecPageLink:
+			plan.Links = append(plan.Links, r)
+		case RecPageImage:
+			plan.Images[r.Page] = r // later image supersedes earlier
 		}
 		return nil
 	})
@@ -311,8 +430,16 @@ func (l *Log) Close() error {
 	if err := l.Flush(); err != nil {
 		return err
 	}
+	return l.CloseNoFlush()
+}
+
+// CloseNoFlush discards the unflushed buffer and closes the log file — the
+// simulated power-loss path. The dropped buffer is exactly the log state a
+// real crash would lose: records appended but never group-committed.
+func (l *Log) CloseNoFlush() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.buffer = l.buffer[:0]
 	if l.f != nil {
 		err := l.f.Close()
 		l.f = nil

@@ -175,3 +175,71 @@ func TestRecTypeString(t *testing.T) {
 		t.Fatal("RecType.String")
 	}
 }
+
+func TestAnalyzeKeepsNewestPageImage(t *testing.T) {
+	l, _ := Open("")
+	p1 := store.MakePageID(0, 4)
+	p2 := store.MakePageID(0, 9)
+	l.Append(&Record{Type: RecPageImage, Page: p1, After: []byte("old-4")})
+	l.Append(&Record{Type: RecPageImage, Page: p2, After: []byte("only-9")})
+	l.Append(&Record{Type: RecPageImage, Page: p1, After: []byte("new-4")})
+	l.Flush()
+
+	plan, err := l.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Images) != 2 {
+		t.Fatalf("image set size %d, want 2", len(plan.Images))
+	}
+	if string(plan.Images[p1].After) != "new-4" {
+		t.Fatalf("page %v image %q, want the newest (%q)", p1, plan.Images[p1].After, "new-4")
+	}
+	if string(plan.Images[p2].After) != "only-9" {
+		t.Fatalf("page %v image %q, want %q", p2, plan.Images[p2].After, "only-9")
+	}
+}
+
+func TestTruncatedMidFrameTailIgnored(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.log")
+	l, _ := Open(path)
+	l.Append(&Record{Type: RecBegin, Txn: 1})
+	l.Append(&Record{Type: RecCommit, Txn: 1})
+	l.Append(&Record{Type: RecBegin, Txn: 2})
+	l.Close()
+
+	// Chop bytes off the last frame, as a crash mid-write would.
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, st.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, _ := Open(path)
+	defer l2.Close()
+	var types []RecType
+	if err := l2.Scan(func(_ LSN, r *Record) error {
+		types = append(types, r.Type)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(types) != 2 || types[0] != RecBegin || types[1] != RecCommit {
+		t.Fatalf("scan past truncated tail returned %v, want [begin commit]", types)
+	}
+	// The log remains appendable after the damaged tail is discarded.
+	l2.Append(&Record{Type: RecBegin, Txn: 3})
+	if err := l2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := l2.Scan(func(LSN, *Record) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("after re-append: %d records, want 3", n)
+	}
+}

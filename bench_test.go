@@ -9,6 +9,7 @@ package anywheredb
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"anywheredb/internal/buffer"
@@ -55,6 +56,7 @@ func BenchmarkE15IndexConsultant(b *testing.B)  { runExp(b, "E15") }
 func BenchmarkE16CEMode(b *testing.B)           { runExp(b, "E16") }
 func BenchmarkE17PoolScalability(b *testing.B)  { runExp(b, "E17") }
 func BenchmarkE18ExecThroughput(b *testing.B)   { runExp(b, "E18") }
+func BenchmarkE20CommitThroughput(b *testing.B) { runExp(b, "E20") }
 
 // --- Micro-benchmarks over the public API ---------------------------------
 
@@ -70,6 +72,78 @@ func benchDB(b *testing.B) (*DB, *Conn) {
 		b.Fatal(err)
 	}
 	return db, conn
+}
+
+// BenchmarkCommitGroup measures end-to-end commit cost of small write
+// transactions against a real on-disk database as committer concurrency
+// scales. With group commit, concurrent writers share each fsync, so
+// per-commit cost at 16 writers drops well below the single-writer fsync
+// floor; fsyncs/commit makes the batching visible.
+func BenchmarkCommitGroup(b *testing.B) {
+	for _, writers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("writers=%d", writers), func(b *testing.B) {
+			db, err := Open(Options{Dir: b.TempDir()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			setup, err := db.Connect()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := setup.Exec("CREATE TABLE bench_commit (k INT, v INT)"); err != nil {
+				b.Fatal(err)
+			}
+			setup.Close()
+			conns := make([]*Conn, writers)
+			for w := range conns {
+				if conns[w], err = db.Connect(); err != nil {
+					b.Fatal(err)
+				}
+				defer conns[w].Close()
+			}
+			flushesBefore, _ := db.Telemetry().Value("wal.flushes")
+			var next atomic.Int64
+			errs := make([]error, writers)
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					conn := conns[w]
+					for {
+						i := next.Add(1)
+						if i > int64(b.N) {
+							return
+						}
+						if _, err := conn.Exec("BEGIN"); err != nil {
+							errs[w] = err
+							return
+						}
+						if _, err := conn.Exec("INSERT INTO bench_commit VALUES (?, ?)",
+							val.NewInt(i), val.NewInt(i)); err != nil {
+							errs[w] = err
+							return
+						}
+						if _, err := conn.Exec("COMMIT"); err != nil {
+							errs[w] = err
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			b.StopTimer()
+			for _, e := range errs {
+				if e != nil {
+					b.Fatal(e)
+				}
+			}
+			flushesAfter, _ := db.Telemetry().Value("wal.flushes")
+			b.ReportMetric(float64(flushesAfter-flushesBefore)/float64(b.N), "fsyncs/commit")
+		})
+	}
 }
 
 func BenchmarkInsert(b *testing.B) {

@@ -282,10 +282,14 @@ func (c *Conn) run(ctx context.Context, sql string, params []val.Value, wantRows
 	return res, rows, nil
 }
 
+// tracerRef reads the installed tracer without touching the global mutex:
+// it runs on every statement, and a per-statement lock acquisition would
+// serialize otherwise-independent connections.
 func (c *Conn) tracerRef() StatementTracer {
-	c.db.mu.Lock()
-	defer c.db.mu.Unlock()
-	return c.db.tracer
+	if p := c.db.tracer.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // autoTxn returns the transaction for a DML statement and a done func:

@@ -6,8 +6,9 @@
 // hash join (E10), the memory governor and low-memory fallbacks (E11),
 // intra-query parallelism (E12), page replacement (E13), the plan cache
 // (E14), the Index Consultant (E15), the CE-mode governor (E16), sharded
-// buffer-pool scalability (E17), vectored-executor throughput (E18), and
-// crash-recovery torture under fault injection (E19).
+// buffer-pool scalability (E17), vectored-executor throughput (E18),
+// crash-recovery torture under fault injection (E19), and group-commit
+// throughput vs the serial flush baseline (E20).
 //
 // Each experiment returns a Report: a paper-shaped table plus the key
 // metrics asserted by the benchmarks in bench_test.go and summarized in
@@ -72,7 +73,7 @@ func All() ([]*Report, error) {
 		E8GovernorQuota, E9HistogramFeedback, E10AdaptiveHashJoin,
 		E11LowMemory, E12Parallelism, E13Replacement, E14PlanCache,
 		E15IndexConsultant, E16CEMode, E17PoolScalability, E18ExecThroughput,
-		E19CrashRecovery,
+		E19CrashRecovery, E20CommitThroughput,
 	}
 	var out []*Report
 	for _, run := range runs {
@@ -85,7 +86,7 @@ func All() ([]*Report, error) {
 	return out, nil
 }
 
-// ByID runs one experiment by id ("E1".."E19").
+// ByID runs one experiment by id ("E1".."E20").
 func ByID(id string) (*Report, error) {
 	m := map[string]func() (*Report, error){
 		"E1": E1CacheGovernor, "E2": E2DefaultDTT, "E3": E3CalibrateHDD,
@@ -94,7 +95,7 @@ func ByID(id string) (*Report, error) {
 		"E10": E10AdaptiveHashJoin, "E11": E11LowMemory, "E12": E12Parallelism,
 		"E13": E13Replacement, "E14": E14PlanCache, "E15": E15IndexConsultant,
 		"E16": E16CEMode, "E17": E17PoolScalability, "E18": E18ExecThroughput,
-		"E19": E19CrashRecovery,
+		"E19": E19CrashRecovery, "E20": E20CommitThroughput,
 	}
 	run, ok := m[strings.ToUpper(id)]
 	if !ok {

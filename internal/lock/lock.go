@@ -276,10 +276,26 @@ func held(es []entry, obj uint64, key []byte, txn uint64, mode Mode) bool {
 	return false
 }
 
+// newWaitTimer builds the single wait-deadline timer a contended Lock call
+// uses. A test seam: the regression test swaps it to count allocations —
+// the retry loop must create at most one timer per Lock call, not one per
+// wake-up (time.After in the loop leaked a timer every iteration, each
+// lingering until the full Timeout elapsed).
+var newWaitTimer = time.NewTimer
+
 // Lock acquires (or upgrades to) the given mode for txn, waiting up to
-// Timeout for conflicting holders to release.
+// Timeout for conflicting holders to release. The wait uses one timer for
+// the whole call, stopped on return, no matter how many times the waiter
+// is woken and re-blocked.
 func (m *Manager) Lock(txn, obj uint64, key []byte, mode Mode) error {
 	deadline := time.Now().Add(m.Timeout)
+	var timer *time.Timer
+	var expired <-chan time.Time
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
 	for {
 		m.mu.Lock()
 		h := hashLock(obj, key)
@@ -318,16 +334,20 @@ func (m *Manager) Lock(txn, obj uint64, key []byte, mode Mode) error {
 		ch := m.broadcast
 		m.mu.Unlock()
 
-		remain := time.Until(deadline)
-		if remain <= 0 {
-			m.timeouts.Add(1)
-			return ErrTimeout
+		if timer == nil {
+			remain := time.Until(deadline)
+			if remain <= 0 {
+				m.timeouts.Add(1)
+				return ErrTimeout
+			}
+			timer = newWaitTimer(remain)
+			expired = timer.C
 		}
 		m.waits.Add(1)
 		select {
 		case <-ch:
 			// Locks were released somewhere; retry.
-		case <-time.After(remain):
+		case <-expired:
 			m.timeouts.Add(1)
 			return ErrTimeout
 		}

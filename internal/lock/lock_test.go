@@ -2,7 +2,9 @@ package lock
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -187,5 +189,115 @@ func TestConcurrentDisjointLocks(t *testing.T) {
 func TestModeString(t *testing.T) {
 	if Shared.String() != "S" || Exclusive.String() != "X" {
 		t.Fatal("Mode.String")
+	}
+}
+
+// TestLockWaitSingleTimer is the regression test for the wait-loop timer
+// leak: the old loop called time.After(remain) on every iteration, so a
+// waiter woken (and re-blocked) N times left N timers pending, each alive
+// until the full Timeout elapsed. The fixed loop must create exactly one
+// timer per contended Lock call no matter how many spurious wake-ups it
+// absorbs.
+func TestLockWaitSingleTimer(t *testing.T) {
+	m := newManager(t)
+	m.Timeout = 30 * time.Second // long enough that leaked timers would linger
+
+	var created atomic.Int64
+	orig := newWaitTimer
+	newWaitTimer = func(d time.Duration) *time.Timer {
+		created.Add(1)
+		return time.NewTimer(d)
+	}
+	defer func() { newWaitTimer = orig }()
+
+	hot := []byte("hot-row")
+	if err := m.Lock(1, 10, hot, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Lock(2, 10, hot, Exclusive) }()
+
+	// Wait for the contender to block, then force wake-retry iterations by
+	// releasing unrelated locks (every release broadcasts). m.waits counts
+	// one increment per wait iteration.
+	waitFor := func(n uint64) {
+		deadline := time.Now().Add(10 * time.Second)
+		for m.waits.Load() < n {
+			if time.Now().After(deadline) {
+				t.Fatalf("contender reached %d waits, want %d", m.waits.Load(), n)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	waitFor(1)
+	const spuriousWakes = 200
+	for i := 0; i < spuriousWakes; i++ {
+		target := m.waits.Load() + 1
+		if err := m.Lock(3, 99, []byte("cold"), Shared); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Unlock(3, 99, []byte("cold")); err != nil {
+			t.Fatal(err)
+		}
+		waitFor(target)
+	}
+
+	if err := m.ReleaseAll(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("contender failed: %v", err)
+	}
+	if got := created.Load(); got != 1 {
+		t.Fatalf("contended Lock created %d timers across %d wake-ups, want exactly 1", got, spuriousWakes)
+	}
+}
+
+// TestLockContentionNoPileup hammers one hot key from many goroutines and
+// checks the process returns to its baseline goroutine count: no waiter,
+// timer goroutine, or broadcast listener may outlive the workload.
+func TestLockContentionNoPileup(t *testing.T) {
+	m := newManager(t)
+	m.Timeout = 30 * time.Second
+	base := runtime.NumGoroutine()
+
+	hot := []byte("contended")
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := uint64(w + 1)
+			for i := 0; i < 50; i++ {
+				if err := m.Lock(id, 7, hot, Exclusive); err != nil {
+					errs <- err
+					return
+				}
+				// Hold briefly so other workers genuinely block.
+				time.Sleep(20 * time.Microsecond)
+				if err := m.ReleaseAll(id); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if m.waits.Load() == 0 {
+		t.Fatal("workload was never contended; test proves nothing")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine pileup: %d running, baseline %d", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(time.Millisecond)
 	}
 }

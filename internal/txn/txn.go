@@ -107,16 +107,19 @@ func (t *Txn) Lock(obj uint64, key []byte, mode lock.Mode) error {
 }
 
 // Commit makes the transaction durable: commit record, group flush, lock
-// release. A crash before the flush leaves the transaction a loser (it is
-// undone at recovery); a crash after the flush leaves it durable even
-// though the caller saw an error — the classic indeterminate commit.
+// release. The commit LSN is captured at append time and the wait happens
+// via FlushTo, so concurrent committers share one leader's fsync (group
+// commit) instead of each paying their own. A crash before the flush
+// leaves the transaction a loser (it is undone at recovery); a crash after
+// the flush leaves it durable even though the caller saw an error — the
+// classic indeterminate commit.
 //
-// When the flush itself fails, the transaction's in-memory changes are
-// compensated before the error is returned: the engine may keep serving
-// reads (degraded mode), and those reads must not see data the caller was
-// just told did not commit. A rollback record is appended behind the
-// stranded commit record, so if a later flush lands both the transaction
-// is still recovered as rolled back.
+// When the group's flush fails, every transaction waiting on it gets the
+// error, and each compensates its in-memory changes before returning: the
+// engine may keep serving reads (degraded mode), and those reads must not
+// see data the caller was just told did not commit. A rollback record is
+// appended behind the stranded commit record, so if a later flush lands
+// both the transaction is still recovered as rolled back.
 func (t *Txn) Commit() error {
 	if t.done {
 		return ErrDone
@@ -127,8 +130,8 @@ func (t *Txn) Commit() error {
 		t.finish()
 		return err
 	}
-	t.m.log.Append(&wal.Record{Type: wal.RecCommit, Txn: t.id})
-	if err := t.m.log.Flush(); err != nil {
+	lsn := t.m.log.Append(&wal.Record{Type: wal.RecCommit, Txn: t.id})
+	if err := t.m.log.FlushTo(lsn); err != nil {
 		t.compensate()
 		t.finish()
 		return err
@@ -168,8 +171,8 @@ func (t *Txn) Rollback() error {
 			firstErr = err
 		}
 	}
-	t.m.log.Append(&wal.Record{Type: wal.RecRollback, Txn: t.id})
-	if err := t.m.log.Flush(); err != nil && firstErr == nil {
+	lsn := t.m.log.Append(&wal.Record{Type: wal.RecRollback, Txn: t.id})
+	if err := t.m.log.FlushTo(lsn); err != nil && firstErr == nil {
 		firstErr = err
 	}
 	t.finish()

@@ -13,6 +13,7 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"anywheredb/internal/faultinject"
 	"anywheredb/internal/store"
@@ -74,16 +75,59 @@ type Record struct {
 	After  []byte
 }
 
-// LSN is a log sequence number: the byte offset of a record in the log.
+// LSN is a log sequence number: a byte offset in the log. Append returns a
+// record's *end* LSN — the offset one past its frame — so the record is
+// durable exactly when FlushedLSN() >= that value, and FlushTo(lsn) is the
+// wait for it.
 type LSN = uint64
 
+// Options configures a log beyond its path.
+type Options struct {
+	// CommitFlushDelay is the group-commit gather window: a flush leader
+	// sleeps this long before sealing the buffer, letting more committers
+	// append their records into the batch. 0 flushes immediately (the
+	// lowest-latency setting; batching then arises only from committers
+	// that pile up behind an in-flight fsync).
+	CommitFlushDelay time.Duration
+	// SerialFlush disables the leader/follower protocol: every FlushTo
+	// performs its own write+sync with the log mutex held, which is the
+	// pre-group-commit behaviour. Kept as the measured baseline for
+	// experiment E20; not intended for production use.
+	SerialFlush bool
+}
+
+// flushGroup is one in-flight group commit. The leader creates it, seals
+// the buffer into it, performs the write+sync, publishes err, and closes
+// done. Followers whose commit LSN the group covers wait on done and share
+// err — on failure, *every* transaction in the group sees the error.
+type flushGroup struct {
+	done chan struct{}
+	err  error // written before done is closed
+
+	// Guarded by Log.mu until done is closed:
+	sealed  bool   // buffer swap has happened; end is final
+	end     uint64 // durable tail if the flush succeeds
+	members int    // committers waiting on this group (leader included)
+}
+
 // Log is an append-only transaction log. It is safe for concurrent use.
+//
+// Durability is group commit with a sealed-buffer swap: one leader writes
+// and syncs the sealed buffer for the whole batch while followers block on
+// the group's done channel, and concurrent Appends land in the next buffer
+// instead of queueing behind the in-flight fsync.
 type Log struct {
 	mu     sync.Mutex
 	f      *os.File // nil when memory-backed
 	mem    []byte
-	tail   uint64 // next append offset
-	buffer []byte // pending, unflushed bytes
+	memMu  sync.Mutex // guards mem (written outside mu by the flush leader)
+	opts   Options
+	tail   uint64 // durable end offset (advanced only after a synced flush)
+	end    uint64 // next append offset: tail + len(sealed) + len(buffer)
+	buffer []byte // active (unsealed) pending bytes; appends land here
+	sealed []byte // buffer owned by the in-flight flush leader (nil if none)
+
+	inflight *flushGroup // the in-flight group commit (nil if none)
 
 	// Fault handling, set once before concurrent use (SetInjector).
 	inj   faultinject.Injector
@@ -92,9 +136,16 @@ type Log struct {
 
 	records     atomic.Uint64 // records appended
 	checkpoints atomic.Uint64 // checkpoint records appended
-	flushes     atomic.Uint64 // non-empty group-commit flushes
+	flushes     atomic.Uint64 // non-empty flushes (one fsync each)
 	truncates   atomic.Uint64
 	bytes       atomic.Uint64 // payload+frame bytes appended
+
+	groupCommits atomic.Uint64 // flushes that retired more than one waiter
+	flushWaiters atomic.Uint64 // FlushTo calls that blocked as followers
+	// commitsPerFlush observes the number of waiters each non-empty flush
+	// retired; bound at AttachTelemetry time (observations before that are
+	// dropped, which only affects pre-registry startup flushes).
+	commitsPerFlush atomic.Pointer[telemetry.Histogram]
 }
 
 // SetInjector installs fault interception and transient-retry handling for
@@ -115,12 +166,18 @@ func (l *Log) AttachTelemetry(reg *telemetry.Registry) {
 	reg.GaugeFunc("wal.flushes", func() int64 { return int64(l.flushes.Load()) })
 	reg.GaugeFunc("wal.truncates", func() int64 { return int64(l.truncates.Load()) })
 	reg.GaugeFunc("wal.bytes_appended", func() int64 { return int64(l.bytes.Load()) })
+	reg.GaugeFunc("wal.group_commits", func() int64 { return int64(l.groupCommits.Load()) })
+	reg.GaugeFunc("wal.flush_waiters", func() int64 { return int64(l.flushWaiters.Load()) })
+	l.commitsPerFlush.Store(reg.Histogram("wal.commits_per_flush"))
 }
 
 // Open opens (or creates) the log file at path. An empty path yields a
 // memory-backed log for tests.
-func Open(path string) (*Log, error) {
-	l := &Log{}
+func Open(path string) (*Log, error) { return OpenOptions(path, Options{}) }
+
+// OpenOptions opens the log with explicit options.
+func OpenOptions(path string, opts Options) (*Log, error) {
+	l := &Log{opts: opts}
 	if path == "" {
 		return l, nil
 	}
@@ -143,6 +200,7 @@ func Open(path string) (*Log, error) {
 		return nil, fmt.Errorf("wal: open scan: %w", err)
 	}
 	l.tail = validPrefix(data)
+	l.end = l.tail
 	return l, nil
 }
 
@@ -216,8 +274,9 @@ func decode(b []byte) (*Record, error) {
 	return r, nil
 }
 
-// Append adds a record to the log buffer and returns its LSN. The record is
-// durable only after Flush.
+// Append adds a record to the log buffer and returns its end-LSN: the
+// record is durable exactly when the durable tail (FlushedLSN) reaches the
+// returned value, so a committer passes it straight to FlushTo.
 func (l *Log) Append(r *Record) LSN {
 	payload := encode(r)
 	var frame []byte
@@ -227,8 +286,9 @@ func (l *Log) Append(r *Record) LSN {
 
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	lsn := l.tail + uint64(len(l.buffer))
 	l.buffer = append(l.buffer, frame...)
+	l.end += uint64(len(frame))
+	lsn := l.end
 	l.records.Add(1)
 	l.bytes.Add(uint64(len(frame)))
 	if r.Type == RecCheckpoint {
@@ -237,38 +297,147 @@ func (l *Log) Append(r *Record) LSN {
 	return lsn
 }
 
-// Flush forces buffered records to stable storage (group commit: one flush
-// covers every record appended since the last). Transient flush faults are
-// retried with bounded exponential backoff; a crashing flush may land a
-// torn prefix of the buffer, which the recovery Scan drops at the first
-// incomplete frame.
+// Flush forces every record appended so far to stable storage (group
+// commit: one flush covers every record appended since the last).
 func (l *Log) Flush() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
+	end := l.end
+	l.mu.Unlock()
+	return l.FlushTo(end)
+}
+
+// FlushTo blocks until the durable tail covers lsn (an end-LSN returned by
+// Append), flushing if needed. One leader performs the write+sync for the
+// whole batch while followers wait on the group; appends made during the
+// in-flight fsync land in the next buffer (sealed-buffer swap) and do not
+// block.
+//
+// Failure semantics: when a group's flush fails, every transaction waiting
+// on that group gets the error, and the sealed bytes return to the pending
+// buffer — the records are not durable, the tail has not advanced, and a
+// later flush (e.g. of the rollback records failed committers append) may
+// still land them, exactly as the serial path behaved. Transient flush
+// faults are retried with bounded exponential backoff; a crashing flush
+// may land a torn prefix, which the recovery Scan drops at the first
+// incomplete frame.
+func (l *Log) FlushTo(lsn LSN) error {
+	l.mu.Lock()
+	if lsn > l.end {
+		lsn = l.end
+	}
+	if l.opts.SerialFlush {
+		defer l.mu.Unlock()
+		return l.flushSerialLocked()
+	}
+	for {
+		if l.tail >= lsn {
+			l.mu.Unlock()
+			return nil
+		}
+		g := l.inflight
+		if g == nil {
+			break // become the leader
+		}
+		if !g.sealed || g.end >= lsn {
+			// Follower: an unsealed group will seal everything appended so
+			// far (including our record); a sealed group covers us iff its
+			// end does. Either way this group's flush decides our fate.
+			g.members++
+			l.flushWaiters.Add(1)
+			l.mu.Unlock()
+			<-g.done
+			return g.err
+		}
+		// The in-flight flush was sealed before our record; wait for it to
+		// retire, then re-evaluate (its successor will cover us).
+		l.mu.Unlock()
+		<-g.done
+		l.mu.Lock()
+	}
+
+	// Leader (l.mu held): publish the group, optionally linger to gather
+	// more committers, then seal the buffer and flush it outside the mutex.
+	g := &flushGroup{done: make(chan struct{}), members: 1}
+	l.inflight = g
+	if d := l.opts.CommitFlushDelay; d > 0 {
+		l.mu.Unlock()
+		time.Sleep(d)
+		l.mu.Lock()
+	}
+	sealed := l.buffer
+	l.buffer = nil
+	base := l.tail
+	l.sealed = sealed
+	g.sealed = true
+	g.end = base + uint64(len(sealed))
+	l.mu.Unlock()
+
+	var err error
+	if len(sealed) > 0 {
+		err = faultinject.Retry(l.pol, l.stats, func() error {
+			return l.flushOnce(base, sealed)
+		})
+	}
+
+	l.mu.Lock()
+	if err == nil {
+		l.tail = g.end
+		if len(sealed) > 0 {
+			l.flushes.Add(1)
+			if g.members > 1 {
+				l.groupCommits.Add(1)
+			}
+			if h := l.commitsPerFlush.Load(); h != nil {
+				h.Observe(int64(g.members))
+			}
+		}
+	} else {
+		// The group failed: its records stay pending ahead of anything
+		// appended meanwhile, so the log's byte order (and every assigned
+		// LSN) is preserved for a later flush attempt.
+		l.buffer = append(sealed, l.buffer...)
+	}
+	l.sealed = nil
+	g.err = err
+	l.inflight = nil
+	close(g.done)
+	l.mu.Unlock()
+	return err
+}
+
+// flushSerialLocked is the pre-group-commit flush: write+sync the whole
+// pending buffer with l.mu held (Options.SerialFlush, the E20 baseline).
+func (l *Log) flushSerialLocked() error {
 	if len(l.buffer) == 0 {
 		return nil
 	}
-	if err := faultinject.Retry(l.pol, l.stats, l.flushOnceLocked); err != nil {
+	base, out := l.tail, l.buffer
+	if err := faultinject.Retry(l.pol, l.stats, func() error {
+		return l.flushOnce(base, out)
+	}); err != nil {
 		return err
 	}
 	l.tail += uint64(len(l.buffer))
 	l.buffer = l.buffer[:0]
 	l.flushes.Add(1)
+	if h := l.commitsPerFlush.Load(); h != nil {
+		h.Observe(1)
+	}
 	return nil
 }
 
-// flushOnceLocked attempts one write+sync of the buffer, consulting the
+// flushOnce attempts one write+sync of b at offset base, consulting the
 // injector first. On a torn flush the surviving prefix is written before
 // the error is surfaced; the tail does not advance, so the caller's view
 // is "commit failed" while the medium holds an incomplete frame — exactly
 // the state a real power loss leaves behind.
-func (l *Log) flushOnceLocked() error {
-	out := l.buffer
+func (l *Log) flushOnce(base uint64, b []byte) error {
+	out := b
 	if l.inj != nil {
-		repl, ferr := l.inj.Fault(faultinject.OpWALFlush, l.tail, l.buffer)
+		repl, ferr := l.inj.Fault(faultinject.OpWALFlush, base, b)
 		if ferr != nil {
 			if repl != nil {
-				l.writeRawLocked(repl)
+				l.writeRaw(base, repl)
 			}
 			return ferr
 		}
@@ -276,19 +445,21 @@ func (l *Log) flushOnceLocked() error {
 			out = repl // silent corruption: the medium gets altered bytes
 		}
 	}
-	if err := l.writeRawLocked(out); err != nil {
+	if err := l.writeRaw(base, out); err != nil {
 		return fmt.Errorf("wal: flush: %w", err)
 	}
 	return nil
 }
 
-// writeRawLocked lands bytes at the current tail and syncs.
-func (l *Log) writeRawLocked(b []byte) error {
+// writeRaw lands bytes at offset base and syncs. It is called by the flush
+// leader without l.mu held; the write target [base, base+len(b)) is always
+// at or past the durable tail, so it never overlaps the range Scan reads.
+func (l *Log) writeRaw(base uint64, b []byte) error {
 	if len(b) == 0 {
 		return nil
 	}
 	if l.f != nil {
-		if _, err := l.f.WriteAt(b, int64(l.tail)); err != nil {
+		if _, err := l.f.WriteAt(b, int64(base)); err != nil {
 			return fmt.Errorf("wal: flush: %w", err)
 		}
 		if err := l.f.Sync(); err != nil {
@@ -296,15 +467,42 @@ func (l *Log) writeRawLocked(b []byte) error {
 		}
 		return nil
 	}
-	l.mem = append(l.mem, b...)
+	l.memMu.Lock()
+	if need := int(base) + len(b); need > len(l.mem) {
+		l.mem = append(l.mem, make([]byte, need-len(l.mem))...)
+	}
+	copy(l.mem[base:], b)
+	l.memMu.Unlock()
 	return nil
 }
 
-// FlushedLSN reports the LSN up to which the log is durable.
+// FlushedLSN reports the LSN up to which the log is durable. It advances
+// only when a sealed buffer has been written and synced, so it never
+// covers a record still sitting in an unsealed (or in-flight) buffer.
 func (l *Log) FlushedLSN() LSN {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.tail
+}
+
+// PendingLSN reports the end-LSN of the last appended record (the durable
+// tail plus everything still buffered or in flight).
+func (l *Log) PendingLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.end
+}
+
+// drainLocked waits until no flush is in flight. Called with l.mu held;
+// reacquires it before returning. Truncate and CloseNoFlush use it so the
+// file is never truncated or closed under an in-flight leader's WriteAt.
+func (l *Log) drainLocked() {
+	for l.inflight != nil {
+		g := l.inflight
+		l.mu.Unlock()
+		<-g.done
+		l.mu.Lock()
+	}
 }
 
 // Scan iterates over every durable record in LSN order. A truncated or
@@ -312,15 +510,24 @@ func (l *Log) FlushedLSN() LSN {
 // a crash).
 func (l *Log) Scan(fn func(lsn LSN, r *Record) error) error {
 	l.mu.Lock()
+	tail := l.tail
 	var data []byte
 	if l.f != nil {
-		data = make([]byte, l.tail)
+		data = make([]byte, tail)
 		if _, err := l.f.ReadAt(data, 0); err != nil {
 			l.mu.Unlock()
 			return fmt.Errorf("wal: scan read: %w", err)
 		}
 	} else {
-		data = append([]byte(nil), l.mem...)
+		// Only [0, tail) is durable; a failed flush may have left torn
+		// bytes past it that the next flush attempt will overwrite.
+		l.memMu.Lock()
+		n := int(tail)
+		if n > len(l.mem) {
+			n = len(l.mem)
+		}
+		data = append([]byte(nil), l.mem[:n]...)
+		l.memMu.Unlock()
 	}
 	l.mu.Unlock()
 
@@ -409,13 +616,18 @@ func (l *Log) Analyze() (*RecoveryPlan, error) {
 }
 
 // Truncate discards the log after a checkpoint has made its contents
-// redundant.
+// redundant. An in-flight group flush is drained first so the truncation
+// never races the leader's WriteAt.
 func (l *Log) Truncate() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.drainLocked()
 	l.buffer = l.buffer[:0]
 	l.tail = 0
+	l.end = 0
+	l.memMu.Lock()
 	l.mem = nil
+	l.memMu.Unlock()
 	l.truncates.Add(1)
 	if l.f != nil {
 		if err := l.f.Truncate(0); err != nil {
@@ -439,7 +651,9 @@ func (l *Log) Close() error {
 func (l *Log) CloseNoFlush() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.drainLocked()
 	l.buffer = l.buffer[:0]
+	l.end = l.tail
 	if l.f != nil {
 		err := l.f.Close()
 		l.f = nil

@@ -58,6 +58,12 @@ func BenchmarkE17PoolScalability(b *testing.B)  { runExp(b, "E17") }
 func BenchmarkE18ExecThroughput(b *testing.B)   { runExp(b, "E18") }
 func BenchmarkE20CommitThroughput(b *testing.B) { runExp(b, "E20") }
 
+// BenchmarkE21ObservabilityOverhead reports the always-on flight
+// recorder's cost against a disabled-recorder baseline on the E18-style
+// scan+filter stream and the E20-style 16-writer commit storm
+// (scan_overhead_pct / commit_overhead_pct; budget ≤5%).
+func BenchmarkE21ObservabilityOverhead(b *testing.B) { runExp(b, "E21") }
+
 // --- Micro-benchmarks over the public API ---------------------------------
 
 func benchDB(b *testing.B) (*DB, *Conn) {

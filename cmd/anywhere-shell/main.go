@@ -33,7 +33,7 @@ func main() {
 	}
 	defer conn.Close() // last disconnect shuts the server down
 
-	fmt.Println("anywheredb shell — end statements with ';', .stats for telemetry, \\q to quit")
+	fmt.Println("anywheredb shell — end statements with ';', .stats for telemetry, .waits for wait events, \\q to quit")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -54,6 +54,10 @@ func main() {
 			printStats(conn)
 			continue
 		}
+		if buf.Len() == 0 && line == ".waits" {
+			printWaits(conn)
+			continue
+		}
 		buf.WriteString(line)
 		buf.WriteString(" ")
 		if !strings.HasSuffix(line, ";") {
@@ -66,7 +70,8 @@ func main() {
 }
 
 // printStats dumps the engine's full telemetry registry (the same rows
-// SELECT * FROM sys.properties returns).
+// SELECT * FROM sys.properties returns), then the top statements by
+// total elapsed time from the flight recorder's digest table.
 func printStats(conn *core.Conn) {
 	rows, err := conn.Query("SELECT * FROM sys.properties")
 	if err != nil {
@@ -76,6 +81,37 @@ func printStats(conn *core.Conn) {
 	for rows.Next() {
 		r := rows.Row()
 		fmt.Printf("%-40s %-10s %d\n", r[0].String(), r[1].String(), r[2].I)
+	}
+
+	rows, err = conn.Query(
+		"SELECT fingerprint, calls, rows, total_us, p95_us FROM sys.statements")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	const topN = 10
+	fmt.Printf("\ntop %d statements by total_us:\n", topN)
+	fmt.Printf("%-10s %-10s %-12s %-10s %s\n", "calls", "rows", "total_us", "p95_us", "fingerprint")
+	n := 0
+	for rows.Next() && n < topN {
+		r := rows.Row() // sys.statements is already sorted by total_us desc
+		fmt.Printf("%-10d %-10d %-12d %-10d %s\n", r[1].I, r[2].I, r[3].I, r[4].I, r[0].String())
+		n++
+	}
+}
+
+// printWaits shows the engine-wide wait-event aggregates (sys.waits).
+func printWaits(conn *core.Conn) {
+	rows, err := conn.Query("SELECT event, count, total_us, p50_us, p95_us, p99_us FROM sys.waits")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%-14s %-10s %-12s %-9s %-9s %s\n", "event", "count", "total_us", "p50_us", "p95_us", "p99_us")
+	for rows.Next() {
+		r := rows.Row()
+		fmt.Printf("%-14s %-10d %-12d %-9d %-9d %d\n",
+			r[0].String(), r[1].I, r[2].I, r[3].I, r[4].I, r[5].I)
 	}
 }
 

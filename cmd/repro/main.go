@@ -1,5 +1,5 @@
 // Command repro regenerates every table and figure of the paper's
-// evaluation (experiments E1–E20; see DESIGN.md for the index).
+// evaluation (experiments E1–E21; see DESIGN.md for the index).
 //
 // Usage:
 //
@@ -16,7 +16,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (E1..E20); empty = all")
+	exp := flag.String("exp", "", "experiment id (E1..E21); empty = all")
 	flag.Parse()
 
 	if *exp != "" {

@@ -23,6 +23,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"anywheredb/internal/faultinject"
 	"anywheredb/internal/page"
@@ -141,6 +142,30 @@ type Pool struct {
 	// (nil until then, preserving the pool's original raw-I/O behaviour).
 	// Atomic so installation at open time is safe against early traffic.
 	fh atomic.Pointer[faultHandling]
+
+	// readWaitObs, when set, is called with the wall-clock microseconds a
+	// Get spent blocked on read I/O: a miss reading the page from the
+	// store, or a hit waiting on another goroutine's in-flight read of the
+	// same page. Hits on resident pages report nothing. Feeds the flight
+	// recorder's "buffer.read" wait event.
+	readWaitObs atomic.Pointer[func(us int64)]
+}
+
+// SetReadWaitObserver installs (or replaces) the read-I/O wait observer.
+// A nil f uninstalls.
+func (p *Pool) SetReadWaitObserver(f func(us int64)) {
+	if f == nil {
+		p.readWaitObs.Store(nil)
+		return
+	}
+	p.readWaitObs.Store(&f)
+}
+
+// observeReadWait reports one blocked read to the observer, if any.
+func (p *Pool) observeReadWait(start time.Time) {
+	if f := p.readWaitObs.Load(); f != nil {
+		(*f)(time.Since(start).Microseconds())
+	}
 }
 
 // faultHandling bundles the pool's transient-I/O retry policy with the
@@ -428,9 +453,11 @@ func (p *Pool) Get(id store.PageID) (*Frame, error) {
 // this costs one atomic load.
 func (p *Pool) awaitLoaded(s *shard, f *Frame) (*Frame, error) {
 	if f.loading.Load() {
+		start := time.Now()
 		f.io.Lock()
 		//lint:ignore SA2001 empty critical section: the lock is a load barrier
 		f.io.Unlock()
+		p.observeReadWait(start)
 	}
 	// Check defunct unconditionally, not only when we saw the load in
 	// flight: the failed-read undo stores defunct=true before loading=false,
@@ -512,7 +539,10 @@ func (p *Pool) load(s *shard, id store.PageID) (*Frame, error) {
 
 		s.misses.Add(1)
 		p.touch(f)
-		if rerr := p.ioRead(id, f.Data); rerr != nil {
+		ioStart := time.Now()
+		rerr := p.ioRead(id, f.Data)
+		p.observeReadWait(ioStart)
+		if rerr != nil {
 			// Undo under the shard lock. The frame is pinned, so neither a
 			// concurrent Resize nor Discard can have evicted or moved it
 			// across shards in the window the lock was dropped (both skip

@@ -7,10 +7,13 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"anywheredb/internal/buffer"
 	"anywheredb/internal/catalog"
 	"anywheredb/internal/dtt"
 	"anywheredb/internal/exec"
+	"anywheredb/internal/flightrec"
 	"anywheredb/internal/opt"
 	"anywheredb/internal/sqlparse"
 	"anywheredb/internal/store"
@@ -30,6 +33,9 @@ type Conn struct {
 	// connection (a Conn serves one statement at a time). Operators and
 	// DML loops poll it at batch boundaries.
 	stmtCtx context.Context
+	// curSpan is the flight-recorder span of the statement currently
+	// running on this connection (nil with the recorder disabled).
+	curSpan *flightrec.Span
 	// Workers overrides the database's default intra-query parallelism.
 	Workers int
 }
@@ -115,6 +121,7 @@ func (c *Conn) execCtx(task interface {
 		ForceBatchSize: c.db.opts.ExecBatchSize,
 		Batches:        c.db.batches,
 		BatchRows:      c.db.batchRows,
+		Span:           c.curSpan,
 	}
 	return ctx
 }
@@ -171,7 +178,7 @@ func (c *Conn) interrupted() error {
 	return c.stmtCtx.Err()
 }
 
-func (c *Conn) run(ctx context.Context, sql string, params []val.Value, wantRows bool) (Result, *Rows, error) {
+func (c *Conn) run(ctx context.Context, sql string, params []val.Value, wantRows bool) (res Result, rows *Rows, err error) {
 	if c.closed {
 		return Result{}, nil, fmt.Errorf("core: connection closed")
 	}
@@ -186,9 +193,49 @@ func (c *Conn) run(ctx context.Context, sql string, params []val.Value, wantRows
 		}
 	}
 	c.stmtCtx = ctx
+
+	// Flight-recorder span: opened before parsing so even malformed
+	// statements land in the digest table, sealed on every exit path. The
+	// buffer hit/miss fields are window deltas over the engine-wide pool
+	// counters.
+	sp := c.db.flight.Begin(sql)
+	c.curSpan = sp
+	var wallStart time.Time
+	var poolBase buffer.Stats
+	var boundTxn uint64
+	if sp != nil {
+		wallStart = time.Now()
+		poolBase = c.db.pool.Stats()
+		defer func() {
+			c.curSpan = nil
+			if boundTxn != 0 {
+				c.db.flight.UnbindTxn(boundTxn)
+			}
+			errText := ""
+			if err != nil {
+				errText = err.Error()
+			}
+			st := c.db.pool.Stats()
+			sp.BufferHits = int64(st.Hits - poolBase.Hits)
+			sp.BufferMisses = int64(st.Misses - poolBase.Misses)
+			c.db.flight.Finish(sp, time.Since(wallStart).Microseconds(),
+				res.RowsAffected, errText)
+		}()
+	}
+
+	parseStart := wallStart
 	stmt, err := sqlparse.Parse(sql)
+	if sp != nil {
+		sp.AddPhase(flightrec.PhaseParse, time.Since(parseStart).Microseconds())
+	}
 	if err != nil {
 		return Result{}, nil, err
+	}
+	if sp != nil && c.tx != nil {
+		// An explicit transaction is already open: statement waits carrying
+		// its id (lock conflicts, commit flush) resolve to this span.
+		boundTxn = c.tx.ID()
+		c.db.flight.BindTxn(boundTxn, sp)
 	}
 	if c.db.degraded.Load() {
 		// Read-only degraded mode: refuse anything that would write. The
@@ -202,25 +249,35 @@ func (c *Conn) run(ctx context.Context, sql string, params []val.Value, wantRows
 	}
 
 	start := c.db.clk.Now()
-	var res Result
-	var rows *Rows
 	switch s := stmt.(type) {
 	case *sqlparse.Begin:
 		if c.tx != nil {
 			return Result{}, nil, fmt.Errorf("core: transaction already open")
 		}
 		c.tx = c.db.txns.Begin()
+		if sp != nil {
+			boundTxn = c.tx.ID()
+			c.db.flight.BindTxn(boundTxn, sp)
+		}
 	case *sqlparse.Commit:
 		if c.tx == nil {
 			return Result{}, nil, fmt.Errorf("core: no open transaction")
 		}
+		commitStart := time.Now()
 		err = c.tx.Commit()
+		if sp != nil {
+			sp.AddPhase(flightrec.PhaseCommit, time.Since(commitStart).Microseconds())
+		}
 		c.tx = nil
 	case *sqlparse.Rollback:
 		if c.tx == nil {
 			return Result{}, nil, fmt.Errorf("core: no open transaction")
 		}
+		commitStart := time.Now()
 		err = c.tx.Rollback()
+		if sp != nil {
+			sp.AddPhase(flightrec.PhaseCommit, time.Since(commitStart).Microseconds())
+		}
 		c.tx = nil
 	case *sqlparse.CreateTable:
 		err = c.createTable(s)
@@ -294,18 +351,31 @@ func (c *Conn) tracerRef() StatementTracer {
 
 // autoTxn returns the transaction for a DML statement and a done func:
 // inside an explicit transaction it is that transaction; otherwise a fresh
-// one committed (or rolled back) at statement end.
+// one committed (or rolled back) at statement end. An autocommit
+// transaction is bound to the current span for wait attribution, and its
+// commit (or rollback) flush is charged to the span's commit phase.
 func (c *Conn) autoTxn() (*txn.Txn, func(err error) error) {
 	if c.tx != nil {
 		return c.tx, func(err error) error { return err }
 	}
 	t := c.db.txns.Begin()
+	sp := c.curSpan
+	c.db.flight.BindTxn(t.ID(), sp)
 	return t, func(err error) error {
+		var commitStart time.Time
+		if sp != nil {
+			commitStart = time.Now()
+		}
 		if err != nil {
 			t.Rollback()
-			return err
+		} else {
+			err = t.Commit()
 		}
-		return t.Commit()
+		if sp != nil {
+			sp.AddPhase(flightrec.PhaseCommit, time.Since(commitStart).Microseconds())
+			c.db.flight.UnbindTxn(t.ID())
+		}
+		return err
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -26,6 +27,7 @@ import (
 	"anywheredb/internal/dtt"
 	"anywheredb/internal/exec"
 	"anywheredb/internal/faultinject"
+	"anywheredb/internal/flightrec"
 	"anywheredb/internal/lock"
 	"anywheredb/internal/mem"
 	"anywheredb/internal/opt"
@@ -101,6 +103,14 @@ type Options struct {
 	// StatementTimeout bounds each statement's wall-clock time (0 = none).
 	// Cancellation is observed at batch boundaries in every operator.
 	StatementTimeout time.Duration
+	// DisableFlightRecorder turns span/wait/digest capture off. The
+	// instrumentation stays compiled in (observer hooks installed, branch
+	// costs paid) — this is the overhead baseline experiment E21 measures
+	// against.
+	DisableFlightRecorder bool
+	// FlightRecorderSize is the span ring-buffer capacity (0 selects
+	// flightrec.DefaultRingSize, rounded up to a power of two).
+	FlightRecorderSize int
 	// ParanoidRecovery re-applies the recovery plan a second time after
 	// redo/undo and verifies the replay was idempotent (the logical page
 	// content must not change). Torture tests run with this on.
@@ -151,6 +161,12 @@ type DB struct {
 	memG    *mem.Governor
 	dttMod  *dtt.Model
 	reg     *telemetry.Registry
+
+	// flight is the always-allocated flight recorder (spans, wait events,
+	// workload digests); flightDumped latches the one-shot dump taken when
+	// the engine degrades.
+	flight       *flightrec.Collector
+	flightDumped atomic.Bool
 
 	// Fault handling: the shared injector (nil without injection), the
 	// engine-wide fault counters, and the degraded-mode latch.
@@ -348,6 +364,54 @@ func Open(opts Options) (*DB, error) {
 	db.locks.AttachTelemetry(db.reg)
 	db.memG.AttachTelemetry(db.reg)
 	db.cacheG.AttachTelemetry(db.reg)
+	// The flight recorder: always allocated so the instrumentation cost is
+	// identical enabled or disabled (E21's baseline); wall-clock µs since
+	// open is the span/wait timebase.
+	openedAt := time.Now()
+	db.flight = flightrec.New(opts.FlightRecorderSize, func() int64 {
+		return time.Since(openedAt).Microseconds()
+	})
+	db.flight.SetEnabled(!opts.DisableFlightRecorder)
+	db.flight.AttachTelemetry(db.reg)
+	// Wait-event observers. Attribution: lock waits carry the waiting
+	// transaction's id; commit flush waits are measured at the txn layer
+	// (id known) and fed to the span only — the WAL-layer observer feeds
+	// the global registry, so one wait is never double-counted; buffer
+	// read I/O has no transaction identity, so spans are charged only when
+	// exactly one statement is live (exact attribution) and the global
+	// registry always.
+	db.locks.SetWaitObserver(func(txnID uint64, us int64) {
+		if !db.flight.Enabled() {
+			return
+		}
+		db.flight.ObserveWait(flightrec.WaitLock, us)
+		if sp := db.flight.SpanOfTxn(txnID); sp != nil {
+			sp.AddWait(flightrec.WaitLock, us)
+		}
+	})
+	db.log.SetFlushWaitObserver(func(us int64) {
+		if !db.flight.Enabled() {
+			return
+		}
+		db.flight.ObserveWait(flightrec.WaitWALFlush, us)
+	})
+	db.txns.SetCommitWaitObserver(func(txnID uint64, us int64) {
+		if us <= 0 || !db.flight.Enabled() {
+			return
+		}
+		if sp := db.flight.SpanOfTxn(txnID); sp != nil {
+			sp.AddWait(flightrec.WaitWALFlush, us)
+		}
+	})
+	db.pool.SetReadWaitObserver(func(us int64) {
+		if !db.flight.Enabled() {
+			return
+		}
+		db.flight.ObserveWait(flightrec.WaitBufferIO, us)
+		if sp := db.flight.SoleSpan(); sp != nil {
+			sp.AddWait(flightrec.WaitBufferIO, us)
+		}
+	})
 	db.reg.GaugeFunc("fault.injected", func() int64 { return int64(db.faultStats.Injected.Load()) })
 	db.reg.GaugeFunc("fault.retried", func() int64 { return int64(db.faultStats.Retried.Load()) })
 	db.reg.GaugeFunc("fault.gaveup", func() int64 { return int64(db.faultStats.GaveUp.Load()) })
@@ -377,23 +441,116 @@ func Open(opts Options) (*DB, error) {
 // Telemetry exposes the engine-wide metrics registry.
 func (db *DB) Telemetry() *telemetry.Registry { return db.reg }
 
-// VirtualRows implements opt.VirtualTables: sys.properties enumerates the
-// telemetry registry as (name, kind, value) rows, snapshot at bind time.
+// FlightRecorder exposes the observability collector (spans, wait events,
+// workload digests).
+func (db *DB) FlightRecorder() *flightrec.Collector { return db.flight }
+
+// VirtualRows implements opt.VirtualTables, snapshot at bind time:
+//
+//	sys.properties        — the telemetry registry as (name, kind, value)
+//	sys.statements        — the workload digest table (per-fingerprint stats)
+//	sys.waits             — the wait-event registry (count, time, quantiles)
+//	sys.recent_statements — the flight-recorder ring of recent spans
 func (db *DB) VirtualRows(name string) ([]table.Column, []exec.Row, bool) {
-	if name != "sys.properties" {
-		return nil, nil, false
+	switch name {
+	case "sys.properties":
+		cols := []table.Column{
+			{Name: "name", Kind: val.KStr},
+			{Name: "kind", Kind: val.KStr},
+			{Name: "value", Kind: val.KInt},
+		}
+		snap := db.reg.Snapshot()
+		rows := make([]exec.Row, len(snap))
+		for i, s := range snap {
+			rows[i] = exec.Row{val.NewStr(s.Name), val.NewStr(s.Kind.String()), val.NewInt(s.Value)}
+		}
+		return cols, rows, true
+	case "sys.statements":
+		cols := []table.Column{
+			{Name: "fingerprint", Kind: val.KStr},
+			{Name: "calls", Kind: val.KInt},
+			{Name: "errors", Kind: val.KInt},
+			{Name: "rows", Kind: val.KInt},
+			{Name: "total_us", Kind: val.KInt},
+			{Name: "min_us", Kind: val.KInt},
+			{Name: "max_us", Kind: val.KInt},
+			{Name: "p50_us", Kind: val.KInt},
+			{Name: "p95_us", Kind: val.KInt},
+			{Name: "p99_us", Kind: val.KInt},
+			{Name: "lock_wait_us", Kind: val.KInt},
+			{Name: "wal_wait_us", Kind: val.KInt},
+			{Name: "io_wait_us", Kind: val.KInt},
+		}
+		snap := db.flight.Digests().Snapshot()
+		rows := make([]exec.Row, len(snap))
+		for i, d := range snap {
+			rows[i] = exec.Row{
+				val.NewStr(d.Fingerprint), val.NewInt(d.Calls), val.NewInt(d.Errors),
+				val.NewInt(d.Rows), val.NewInt(d.TotalUS), val.NewInt(d.MinUS),
+				val.NewInt(d.MaxUS), val.NewInt(d.P50US), val.NewInt(d.P95US),
+				val.NewInt(d.P99US), val.NewInt(d.WaitUS[flightrec.WaitLock]),
+				val.NewInt(d.WaitUS[flightrec.WaitWALFlush]),
+				val.NewInt(d.WaitUS[flightrec.WaitBufferIO]),
+			}
+		}
+		return cols, rows, true
+	case "sys.waits":
+		cols := []table.Column{
+			{Name: "event", Kind: val.KStr},
+			{Name: "count", Kind: val.KInt},
+			{Name: "total_us", Kind: val.KInt},
+			{Name: "p50_us", Kind: val.KInt},
+			{Name: "p95_us", Kind: val.KInt},
+			{Name: "p99_us", Kind: val.KInt},
+		}
+		snap := db.flight.Waits().Snapshot()
+		rows := make([]exec.Row, len(snap))
+		for i, w := range snap {
+			rows[i] = exec.Row{
+				val.NewStr(w.Name), val.NewInt(w.Count), val.NewInt(w.TotalUS),
+				val.NewInt(w.P50US), val.NewInt(w.P95US), val.NewInt(w.P99US),
+			}
+		}
+		return cols, rows, true
+	case "sys.recent_statements":
+		cols := []table.Column{
+			{Name: "seq", Kind: val.KInt},
+			{Name: "fingerprint", Kind: val.KStr},
+			{Name: "start_us", Kind: val.KInt},
+			{Name: "total_us", Kind: val.KInt},
+			{Name: "parse_us", Kind: val.KInt},
+			{Name: "optimize_us", Kind: val.KInt},
+			{Name: "execute_us", Kind: val.KInt},
+			{Name: "commit_us", Kind: val.KInt},
+			{Name: "rows", Kind: val.KInt},
+			{Name: "batches", Kind: val.KInt},
+			{Name: "spill_bytes", Kind: val.KInt},
+			{Name: "lock_wait_us", Kind: val.KInt},
+			{Name: "wal_wait_us", Kind: val.KInt},
+			{Name: "io_wait_us", Kind: val.KInt},
+			{Name: "error", Kind: val.KStr},
+		}
+		spans := db.flight.Recent()
+		rows := make([]exec.Row, len(spans))
+		for i, sp := range spans {
+			rows[i] = exec.Row{
+				val.NewInt(int64(sp.Seq)), val.NewStr(sp.Fingerprint),
+				val.NewInt(sp.StartUS), val.NewInt(sp.TotalUS),
+				val.NewInt(sp.PhaseUS(flightrec.PhaseParse)),
+				val.NewInt(sp.PhaseUS(flightrec.PhaseOptimize)),
+				val.NewInt(sp.PhaseUS(flightrec.PhaseExecute)),
+				val.NewInt(sp.PhaseUS(flightrec.PhaseCommit)),
+				val.NewInt(sp.Rows), val.NewInt(sp.Batches()),
+				val.NewInt(sp.SpillBytes()),
+				val.NewInt(sp.WaitUS(flightrec.WaitLock)),
+				val.NewInt(sp.WaitUS(flightrec.WaitWALFlush)),
+				val.NewInt(sp.WaitUS(flightrec.WaitBufferIO)),
+				val.NewStr(sp.Err),
+			}
+		}
+		return cols, rows, true
 	}
-	cols := []table.Column{
-		{Name: "name", Kind: val.KStr},
-		{Name: "kind", Kind: val.KStr},
-		{Name: "value", Kind: val.KInt},
-	}
-	snap := db.reg.Snapshot()
-	rows := make([]exec.Row, len(snap))
-	for i, s := range snap {
-		rows[i] = exec.Row{val.NewStr(s.Name), val.NewStr(s.Kind.String()), val.NewInt(s.Value)}
-	}
-	return cols, rows, true
+	return nil, nil, false
 }
 
 // heapBytes estimates the server's main heap: active tasks' pages.
@@ -854,12 +1011,19 @@ func (db *DB) Crash() {
 func (db *DB) Degraded() bool { return db.degraded.Load() }
 
 // enterDegraded latches read-only mode when err is a permanent I/O
-// failure; it reports whether the error was classified permanent.
+// failure; it reports whether the error was classified permanent. The
+// first latch dumps the flight recorder to stderr: the spans and waits
+// leading up to the failure are the post-mortem evidence, captured before
+// the engine goes read-only.
 func (db *DB) enterDegraded(err error) bool {
 	if err == nil || !errors.Is(err, faultinject.ErrPermanent) {
 		return false
 	}
 	db.degraded.Store(true)
+	if db.flight.Enabled() && db.flightDumped.CompareAndSwap(false, true) {
+		fmt.Fprintf(os.Stderr, "core: entering degraded mode (%v); flight-recorder dump:\n", err)
+		db.flight.Dump(os.Stderr)
+	}
 	return true
 }
 

@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"anywheredb/internal/exec"
+	"anywheredb/internal/flightrec"
 	"anywheredb/internal/mem"
 	"anywheredb/internal/opt"
 	"anywheredb/internal/sqlparse"
@@ -23,6 +25,9 @@ func (c *Conn) execSelect(sql string, s *sqlparse.Select, params []val.Value) (*
 	ctx.Task = task
 
 	benv := &opt.BuildEnv{Env: c.optEnv(), Res: c.db, Ctx: ctx, Params: params}
+
+	sp := c.curSpan
+	optStart := time.Now()
 
 	var plan *opt.Plan
 	var err error
@@ -72,7 +77,14 @@ func (c *Conn) execSelect(sql string, s *sqlparse.Select, params []val.Value) (*
 	// (EXPLAIN ANALYZE and Rows.Plan() introspection read them back).
 	plan.Root = exec.Instrument(plan.Root)
 
+	execStart := time.Now()
+	if sp != nil {
+		sp.AddPhase(flightrec.PhaseOptimize, execStart.Sub(optStart).Microseconds())
+	}
 	rows, err := exec.Drain(ctx, plan.Root)
+	if sp != nil {
+		sp.AddPhase(flightrec.PhaseExecute, time.Since(execStart).Microseconds())
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -501,11 +513,22 @@ func (c *Conn) execUpdate(s *sqlparse.Update, params []val.Value) (Result, *opt.
 	if !ok {
 		return Result{}, nil, fmt.Errorf("core: table %q not found", s.Table)
 	}
+	sp := c.curSpan
+	optStart := time.Now()
 	acc, err := bindSimpleWhere(tbl, s.Where, params)
 	if err != nil {
 		return Result{}, nil, err
 	}
 	plan := dmlPlan(tbl, acc)
+	if sp != nil {
+		sp.AddPhase(flightrec.PhaseOptimize, time.Since(optStart).Microseconds())
+	}
+	execStart := time.Now()
+	defer func() {
+		if sp != nil {
+			sp.AddPhase(flightrec.PhaseExecute, time.Since(execStart).Microseconds())
+		}
+	}()
 	setCols := make([]int, len(s.Set))
 	for i, sc := range s.Set {
 		ci := tbl.ColumnIndex(sc.Col)
@@ -546,11 +569,22 @@ func (c *Conn) execDelete(s *sqlparse.Delete, params []val.Value) (Result, *opt.
 	if !ok {
 		return Result{}, nil, fmt.Errorf("core: table %q not found", s.Table)
 	}
+	sp := c.curSpan
+	optStart := time.Now()
 	acc, err := bindSimpleWhere(tbl, s.Where, params)
 	if err != nil {
 		return Result{}, nil, err
 	}
 	plan := dmlPlan(tbl, acc)
+	if sp != nil {
+		sp.AddPhase(flightrec.PhaseOptimize, time.Since(optStart).Microseconds())
+	}
+	execStart := time.Now()
+	defer func() {
+		if sp != nil {
+			sp.AddPhase(flightrec.PhaseExecute, time.Since(execStart).Microseconds())
+		}
+	}()
 	rids, _, err := collectTargets(tbl, acc)
 	if err != nil {
 		return Result{}, nil, err

@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"anywheredb/internal/exec"
+	"anywheredb/internal/flightrec"
 	"anywheredb/internal/opt"
 	"anywheredb/internal/sqlparse"
 	"anywheredb/internal/val"
@@ -73,14 +75,24 @@ func (c *Conn) explainSelect(s *sqlparse.Select, params []val.Value, analyze boo
 	ctx.Task = task
 
 	benv := &opt.BuildEnv{Env: c.optEnv(), Res: c.db, Ctx: ctx, Params: params}
+	sp := c.curSpan
+	optStart := time.Now()
 	plan, err := opt.BuildSelect(s, benv)
 	if err != nil {
 		return nil, err
 	}
+	if sp != nil {
+		sp.AddPhase(flightrec.PhaseOptimize, time.Since(optStart).Microseconds())
+	}
 	c.noteEnum(plan)
 	if analyze {
 		plan.Root = exec.Instrument(plan.Root)
-		if _, err := exec.Drain(ctx, plan.Root); err != nil {
+		execStart := time.Now()
+		_, err := exec.Drain(ctx, plan.Root)
+		if sp != nil {
+			sp.AddPhase(flightrec.PhaseExecute, time.Since(execStart).Microseconds())
+		}
+		if err != nil {
 			return nil, err
 		}
 	}

@@ -80,6 +80,9 @@ func (c *Ctx) noteBatch(n int) {
 	if c.BatchRows != nil {
 		c.BatchRows.Observe(int64(n))
 	}
+	if c.Span != nil {
+		c.Span.AddBatches(1)
+	}
 }
 
 // copyChunk moves up to ctx.BatchSize() rows from a materialized slice into

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"anywheredb/internal/buffer"
+	"anywheredb/internal/flightrec"
 	"anywheredb/internal/mem"
 	"anywheredb/internal/store"
 	"anywheredb/internal/table"
@@ -39,6 +40,10 @@ type Ctx struct {
 	// delivered at the plan root (wired by core; nil in bare rigs).
 	Batches   *telemetry.Counter
 	BatchRows *telemetry.Histogram
+	// Span is the statement's flight-recorder span (wired by core; nil in
+	// bare rigs or with the recorder disabled). Operators charge produced
+	// batches and spilled bytes to it.
+	Span *flightrec.Span
 }
 
 // Interrupted reports the statement's cancellation state: context.Canceled

@@ -49,8 +49,10 @@ func (w *runWriter) addBatch(rows []Row) error {
 			return err
 		}
 	}
+	var spilled int64
 	for _, row := range rows {
 		enc := val.EncodeRow(row)
+		spilled += int64(len(enc))
 		for attempt := 0; ; attempt++ {
 			if f != nil {
 				if slot := f.Data.Insert(enc); slot >= 0 {
@@ -76,6 +78,9 @@ func (w *runWriter) addBatch(rows []Row) error {
 	}
 	if f != nil {
 		w.ctx.Pool.Unpin(f, dirty)
+	}
+	if w.ctx.Span != nil {
+		w.ctx.Span.AddSpill(spilled)
 	}
 	return nil
 }

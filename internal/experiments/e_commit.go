@@ -31,15 +31,18 @@ type commitStats struct {
 // commitThroughput runs writers concurrent connections, each committing
 // txnsPerWriter small single-row write transactions against its own key
 // range, and reports commit throughput plus the fsync amplification taken
-// from the engine's own wal.flushes counter.
-func commitThroughput(writers, txnsPerWriter int, serial bool) (*commitStats, error) {
-	dir, err := os.MkdirTemp("", "anywheredb-e20-")
+// from the engine's own wal.flushes counter. The caller's opts (minus Dir,
+// which is always a fresh temp directory) select the engine configuration
+// under test — E20 toggles SerialWALFlush, E21 DisableFlightRecorder.
+func commitThroughput(writers, txnsPerWriter int, opts core.Options) (*commitStats, error) {
+	dir, err := os.MkdirTemp("", "anywheredb-commit-")
 	if err != nil {
 		return nil, err
 	}
 	defer os.RemoveAll(dir)
+	opts.Dir = dir
 
-	db, err := core.Open(core.Options{Dir: dir, SerialWALFlush: serial})
+	db, err := core.Open(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -122,11 +125,11 @@ func E20CommitThroughput() (*Report, error) {
 
 	metrics := map[string]float64{}
 	for _, writers := range []int{1, 4, 16} {
-		serial, err := commitThroughput(writers, txnsPerWriter, true)
+		serial, err := commitThroughput(writers, txnsPerWriter, core.Options{SerialWALFlush: true})
 		if err != nil {
 			return nil, err
 		}
-		group, err := commitThroughput(writers, txnsPerWriter, false)
+		group, err := commitThroughput(writers, txnsPerWriter, core.Options{})
 		if err != nil {
 			return nil, err
 		}

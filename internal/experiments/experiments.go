@@ -7,8 +7,9 @@
 // intra-query parallelism (E12), page replacement (E13), the plan cache
 // (E14), the Index Consultant (E15), the CE-mode governor (E16), sharded
 // buffer-pool scalability (E17), vectored-executor throughput (E18),
-// crash-recovery torture under fault injection (E19), and group-commit
-// throughput vs the serial flush baseline (E20).
+// crash-recovery torture under fault injection (E19), group-commit
+// throughput vs the serial flush baseline (E20), and the always-on flight
+// recorder's overhead and fidelity (E21).
 //
 // Each experiment returns a Report: a paper-shaped table plus the key
 // metrics asserted by the benchmarks in bench_test.go and summarized in
@@ -46,6 +47,11 @@ func (r *Report) String() string {
 	if len(r.Telemetry) > 0 {
 		sb.WriteString("telemetry:\n")
 		for _, s := range r.Telemetry {
+			if s.Kind == telemetry.KindHistogram {
+				fmt.Fprintf(&sb, "  %-40s %+d (p50=%dus p95=%dus p99=%dus)\n",
+					s.Name, s.Value, s.P50, s.P95, s.P99)
+				continue
+			}
 			fmt.Fprintf(&sb, "  %-40s %+d\n", s.Name, s.Value)
 		}
 	}
@@ -73,7 +79,7 @@ func All() ([]*Report, error) {
 		E8GovernorQuota, E9HistogramFeedback, E10AdaptiveHashJoin,
 		E11LowMemory, E12Parallelism, E13Replacement, E14PlanCache,
 		E15IndexConsultant, E16CEMode, E17PoolScalability, E18ExecThroughput,
-		E19CrashRecovery, E20CommitThroughput,
+		E19CrashRecovery, E20CommitThroughput, E21ObservabilityOverhead,
 	}
 	var out []*Report
 	for _, run := range runs {
@@ -86,7 +92,7 @@ func All() ([]*Report, error) {
 	return out, nil
 }
 
-// ByID runs one experiment by id ("E1".."E20").
+// ByID runs one experiment by id ("E1".."E21").
 func ByID(id string) (*Report, error) {
 	m := map[string]func() (*Report, error){
 		"E1": E1CacheGovernor, "E2": E2DefaultDTT, "E3": E3CalibrateHDD,
@@ -96,6 +102,7 @@ func ByID(id string) (*Report, error) {
 		"E13": E13Replacement, "E14": E14PlanCache, "E15": E15IndexConsultant,
 		"E16": E16CEMode, "E17": E17PoolScalability, "E18": E18ExecThroughput,
 		"E19": E19CrashRecovery, "E20": E20CommitThroughput,
+		"E21": E21ObservabilityOverhead,
 	}
 	run, ok := m[strings.ToUpper(id)]
 	if !ok {

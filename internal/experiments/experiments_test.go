@@ -107,7 +107,7 @@ func TestExpensiveExperiments(t *testing.T) {
 	if testing.Short() {
 		t.Skip("expensive experiments: run without -short or via cmd/repro")
 	}
-	for _, id := range []string{"E1", "E5", "E6", "E8", "E12", "E14", "E15", "E17"} {
+	for _, id := range []string{"E1", "E5", "E6", "E8", "E12", "E14", "E15", "E17", "E21"} {
 		r, err := ByID(id)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
@@ -143,6 +143,14 @@ func TestExpensiveExperiments(t *testing.T) {
 			}
 			if r.Metrics["hit_heavy_seq_overhead_x"] > 1.5 {
 				t.Fatalf("E17 sequential overhead too high: %v", r.Metrics)
+			}
+		case "E21":
+			// Fidelity (digest collapse, 3-way wait attribution) is enforced
+			// inside the experiment — it errors out on failure. Here assert
+			// the collapse arithmetic: 3 passes × 300 literal-varying
+			// statements into one digest row.
+			if r.Metrics["digest_calls"] != 900 {
+				t.Fatalf("E21 digest collapse wrong: %v", r.Metrics)
 			}
 		}
 	}

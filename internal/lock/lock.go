@@ -86,6 +86,13 @@ type Manager struct {
 	// Timeout bounds lock waits; exceeded waits fail with ErrTimeout.
 	Timeout time.Duration
 
+	// waitObs, when set, is called once per Lock call that blocked at
+	// least once, with the waiting transaction and the total blocked
+	// wall-clock microseconds (reported on every exit: grant, timeout, or
+	// error). The flight recorder attributes lock waits to statement spans
+	// through this.
+	waitObs atomic.Pointer[func(txn uint64, us int64)]
+
 	acquires atomic.Uint64 // granted lock requests (including re-entrant)
 	waits    atomic.Uint64 // requests that blocked at least once
 	timeouts atomic.Uint64 // waits that expired (deadlock resolution)
@@ -99,6 +106,17 @@ func (m *Manager) AttachTelemetry(reg *telemetry.Registry) {
 	reg.GaugeFunc("lock.timeouts", func() int64 { return int64(m.timeouts.Load()) })
 	reg.GaugeFunc("lock.releases", func() int64 { return int64(m.releases.Load()) })
 	reg.GaugeFunc("lock.buckets", func() int64 { return int64(m.Buckets()) })
+}
+
+// SetWaitObserver installs (or replaces) the blocked-wait observer. f is
+// called after a Lock call that blocked returns, with the transaction id
+// and the total blocked microseconds. A nil f uninstalls.
+func (m *Manager) SetWaitObserver(f func(txn uint64, us int64)) {
+	if f == nil {
+		m.waitObs.Store(nil)
+		return
+	}
+	m.waitObs.Store(&f)
 }
 
 // NewManager creates a lock manager with a single bucket.
@@ -291,9 +309,15 @@ func (m *Manager) Lock(txn, obj uint64, key []byte, mode Mode) error {
 	deadline := time.Now().Add(m.Timeout)
 	var timer *time.Timer
 	var expired <-chan time.Time
+	var blockStart time.Time // zero until the first block
 	defer func() {
 		if timer != nil {
 			timer.Stop()
+		}
+		if !blockStart.IsZero() {
+			if f := m.waitObs.Load(); f != nil {
+				(*f)(txn, time.Since(blockStart).Microseconds())
+			}
 		}
 	}()
 	for {
@@ -342,6 +366,9 @@ func (m *Manager) Lock(txn, obj uint64, key []byte, mode Mode) error {
 			}
 			timer = newWaitTimer(remain)
 			expired = timer.C
+		}
+		if blockStart.IsZero() {
+			blockStart = time.Now()
 		}
 		m.waits.Add(1)
 		select {

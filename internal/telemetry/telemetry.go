@@ -17,6 +17,7 @@ package telemetry
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -107,6 +108,56 @@ func (h *Histogram) Buckets() [HistBuckets]uint64 {
 		out[i] = h.buckets[i].Load()
 	}
 	return out
+}
+
+// bucketBounds returns the inclusive value range [lo, hi] bucket i holds:
+// Observe places v in bucket i when 2^i <= v+1 < 2^(i+1).
+func bucketBounds(i int) (lo, hi int64) {
+	if i == 0 {
+		return 0, 0
+	}
+	return (int64(1) << i) - 1, (int64(1) << (i + 1)) - 2
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observed values
+// by linear interpolation inside the power-of-two bucket containing the
+// target rank. The estimate's error is bounded by the bucket's width
+// (under 2x relative), which is enough for p50/p95/p99 health signals; an
+// empty histogram reports 0.
+func (h *Histogram) Quantile(q float64) int64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	b := h.Buckets()
+	var total uint64
+	for _, n := range b {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	if target < 1 {
+		target = 1 // rank of the first observation
+	}
+	var cum float64
+	for i, n := range b {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if next >= target {
+			lo, hi := bucketBounds(i)
+			frac := (target - cum) / float64(n)
+			return lo + int64(frac*float64(hi-lo)+0.5)
+		}
+		cum = next
+	}
+	_, hi := bucketBounds(HistBuckets - 1)
+	return hi
 }
 
 // metric is one registry entry.
@@ -204,23 +255,75 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// RegisterHistogram publishes an externally-owned histogram under name.
+// Components that embed their histograms (the flight recorder's wait
+// events) publish through this so the registry never double-counts.
+// Re-registering replaces the histogram (last writer wins), mirroring
+// GaugeFunc's rebind semantics.
+func (r *Registry) RegisterHistogram(name string, h *Histogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok && m.h == nil {
+		panic(fmt.Sprintf("telemetry: %q already registered as %s", name, m.kind))
+	}
+	r.metrics[name] = &metric{name: name, kind: KindHistogram, h: h}
+}
+
 // Value returns the current value of the named metric (a histogram reports
 // its observation count). The bool is false if the name is unknown.
+//
+// Histogram statistics are addressable by suffix: for a registered
+// histogram "exec.statement_us", the names "exec.statement_us.p50",
+// ".p95", ".p99", ".mean", ".count" and ".sum" resolve to the estimated
+// quantiles and moments — this is what PROPERTY('<hist>.p99') reads.
 func (r *Registry) Value(name string) (int64, bool) {
 	r.mu.RLock()
 	m, ok := r.metrics[name]
 	r.mu.RUnlock()
-	if !ok {
+	if ok {
+		return m.value(), true
+	}
+	i := strings.LastIndexByte(name, '.')
+	if i <= 0 {
 		return 0, false
 	}
-	return m.value(), true
+	base, suffix := name[:i], name[i+1:]
+	r.mu.RLock()
+	bm, ok := r.metrics[base]
+	r.mu.RUnlock()
+	if !ok || bm.h == nil {
+		return 0, false
+	}
+	switch suffix {
+	case "p50":
+		return bm.h.Quantile(0.50), true
+	case "p95":
+		return bm.h.Quantile(0.95), true
+	case "p99":
+		return bm.h.Quantile(0.99), true
+	case "mean":
+		if c := bm.h.Count(); c > 0 {
+			return int64(bm.h.Sum() / c), true
+		}
+		return 0, true
+	case "count":
+		return int64(bm.h.Count()), true
+	case "sum":
+		return int64(bm.h.Sum()), true
+	}
+	return 0, false
 }
 
-// Sample is one (name, kind, value) triple from a snapshot.
+// Sample is one (name, kind, value) triple from a snapshot. Histogram
+// samples additionally carry estimated latency quantiles (the value stays
+// the observation count, so deltas remain meaningful).
 type Sample struct {
 	Name  string
 	Kind  Kind
 	Value int64
+	// P50, P95, P99 are quantile estimates for histogram samples (zero
+	// for counters and gauges).
+	P50, P95, P99 int64
 }
 
 // Snapshot returns all metrics sorted by name. Values are read atomically
@@ -230,7 +333,13 @@ func (r *Registry) Snapshot() []Sample {
 	r.mu.RLock()
 	out := make([]Sample, 0, len(r.metrics))
 	for _, m := range r.metrics {
-		out = append(out, Sample{Name: m.name, Kind: m.kind, Value: m.value()})
+		s := Sample{Name: m.name, Kind: m.kind, Value: m.value()}
+		if m.h != nil {
+			s.P50 = m.h.Quantile(0.50)
+			s.P95 = m.h.Quantile(0.95)
+			s.P99 = m.h.Quantile(0.99)
+		}
+		out = append(out, s)
 	}
 	r.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
@@ -254,7 +363,10 @@ func Delta(before, after []Sample) []Sample {
 	var out []Sample
 	for _, s := range after {
 		if d := s.Value - prev[s.Name]; d != 0 {
-			out = append(out, Sample{Name: s.Name, Kind: s.Kind, Value: d})
+			// Quantiles are not subtractable; carry the after-side estimates
+			// so digest printers can show p50/p95/p99 beside the count delta.
+			out = append(out, Sample{Name: s.Name, Kind: s.Kind, Value: d,
+				P50: s.P50, P95: s.P95, P99: s.P99})
 		}
 	}
 	return out

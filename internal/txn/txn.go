@@ -6,6 +6,8 @@ package txn
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"anywheredb/internal/faultinject"
 	"anywheredb/internal/lock"
@@ -24,6 +26,35 @@ type Manager struct {
 	mu     sync.Mutex
 	next   uint64
 	active map[uint64]*Txn
+
+	// commitWaitObs, when set, is called with the transaction id and the
+	// wall-clock microseconds Commit/Rollback spent blocked in the WAL
+	// flush. The id lets the flight recorder attribute the wait to the
+	// statement span bound to the transaction.
+	commitWaitObs atomic.Pointer[func(txnID uint64, us int64)]
+}
+
+// SetCommitWaitObserver installs (or replaces) the commit durability-wait
+// observer. A nil f uninstalls.
+func (m *Manager) SetCommitWaitObserver(f func(txnID uint64, us int64)) {
+	if f == nil {
+		m.commitWaitObs.Store(nil)
+		return
+	}
+	m.commitWaitObs.Store(&f)
+}
+
+// flushTo is the FlushTo wait path for one transaction, timed for the
+// commit-wait observer.
+func (m *Manager) flushTo(id uint64, lsn wal.LSN) error {
+	f := m.commitWaitObs.Load()
+	if f == nil {
+		return m.log.FlushTo(lsn)
+	}
+	start := time.Now()
+	err := m.log.FlushTo(lsn)
+	(*f)(id, time.Since(start).Microseconds())
+	return err
 }
 
 // NewManager builds a transaction manager. locks may be nil for a
@@ -131,7 +162,7 @@ func (t *Txn) Commit() error {
 		return err
 	}
 	lsn := t.m.log.Append(&wal.Record{Type: wal.RecCommit, Txn: t.id})
-	if err := t.m.log.FlushTo(lsn); err != nil {
+	if err := t.m.flushTo(t.id, lsn); err != nil {
 		t.compensate()
 		t.finish()
 		return err
@@ -172,7 +203,7 @@ func (t *Txn) Rollback() error {
 		}
 	}
 	lsn := t.m.log.Append(&wal.Record{Type: wal.RecRollback, Txn: t.id})
-	if err := t.m.log.FlushTo(lsn); err != nil && firstErr == nil {
+	if err := t.m.flushTo(t.id, lsn); err != nil && firstErr == nil {
 		firstErr = err
 	}
 	t.finish()

@@ -146,6 +146,23 @@ type Log struct {
 	// retired; bound at AttachTelemetry time (observations before that are
 	// dropped, which only affects pre-registry startup flushes).
 	commitsPerFlush atomic.Pointer[telemetry.Histogram]
+
+	// flushWaitObs, when set, is called once per FlushTo call that blocked
+	// for durability — a follower's group wait or the leader's own
+	// write+fsync — with the blocked wall-clock microseconds. The fast path
+	// (tail already covers lsn) reports nothing. Feeds the flight
+	// recorder's "wal.flush" wait event.
+	flushWaitObs atomic.Pointer[func(us int64)]
+}
+
+// SetFlushWaitObserver installs (or replaces) the durability-wait
+// observer. A nil f uninstalls.
+func (l *Log) SetFlushWaitObserver(f func(us int64)) {
+	if f == nil {
+		l.flushWaitObs.Store(nil)
+		return
+	}
+	l.flushWaitObs.Store(&f)
 }
 
 // SetInjector installs fault interception and transient-retry handling for
@@ -321,12 +338,27 @@ func (l *Log) Flush() error {
 // may land a torn prefix, which the recovery Scan drops at the first
 // incomplete frame.
 func (l *Log) FlushTo(lsn LSN) error {
+	// blocked marks that this call waited for durability (follower wait or
+	// leader write+fsync); the deferred observer reports the blocked time
+	// once per call. The fast path below never sets it.
+	var blockStart time.Time
+	blocked := false
+	defer func() {
+		if blocked {
+			if f := l.flushWaitObs.Load(); f != nil {
+				(*f)(time.Since(blockStart).Microseconds())
+			}
+		}
+	}()
 	l.mu.Lock()
 	if lsn > l.end {
 		lsn = l.end
 	}
 	if l.opts.SerialFlush {
 		defer l.mu.Unlock()
+		if len(l.buffer) > 0 {
+			blockStart, blocked = time.Now(), true
+		}
 		return l.flushSerialLocked()
 	}
 	for {
@@ -337,6 +369,9 @@ func (l *Log) FlushTo(lsn LSN) error {
 		g := l.inflight
 		if g == nil {
 			break // become the leader
+		}
+		if !blocked {
+			blockStart, blocked = time.Now(), true
 		}
 		if !g.sealed || g.end >= lsn {
 			// Follower: an unsealed group will seal everything appended so
@@ -374,6 +409,9 @@ func (l *Log) FlushTo(lsn LSN) error {
 
 	var err error
 	if len(sealed) > 0 {
+		if !blocked {
+			blockStart, blocked = time.Now(), true
+		}
 		err = faultinject.Retry(l.pol, l.stats, func() error {
 			return l.flushOnce(base, sealed)
 		})

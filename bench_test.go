@@ -64,6 +64,12 @@ func BenchmarkE20CommitThroughput(b *testing.B) { runExp(b, "E20") }
 // (scan_overhead_pct / commit_overhead_pct; budget ≤5%).
 func BenchmarkE21ObservabilityOverhead(b *testing.B) { runExp(b, "E21") }
 
+// BenchmarkE22ColumnarScan reports the 10M-row scan+filter comparison of
+// columnar segments (with and without zone-map skipping) against the row
+// heap, plus the differential bit-identity verdict
+// (speedup_zone / speedup_decode / skip_frac / differential_ok).
+func BenchmarkE22ColumnarScan(b *testing.B) { runExp(b, "E22") }
+
 // --- Micro-benchmarks over the public API ---------------------------------
 
 func benchDB(b *testing.B) (*DB, *Conn) {

@@ -1,10 +1,13 @@
 // Command repro regenerates every table and figure of the paper's
-// evaluation (experiments E1–E21; see DESIGN.md for the index).
+// evaluation (see DESIGN.md for the index). The experiment set is the
+// registry in internal/experiments — this command derives its range from
+// it rather than hardcoding ids.
 //
 // Usage:
 //
 //	repro           # run everything
 //	repro -exp E5   # run one experiment
+//	repro -list     # list registered experiments
 package main
 
 import (
@@ -16,9 +19,16 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (E1..E21); empty = all")
+	exp := flag.String("exp", "", fmt.Sprintf("experiment id (%s); empty = all", experiments.IDRange()))
+	list := flag.Bool("list", false, "list registered experiments and exit")
 	flag.Parse()
 
+	if *list {
+		for _, e := range experiments.Registry {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
 	if *exp != "" {
 		r, err := experiments.ByID(*exp)
 		if err != nil {

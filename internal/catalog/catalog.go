@@ -31,6 +31,14 @@ type IndexMeta struct {
 	Root   store.PageID
 }
 
+// Storage formats for a table's scan-acceleration layout. The row heap is
+// always present and always authoritative; StorageColumnar additionally
+// maintains sealed column segments (see internal/colseg).
+const (
+	StorageRow      = ""         // default: heap only
+	StorageColumnar = "columnar" // heap + sealed column segments
+)
+
 // TableMeta describes one table, including its persisted statistics.
 type TableMeta struct {
 	ID      uint64
@@ -40,6 +48,14 @@ type TableMeta struct {
 	Indexes []IndexMeta
 	// Hists holds each column's encoded histogram (may be nil).
 	Hists [][]byte
+	// Storage is the table's layout (StorageRow or StorageColumnar).
+	Storage string
+	// SegHead is the first page of the serialized segment blob chain when
+	// Storage is columnar; 0 means segments exist only in memory.
+	SegHead store.PageID
+	// SegDeltaStart is the first heap page NOT covered by the sealed
+	// segments — the head of the delta tail scanned alongside them.
+	SegDeltaStart store.PageID
 }
 
 // state is the serialized catalog image.

@@ -1,0 +1,278 @@
+package colseg
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"anywheredb/internal/val"
+)
+
+// decode materializes a single-column chunk back into values.
+func decodeChunk(c *Chunk) []val.Value {
+	out := make([]val.Value, c.N)
+	c.decodeInto(out, 1)
+	return out
+}
+
+// canon maps a value to its observable form: decoding never distinguishes
+// NULLs of different origin.
+func canon(v val.Value) val.Value {
+	if v.Kind == val.KNull {
+		return val.Value{}
+	}
+	return v
+}
+
+func checkRoundTrip(t *testing.T, kind val.Kind, vals []val.Value) {
+	t.Helper()
+	c := encodeChunk(kind, vals)
+	got := decodeChunk(&c)
+	if len(got) != len(vals) {
+		t.Fatalf("enc=%v: %d rows in, %d out", c.Enc, len(vals), len(got))
+	}
+	for i := range vals {
+		if !valEq(canon(vals[i]), canon(got[i])) {
+			t.Fatalf("enc=%v row %d: want %v, got %v", c.Enc, i, vals[i], got[i])
+		}
+	}
+	// The blob round trip must preserve the decoded values too.
+	seg := &Segment{NumRows: len(vals), Cols: []Chunk{c}}
+	segs, err := DecodeSegments(EncodeSegments([]*Segment{seg}))
+	if err != nil {
+		t.Fatalf("enc=%v: blob round trip: %v", c.Enc, err)
+	}
+	if len(segs) != 1 || segs[0].NumRows != len(vals) {
+		t.Fatalf("enc=%v: blob shape wrong", c.Enc)
+	}
+	got2 := decodeChunk(&segs[0].Cols[0])
+	for i := range vals {
+		if !valEq(canon(vals[i]), canon(got2[i])) {
+			t.Fatalf("enc=%v row %d after blob: want %v, got %v", c.Enc, i, vals[i], got2[i])
+		}
+	}
+	// Zone-map soundness: a skipped segment must contain no matching row.
+	for _, op := range []string{"=", "<>", "<", "<=", ">", ">="} {
+		for _, k := range append([]val.Value{{Kind: val.KInt, I: 0}, {Kind: val.KStr, S: "m"}, {}}, vals...) {
+			if seg.MayMatch(0, op, k) {
+				continue
+			}
+			for i, v := range vals {
+				if v.Kind == val.KNull || k.Kind == val.KNull {
+					continue
+				}
+				n := val.Compare(v, k)
+				var match bool
+				switch op {
+				case "=":
+					match = n == 0
+				case "<>":
+					match = n != 0
+				case "<":
+					match = n < 0
+				case "<=":
+					match = n <= 0
+				case ">":
+					match = n > 0
+				case ">=":
+					match = n >= 0
+				}
+				if match {
+					t.Fatalf("enc=%v: zone map skipped segment but row %d (%v) matches %s %v", c.Enc, i, v, op, k)
+				}
+			}
+		}
+	}
+}
+
+// genInts drives the int codecs through their selection logic: runs force
+// RLE, narrow ranges force bit-packing, wide ranges force raw.
+func genInts(r *rand.Rand, n int) []val.Value {
+	out := make([]val.Value, 0, n)
+	style := r.Intn(4)
+	for len(out) < n {
+		var v val.Value
+		switch style {
+		case 0: // narrow domain → bitpack
+			v = val.Value{Kind: val.KInt, I: int64(r.Intn(50))}
+		case 1: // wide domain → raw
+			v = val.Value{Kind: val.KInt, I: r.Int63() - r.Int63()}
+		case 2: // runs → RLE
+			v = val.Value{Kind: val.KInt, I: int64(r.Intn(3))}
+			run := 1 + r.Intn(16)
+			for j := 0; j < run && len(out) < n; j++ {
+				out = append(out, v)
+			}
+			continue
+		default: // sprinkle NULLs
+			if r.Intn(3) == 0 {
+				v = val.Value{}
+			} else {
+				v = val.Value{Kind: val.KInt, I: int64(r.Intn(1000) - 500)}
+			}
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func genStrs(r *rand.Rand, n int) []val.Value {
+	out := make([]val.Value, 0, n)
+	style := r.Intn(3)
+	for len(out) < n {
+		switch style {
+		case 0: // low cardinality → dict
+			out = append(out, val.Value{Kind: val.KStr, S: []string{"red", "green", "blue", "cyan"}[r.Intn(4)]})
+		case 1: // high cardinality → raw
+			out = append(out, val.Value{Kind: val.KStr, S: strings.Repeat("x", r.Intn(5)) + string(rune('a'+r.Intn(26))) + string(rune('0'+r.Intn(10)))})
+		default:
+			if r.Intn(4) == 0 {
+				out = append(out, val.Value{})
+			} else {
+				out = append(out, val.Value{Kind: val.KStr, S: string(rune('a' + r.Intn(26)))})
+			}
+		}
+	}
+	return out
+}
+
+func TestCodecRoundTripQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(func(seed int64, ln uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(ln % 600)
+		checkRoundTrip(t, val.KInt, genInts(r, n))
+		checkRoundTrip(t, val.KStr, genStrs(r, n))
+		fl := make([]val.Value, n)
+		for i := range fl {
+			if r.Intn(5) == 0 {
+				fl[i] = val.Value{}
+			} else {
+				fl[i] = val.Value{Kind: val.KDouble, F: r.NormFloat64()}
+			}
+		}
+		checkRoundTrip(t, val.KDouble, fl)
+		return true
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecEdgeCases(t *testing.T) {
+	// Empty input.
+	checkRoundTrip(t, val.KInt, nil)
+	// Single value.
+	checkRoundTrip(t, val.KInt, []val.Value{{Kind: val.KInt, I: -7}})
+	checkRoundTrip(t, val.KStr, []val.Value{{Kind: val.KStr, S: ""}})
+	// All NULL (RLE null run).
+	all := make([]val.Value, 300)
+	checkRoundTrip(t, val.KStr, all)
+	checkRoundTrip(t, val.KInt, all)
+	// Max dictionary cardinality: exactly 256 distinct strings dict-encodes,
+	// 257 falls back to raw.
+	card := func(n int) []val.Value {
+		vs := make([]val.Value, 2*n)
+		for i := range vs {
+			vs[i] = val.Value{Kind: val.KStr, S: "k" + string(rune(i%n))}
+		}
+		return vs
+	}
+	c := encodeChunk(val.KStr, card(dictMaxCard))
+	if c.Enc != EncDict {
+		t.Fatalf("256-cardinality column should dict-encode, got %v", c.Enc)
+	}
+	checkRoundTrip(t, val.KStr, card(dictMaxCard))
+	c = encodeChunk(val.KStr, card(dictMaxCard+1))
+	if c.Enc == EncDict {
+		t.Fatal("257-cardinality column must not dict-encode")
+	}
+	checkRoundTrip(t, val.KStr, card(dictMaxCard+1))
+	// Extreme int range must survive (raw fallback, no packing overflow).
+	checkRoundTrip(t, val.KInt, []val.Value{
+		{Kind: val.KInt, I: -1 << 62}, {Kind: val.KInt, I: 1<<62 - 1}, {},
+	})
+	// Bit-pack boundary straddling words: width that does not divide 64.
+	vs := make([]val.Value, 500)
+	for i := range vs {
+		vs[i] = val.Value{Kind: val.KInt, I: int64(1000 + (i*7919)%5000)}
+	}
+	c = encodeChunk(val.KInt, vs)
+	if c.Enc != EncBitPack {
+		t.Fatalf("narrow ints should bit-pack, got %v", c.Enc)
+	}
+	checkRoundTrip(t, val.KInt, vs)
+}
+
+func TestBuilderSegmentation(t *testing.T) {
+	b := NewBuilder([]val.Kind{val.KInt, val.KStr}, 100)
+	for i := 0; i < 250; i++ {
+		b.Add([]val.Value{{Kind: val.KInt, I: int64(i)}, {Kind: val.KStr, S: "v"}})
+	}
+	segs := b.Finish()
+	if len(segs) != 3 || segs[0].NumRows != 100 || segs[2].NumRows != 50 {
+		t.Fatalf("unexpected segmentation: %d segs", len(segs))
+	}
+	// Zone maps must be tight per segment: segment 1 covers [100,199].
+	s := segs[1]
+	if !s.Cols[0].HasZone || s.Cols[0].Min.I != 100 || s.Cols[0].Max.I != 199 {
+		t.Fatalf("zone map wrong: %+v", s.Cols[0])
+	}
+	if s.MayMatch(0, "=", val.Value{Kind: val.KInt, I: 42}) {
+		t.Fatal("segment 1 should be skippable for =42")
+	}
+	if !s.MayMatch(0, "=", val.Value{Kind: val.KInt, I: 150}) {
+		t.Fatal("segment 1 must not be skipped for =150")
+	}
+	// Flat decode reassembles rows in order.
+	flat := make([]val.Value, s.NumRows*2)
+	s.DecodeInto(flat)
+	if flat[0].I != 100 || flat[2].I != 101 || flat[1].S != "v" {
+		t.Fatalf("flat decode wrong: %v", flat[:4])
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	b := NewBuilder([]val.Kind{val.KInt}, 0)
+	for i := 0; i < 1000; i++ {
+		b.Add([]val.Value{{Kind: val.KInt, I: int64(i % 97)}})
+	}
+	blob := EncodeSegments(b.Finish())
+	if _, err := DecodeSegments(blob); err != nil {
+		t.Fatalf("clean blob rejected: %v", err)
+	}
+	for _, cut := range []int{1, len(blob) / 2, len(blob) - 1} {
+		if _, err := DecodeSegments(blob[:cut]); err == nil {
+			t.Fatalf("truncated blob (at %d) accepted", cut)
+		}
+	}
+	flipped := append([]byte(nil), blob...)
+	flipped[len(flipped)/3] ^= 0x40
+	if _, err := DecodeSegments(flipped); err == nil {
+		t.Fatal("bit-flipped blob accepted")
+	}
+	if _, err := DecodeSegments(nil); err == nil {
+		t.Fatal("empty blob accepted")
+	}
+}
+
+func TestEncodingSelection(t *testing.T) {
+	runs := make([]val.Value, 400)
+	for i := range runs {
+		runs[i] = val.Value{Kind: val.KStr, S: []string{"a", "b"}[i/200]}
+	}
+	if c := encodeChunk(val.KStr, runs); c.Enc != EncRLE {
+		t.Fatalf("long runs should RLE, got %v", c.Enc)
+	}
+	wide := make([]val.Value, 400)
+	for i := range wide {
+		wide[i] = val.Value{Kind: val.KInt, I: int64(i) * (1 << 41)}
+	}
+	if c := encodeChunk(val.KInt, wide); c.Enc != EncRaw {
+		t.Fatalf("wide ints should stay raw, got %v", c.Enc)
+	}
+	if !reflect.DeepEqual(decodeChunk(&Chunk{Kind: val.KInt, Enc: EncRaw, Vals: []val.Value{}}), []val.Value{}) {
+		t.Fatal("empty raw chunk decode")
+	}
+}

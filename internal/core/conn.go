@@ -122,6 +122,10 @@ func (c *Conn) execCtx(task interface {
 		Batches:        c.db.batches,
 		BatchRows:      c.db.batchRows,
 		Span:           c.curSpan,
+
+		ColSegSkipped:    c.db.colSkipped,
+		ColSegDecodeRows: c.db.colDecoded,
+		ScanObs:          c.db.noteScan,
 	}
 	return ctx
 }
@@ -243,7 +247,8 @@ func (c *Conn) run(ctx context.Context, sql string, params []val.Value, wantRows
 		switch stmt.(type) {
 		case *sqlparse.Begin, *sqlparse.CreateTable, *sqlparse.CreateIndex,
 			*sqlparse.DropTable, *sqlparse.LoadTable, *sqlparse.Insert,
-			*sqlparse.Update, *sqlparse.Delete, *sqlparse.Calibrate:
+			*sqlparse.Update, *sqlparse.Delete, *sqlparse.Calibrate,
+			*sqlparse.AlterTableStore:
 			return Result{}, nil, ErrReadOnly
 		}
 	}
@@ -291,6 +296,8 @@ func (c *Conn) run(ctx context.Context, sql string, params []val.Value, wantRows
 		err = c.calibrate()
 	case *sqlparse.LoadTable:
 		res, err = c.loadTable(s)
+	case *sqlparse.AlterTableStore:
+		err = c.alterTableStore(s)
 	case *sqlparse.Insert:
 		res, err = c.execInsert(s, params)
 	case *sqlparse.Update:
@@ -399,9 +406,55 @@ func (c *Conn) createTable(s *sqlparse.CreateTable) error {
 	if err != nil {
 		return err
 	}
+	tbl.OnColsegDrop = func() {
+		if db.colInvalid != nil {
+			db.colInvalid.Inc()
+		}
+	}
 	db.tables[s.Name] = tbl
 	db.cat.PutTable(&catalog.TableMeta{ID: id, Name: s.Name, Columns: metaCols, First: tbl.FirstPage()})
 	return db.cat.Save()
+}
+
+// alterTableStore switches a table's physical layout: STORE COLUMNAR
+// builds (and persists) a segment snapshot, STORE ROW drops it. Either way
+// the heap stays authoritative; a checkpoint makes the catalog pointer
+// durable so the snapshot survives restart.
+func (c *Conn) alterTableStore(s *sqlparse.AlterTableStore) error {
+	tbl, ok := c.db.Table(s.Table)
+	if !ok {
+		return fmt.Errorf("core: table %q not found", s.Table)
+	}
+	if !s.Columnar {
+		tx, done := c.autoTxn()
+		tbl.DropColumnar(tx)
+		if err := done(nil); err != nil {
+			return err
+		}
+		return c.db.Checkpoint()
+	}
+	return c.storeColumnar(tbl)
+}
+
+// storeColumnar runs one columnar build for ALTER / LOAD ... STORE
+// COLUMNAR. The crashpoint sits between the committed build and the
+// checkpoint that publishes it: a crash there must leave the table fully
+// readable from the row heap (the torture suite schedules exactly that).
+func (c *Conn) storeColumnar(tbl *table.Table) error {
+	tx, done := c.autoTxn()
+	// Re-ALTER of an already-columnar table: reclaim the old persisted
+	// chain first, or it would leak when the new snapshot replaces it.
+	tbl.DropColumnar(tx)
+	_, err := tbl.BuildColumnar(tx, true)
+	if err := done(err); err != nil {
+		return err
+	}
+	if inj := c.db.inj; inj != nil {
+		if err := inj.Crashpoint("colseg.build"); err != nil {
+			return err
+		}
+	}
+	return c.db.Checkpoint()
 }
 
 func (c *Conn) createIndex(s *sqlparse.CreateIndex) error {
@@ -503,7 +556,15 @@ func (c *Conn) loadTable(s *sqlparse.LoadTable) (Result, error) {
 		return Result{}, err
 	}
 	c.db.cacheG.NoteDBGrowth()
-	return Result{RowsAffected: n}, tbl.RebuildStatistics()
+	if err := tbl.RebuildStatistics(); err != nil {
+		return Result{}, err
+	}
+	if s.StoreColumnar {
+		if err := c.storeColumnar(tbl); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{RowsAffected: n}, nil
 }
 
 func parseCell(s string, k val.Kind) val.Value {

@@ -115,6 +115,18 @@ type Options struct {
 	// redo/undo and verifies the replay was idempotent (the logical page
 	// content must not change). Torture tests run with this on.
 	ParanoidRecovery bool
+
+	// ReorgInterval enables the background storage reorganizer: every
+	// interval it inspects the flight recorder's per-table access digests
+	// and promotes scan-heavy, write-light tables to columnar storage.
+	// 0 disables the loop; ReorgOnce still works for explicit passes.
+	ReorgInterval time.Duration
+	// ReorgMinRows is the smallest table the reorganizer will promote
+	// (default 1024 — below that the heap scan is already cheap).
+	ReorgMinRows int
+	// ReorgScanWriteRatio is the scans-per-write threshold for promotion
+	// (default 8). A table must also have been scanned at least once.
+	ReorgScanWriteRatio float64
 }
 
 func (o *Options) fill() {
@@ -141,6 +153,12 @@ func (o *Options) fill() {
 	}
 	if o.RetryPolicy.MaxAttempts == 0 {
 		o.RetryPolicy = faultinject.DefaultRetryPolicy()
+	}
+	if o.ReorgMinRows <= 0 {
+		o.ReorgMinRows = 1024
+	}
+	if o.ReorgScanWriteRatio <= 0 {
+		o.ReorgScanWriteRatio = 8
 	}
 }
 
@@ -190,6 +208,22 @@ type DB struct {
 	pcTrainings *telemetry.Counter
 	pcVerifies  *telemetry.Counter
 	pcInvalid   *telemetry.Counter
+
+	// Columnar-storage counters and the reorganizer's stop plumbing.
+	colSkipped    *telemetry.Counter
+	colDecoded    *telemetry.Counter
+	colPromotions *telemetry.Counter
+	colInvalid    *telemetry.Counter
+	reorgStop     chan struct{}
+	reorgDone     chan struct{}
+	reorgHalt     sync.Once
+
+	// colsegDrops carries table IDs whose columnar snapshot recovery
+	// invalidated (RecColSegDrop records, plus any table with loser
+	// records — belt and braces) from recover(), which runs before the
+	// catalog exists, to the attach loop, which clears the stale catalog
+	// pointers.
+	colsegDrops map[uint64]bool
 
 	// mu guards the table map, connection count, and shutdown latch. The
 	// statement hot path takes it only in read mode (name resolution) —
@@ -305,8 +339,17 @@ func Open(opts Options) (*DB, error) {
 	// Attach tables from the catalog and recover statistics. Recovery has
 	// already run: the page chains Attach walks reflect every replayed
 	// RecPageLink, and torn pages were restored from their logged images.
+	// Columnar snapshots that replay invalidated are dropped from the
+	// catalog before attach, so a table never comes up with segments its
+	// heap has since diverged from.
 	for _, name := range db.cat.TableNames() {
 		tm, _ := db.cat.GetTable(name)
+		if tm.Storage == catalog.StorageColumnar && db.colsegDrops[tm.ID] {
+			tm.Storage = catalog.StorageRow
+			tm.SegHead = 0
+			tm.SegDeltaStart = 0
+			db.cat.PutTable(tm)
+		}
 		if err := db.attachTable(tm); err != nil {
 			return failOpen(err)
 		}
@@ -435,7 +478,112 @@ func Open(opts Options) (*DB, error) {
 	db.pcTrainings = db.reg.Counter("opt.plancache.trainings")
 	db.pcVerifies = db.reg.Counter("opt.plancache.verifications")
 	db.pcInvalid = db.reg.Counter("opt.plancache.invalidations")
+	db.colSkipped = db.reg.Counter("colseg.segments_skipped")
+	db.colDecoded = db.reg.Counter("colseg.decode_rows")
+	db.colPromotions = db.reg.Counter("colseg.reorg_promotions")
+	db.colInvalid = db.reg.Counter("colseg.invalidations")
+	db.reg.GaugeFunc("colseg.segments", func() int64 {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		var n int64
+		for _, t := range db.tables {
+			n += int64(t.SegmentCount())
+		}
+		return n
+	})
+
+	if opts.ReorgInterval > 0 {
+		db.reorgStop = make(chan struct{})
+		db.reorgDone = make(chan struct{})
+		go db.reorgLoop(opts.ReorgInterval)
+	}
 	return db, nil
+}
+
+// reorgLoop is the background storage reorganizer: a periodic pass over
+// the flight recorder's access digests (§1's workload-driven physical
+// design, applied to storage format).
+func (db *DB) reorgLoop(every time.Duration) {
+	defer close(db.reorgDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-db.reorgStop:
+			return
+		case <-t.C:
+			db.ReorgOnce()
+		}
+	}
+}
+
+// stopReorg halts the background reorganizer and waits for an in-flight
+// pass to finish, so shutdown never races a promotion's checkpoint.
+func (db *DB) stopReorg() {
+	db.reorgHalt.Do(func() {
+		if db.reorgStop != nil {
+			close(db.reorgStop)
+			<-db.reorgDone
+		}
+	})
+}
+
+// ReorgOnce runs one storage-reorganizer pass and reports how many tables
+// were promoted to columnar storage. A table is promoted when the observed
+// workload is scan-heavy (scans/writes ≥ ReorgScanWriteRatio, at least one
+// scan) and the table is big enough to matter; the access digests are
+// reset after a promotion so later ratios reflect the new workload phase.
+func (db *DB) ReorgOnce() int {
+	if db.degraded.Load() || db.Closed() {
+		return 0
+	}
+	promoted := 0
+	for _, st := range db.flight.Access().Snapshot() {
+		db.mu.RLock()
+		tbl := db.tables[st.Table]
+		db.mu.RUnlock()
+		if tbl == nil || tbl.SegmentCount() > 0 {
+			continue
+		}
+		if tbl.RowCount() < int64(db.opts.ReorgMinRows) || st.Scans == 0 {
+			continue
+		}
+		writes := st.Writes
+		if writes == 0 {
+			writes = 1
+		}
+		if float64(st.Scans)/float64(writes) < db.opts.ReorgScanWriteRatio {
+			continue
+		}
+		if err := db.promoteColumnar(tbl); err != nil {
+			continue // racing writer or I/O trouble; retry next pass
+		}
+		promoted++
+		db.colPromotions.Inc()
+	}
+	if promoted > 0 {
+		db.flight.Access().Reset()
+	}
+	return promoted
+}
+
+// promoteColumnar builds, persists, and checkpoints a columnar snapshot
+// for one table under a fresh transaction.
+func (db *DB) promoteColumnar(tbl *table.Table) error {
+	tx := db.txns.Begin()
+	if _, err := tbl.BuildColumnar(tx, true); err != nil {
+		tx.Rollback()
+		return err
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	return db.Checkpoint()
+}
+
+// noteScan feeds executor scan feedback into the per-table access digests.
+func (db *DB) noteScan(name string, rows int64) {
+	db.flight.Access().NoteScan(name, rows)
 }
 
 // Telemetry exposes the engine-wide metrics registry.
@@ -451,6 +599,8 @@ func (db *DB) FlightRecorder() *flightrec.Collector { return db.flight }
 //	sys.statements        — the workload digest table (per-fingerprint stats)
 //	sys.waits             — the wait-event registry (count, time, quantiles)
 //	sys.recent_statements — the flight-recorder ring of recent spans
+//	sys.tables            — per-table storage state (format, segments,
+//	                        residency) and observed access pattern
 func (db *DB) VirtualRows(name string) ([]table.Column, []exec.Row, bool) {
 	switch name {
 	case "sys.properties":
@@ -549,6 +699,42 @@ func (db *DB) VirtualRows(name string) ([]table.Column, []exec.Row, bool) {
 			}
 		}
 		return cols, rows, true
+	case "sys.tables":
+		cols := []table.Column{
+			{Name: "name", Kind: val.KStr},
+			{Name: "storage", Kind: val.KStr},
+			{Name: "rows", Kind: val.KInt},
+			{Name: "pages", Kind: val.KInt},
+			{Name: "segments", Kind: val.KInt},
+			{Name: "resident", Kind: val.KDouble},
+			{Name: "scans", Kind: val.KInt},
+			{Name: "writes", Kind: val.KInt},
+		}
+		db.mu.RLock()
+		names := make([]string, 0, len(db.tables))
+		for n := range db.tables {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		rows := make([]exec.Row, 0, len(names))
+		acc := db.flight.Access()
+		for _, n := range names {
+			tbl := db.tables[n]
+			storage := "row"
+			segs := tbl.SegmentCount()
+			if segs > 0 {
+				storage = catalog.StorageColumnar
+			}
+			st, _ := acc.Get(n)
+			rows = append(rows, exec.Row{
+				val.NewStr(n), val.NewStr(storage),
+				val.NewInt(tbl.RowCount()), val.NewInt(int64(tbl.PageCount())),
+				val.NewInt(int64(segs)), val.NewDouble(tbl.ResidentFraction()),
+				val.NewInt(st.Scans), val.NewInt(st.Writes),
+			})
+		}
+		db.mu.RUnlock()
+		return cols, rows, true
 	}
 	return nil, nil, false
 }
@@ -582,6 +768,22 @@ func (db *DB) attachTable(tm *catalog.TableMeta) error {
 			ID: im.ID, Name: im.Name, Cols: im.Cols, Unique: im.Unique, Tree: tree,
 		})
 	}
+	tbl.OnColsegDrop = func() {
+		if db.colInvalid != nil {
+			db.colInvalid.Inc()
+		}
+	}
+	if tm.Storage == catalog.StorageColumnar && tm.SegHead != 0 {
+		// Restore the persisted segment snapshot; any validation failure
+		// (bad CRC, broken chain, stale boundary) silently degrades to
+		// row storage — the heap is authoritative.
+		if err := tbl.AttachColumnar(tm.SegHead, tm.SegDeltaStart); err != nil {
+			tm.Storage = catalog.StorageRow
+			tm.SegHead = 0
+			tm.SegDeltaStart = 0
+			db.cat.PutTable(tm)
+		}
+	}
 	db.tables[tm.Name] = tbl
 	return nil
 }
@@ -593,6 +795,17 @@ func (db *DB) recover() (bool, error) {
 	plan, err := db.log.Analyze()
 	if err != nil {
 		return false, err
+	}
+	// Remember which tables' columnar snapshots the log invalidated — the
+	// logged drops, plus every table with loser records (an aborted insert
+	// could have been baked into a snapshot built before the rollback).
+	// The catalog does not exist yet; the attach loop applies these.
+	db.colsegDrops = map[uint64]bool{}
+	for id := range plan.ColSegDrops {
+		db.colsegDrops[id] = true
+	}
+	for _, r := range plan.Undo {
+		db.colsegDrops[r.Table] = true
 	}
 	if len(plan.Links)+len(plan.Redo)+len(plan.Undo)+len(plan.Images) == 0 {
 		return false, nil
@@ -942,6 +1155,18 @@ func (db *DB) Checkpoint() error {
 			}
 		}
 		tm.First = tbl.FirstPage()
+		// Columnar snapshot pointers follow the live state: only a
+		// persisted snapshot survives a restart, so anything else (memory
+		// only, or invalidated since the last checkpoint) records as row.
+		if cs := tbl.Columnar(); cs != nil && cs.SegHead != 0 {
+			tm.Storage = catalog.StorageColumnar
+			tm.SegHead = cs.SegHead
+			tm.SegDeltaStart = cs.DeltaStart
+		} else {
+			tm.Storage = catalog.StorageRow
+			tm.SegHead = 0
+			tm.SegDeltaStart = 0
+		}
 		tm.Indexes = tm.Indexes[:0]
 		for _, ix := range tbl.Indexes {
 			tm.Indexes = append(tm.Indexes, catalog.IndexMeta{
@@ -983,6 +1208,7 @@ func (db *DB) Close() error {
 	}
 	db.closed = true
 	db.mu.Unlock()
+	db.stopReorg()
 	if db.degraded.Load() {
 		db.log.CloseNoFlush()
 		return db.st.CloseNoSync()
@@ -1003,6 +1229,7 @@ func (db *DB) Crash() {
 	db.mu.Lock()
 	db.closed = true
 	db.mu.Unlock()
+	db.stopReorg()
 	db.log.CloseNoFlush()
 	_ = db.st.CloseNoSync()
 }

@@ -502,6 +502,7 @@ func (c *Conn) execInsert(s *sqlparse.Insert, params []val.Value) (Result, error
 		}
 		n++
 	}
+	c.db.flight.Access().NoteWrite(s.Table)
 	return Result{RowsAffected: n}, done(nil)
 }
 
@@ -560,6 +561,7 @@ func (c *Conn) execUpdate(s *sqlparse.Update, params []val.Value) (Result, *opt.
 		}
 		n++
 	}
+	c.db.flight.Access().NoteWrite(s.Table)
 	return Result{RowsAffected: n}, plan, done(nil)
 }
 
@@ -603,6 +605,7 @@ func (c *Conn) execDelete(s *sqlparse.Delete, params []val.Value) (Result, *opt.
 		}
 		n++
 	}
+	c.db.flight.Access().NoteWrite(s.Table)
 	return Result{RowsAffected: n}, plan, done(nil)
 }
 

@@ -44,6 +44,14 @@ type Ctx struct {
 	// bare rigs or with the recorder disabled). Operators charge produced
 	// batches and spilled bytes to it.
 	Span *flightrec.Span
+	// ColSegSkipped / ColSegDecodeRows are optional engine telemetry for
+	// the columnar scan path: segments skipped via zone maps and rows
+	// decoded from segments (wired by core; nil in bare rigs).
+	ColSegSkipped    *telemetry.Counter
+	ColSegDecodeRows *telemetry.Counter
+	// ScanObs, when set, receives per-table scan feedback (table name and
+	// rows produced) — the reorganizer's signal that a table is scan-heavy.
+	ScanObs func(tableName string, rows int64)
 }
 
 // Interrupted reports the statement's cancellation state: context.Canceled
@@ -83,22 +91,50 @@ type Operator interface {
 
 // --- Scan -----------------------------------------------------------------
 
-// TableScan reads a table heap in chain order.
+// TableScan reads a table in chain order. When the table carries sealed
+// column segments (internal/colseg) the scan decodes them directly into
+// batch rows — bulk per-encoding loops instead of a per-row varint parse —
+// and merges the heap delta tail behind them; zone maps let it skip whole
+// segments that cannot satisfy a pushed-down col<op>const conjunct. The
+// heap path remains the fallback whenever the table is row-only or the
+// caller needs RIDs.
 type TableScan struct {
 	Table *table.Table
 
+	// ZoneCol/ZoneOp/ZoneConst are an optional zone-map predicate hint:
+	// the optimizer copies one sargable local conjunct (col <op> const)
+	// here so segments whose min/max ranges cannot match are skipped
+	// before decode. The exact Filter above the scan is unchanged — the
+	// hint only proves non-matches, never matches. ZoneCol < 0 disables.
+	ZoneCol   int
+	ZoneOp    string
+	ZoneConst val.Value
+	// NoColumnar forces the heap path even on a columnar table (DML target
+	// collection needs RIDs; differential harnesses need the baseline).
+	NoColumnar bool
+
 	rows []Row // materialized page batch
 	pos  int
-	rids []table.RID
+	rids []table.RID // parallel to rows on the heap path; empty on columnar
 	cur  table.RID
+	flat []val.Value // columnar decode buffer backing rows' storage
+
+	segsTotal   int
+	segsSkipped int
 }
 
 func (s *TableScan) Open(ctx *Ctx) error {
 	s.pos = 0
 	s.rows = s.rows[:0]
 	s.rids = s.rids[:0]
+	s.segsTotal, s.segsSkipped = 0, 0
+	if !s.NoColumnar {
+		if cs := s.Table.Columnar(); cs != nil {
+			return s.openColumnar(ctx, cs)
+		}
+	}
 	n := 0
-	return s.Table.Scan(func(rid table.RID, row Row) (bool, error) {
+	err := s.Table.Scan(func(rid table.RID, row Row) (bool, error) {
 		if n++; n%interruptEvery == 0 {
 			if err := ctx.Interrupted(); err != nil {
 				return false, err
@@ -108,23 +144,95 @@ func (s *TableScan) Open(ctx *Ctx) error {
 		s.rids = append(s.rids, rid)
 		return true, nil
 	})
+	if err == nil && ctx.ScanObs != nil {
+		ctx.ScanObs(s.Table.Name, int64(len(s.rows)))
+	}
+	return err
+}
+
+// openColumnar materializes the scan from sealed segments plus the heap
+// delta tail. The snapshot cs is immutable, so a concurrent invalidation
+// cannot disturb a scan already holding it.
+func (s *TableScan) openColumnar(ctx *Ctx, cs *table.ColState) error {
+	ncols := len(s.Table.Columns)
+	s.segsTotal = len(cs.Segs)
+	// First pass: zone-map skip decisions and the exact decode footprint,
+	// so the flat buffer is allocated once.
+	total := 0
+	for _, seg := range cs.Segs {
+		if s.ZoneCol >= 0 && s.ZoneOp != "" && !seg.MayMatch(s.ZoneCol, s.ZoneOp, s.ZoneConst) {
+			s.segsSkipped++
+			continue
+		}
+		total += seg.NumRows
+	}
+	if cap(s.flat) < total*ncols {
+		s.flat = make([]val.Value, total*ncols)
+	}
+	s.flat = s.flat[:total*ncols]
+	off := 0
+	for _, seg := range cs.Segs {
+		if s.ZoneCol >= 0 && s.ZoneOp != "" && !seg.MayMatch(s.ZoneCol, s.ZoneOp, s.ZoneConst) {
+			continue
+		}
+		if err := ctx.Interrupted(); err != nil {
+			return err
+		}
+		seg.DecodeInto(s.flat[off:])
+		for r := 0; r < seg.NumRows; r++ {
+			lo := off + r*ncols
+			s.rows = append(s.rows, Row(s.flat[lo:lo+ncols:lo+ncols]))
+		}
+		off += seg.NumRows * ncols
+	}
+	if ctx.ColSegSkipped != nil && s.segsSkipped > 0 {
+		ctx.ColSegSkipped.Add(uint64(s.segsSkipped))
+	}
+	if ctx.ColSegDecodeRows != nil && total > 0 {
+		ctx.ColSegDecodeRows.Add(uint64(total))
+	}
+	// Delta tail: rows inserted after the segments were sealed live only
+	// in the heap and are scanned the classic way.
+	n := 0
+	err := s.Table.ScanFrom(cs.DeltaStart, func(_ table.RID, row Row) (bool, error) {
+		if n++; n%interruptEvery == 0 {
+			if err := ctx.Interrupted(); err != nil {
+				return false, err
+			}
+		}
+		s.rows = append(s.rows, row)
+		return true, nil
+	})
+	if err == nil && ctx.ScanObs != nil {
+		ctx.ScanObs(s.Table.Name, int64(len(s.rows)))
+	}
+	return err
 }
 
 func (s *TableScan) NextBatch(ctx *Ctx, out *Batch) error {
 	copyChunk(ctx, out, s.rows, &s.pos)
 	if n := out.Len(); n > 0 {
-		s.cur = s.rids[s.pos-1]
+		if s.pos <= len(s.rids) {
+			s.cur = s.rids[s.pos-1]
+		}
 		ctx.ChargeRows(n)
 	}
 	return nil
 }
 
-// RIDOf reports the RID of the most recently returned row.
+// RIDOf reports the RID of the most recently returned row. Only meaningful
+// on the heap path (NoColumnar or a row-only table); columnar rows carry
+// no heap address.
 func (s *TableScan) RIDOf() table.RID { return s.cur }
+
+// SegmentStats reports how many segments the last Open saw and how many
+// the zone maps skipped (EXPLAIN ANALYZE display).
+func (s *TableScan) SegmentStats() (total, skipped int) { return s.segsTotal, s.segsSkipped }
 
 func (s *TableScan) Close(ctx *Ctx) error {
 	s.rows = nil
 	s.rids = nil
+	s.flat = nil
 	return nil
 }
 

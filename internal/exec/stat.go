@@ -177,6 +177,13 @@ func Children(op Operator) []Operator {
 func Describe(op Operator) string {
 	switch x := Unwrap(op).(type) {
 	case *TableScan:
+		if x.Table.SegmentCount() > 0 && !x.NoColumnar {
+			if x.ZoneOp != "" && x.ZoneCol >= 0 && x.ZoneCol < len(x.Table.Columns) {
+				return fmt.Sprintf("TableScan(%s columnar zone:%s%s%s)",
+					x.Table.Name, x.Table.Columns[x.ZoneCol].Name, x.ZoneOp, x.ZoneConst)
+			}
+			return fmt.Sprintf("TableScan(%s columnar)", x.Table.Name)
+		}
 		return fmt.Sprintf("TableScan(%s)", x.Table.Name)
 	case *IndexScan:
 		return fmt.Sprintf("IndexScan(%s.%s)", x.Table.Name, x.Index.Name)

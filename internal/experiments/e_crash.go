@@ -15,7 +15,10 @@ import (
 // on-disk database while a deterministic fault schedule injects transient
 // I/O errors and crashes the "machine" at scheduled operations and named
 // crashpoints (mid-eviction, mid-WAL-flush, either side of the commit
-// flush, before checkpoint truncation, and mid-recovery). After every
+// flush, before checkpoint truncation, mid-columnar-segment-build, and
+// mid-recovery). Cycles also flip the table between row and columnar
+// storage, so recovery is exercised with sealed segments, invalidated
+// segments, and builds interrupted before their checkpoint. After every
 // cycle the database is reopened cleanly and the recovered contents are
 // compared against a model kept in plain memory:
 //
@@ -212,7 +215,7 @@ func CrashTorture(cfg CrashTortureConfig) (*CrashTortureResult, error) {
 				faultinject.OpWALFlush: 0.01,
 			},
 		}
-		switch master.Intn(6) {
+		switch master.Intn(7) {
 		case 0:
 			fcfg.CrashOps = map[faultinject.Op]int{faultinject.OpWrite: 1 + master.Intn(30)}
 		case 1:
@@ -224,6 +227,10 @@ func CrashTorture(cfg CrashTortureConfig) (*CrashTortureResult, error) {
 		case 4:
 			fcfg.Crashpoints = map[string]int{"checkpoint.before_truncate": 1}
 		case 5:
+			// Crash between a committed segment build and its publishing
+			// checkpoint: the table must recover readable from the heap.
+			fcfg.Crashpoints = map[string]int{"colseg.build": 1}
+		case 6:
 			// No scheduled crash: a pure transient-retry cycle.
 		}
 		sched := faultinject.NewSchedule(fcfg)
@@ -246,6 +253,19 @@ func CrashTorture(cfg CrashTortureConfig) (*CrashTortureResult, error) {
 			if cerr != nil {
 				db.Crash()
 				return res, cerr
+			}
+			// Flip the storage format in some cycles: segment builds (and
+			// their colseg.build crashpoint), scans through sealed
+			// segments, and invalidation-by-DML all join the torture mix.
+			// The flip changes no logical contents, so the model is
+			// untouched; an error here is either a scheduled crash
+			// (handled when BEGIN fails below) or a transient fault worth
+			// ignoring — the heap stays authoritative either way.
+			switch p := wl.Float64(); {
+			case p < 0.35:
+				_, _ = conn.Exec("ALTER TABLE kv STORE COLUMNAR")
+			case p < 0.45:
+				_, _ = conn.Exec("ALTER TABLE kv STORE ROW")
 			}
 		workload:
 			for t := 0; t < cfg.OpsPerCycle; t++ {

@@ -8,8 +8,9 @@
 // (E14), the Index Consultant (E15), the CE-mode governor (E16), sharded
 // buffer-pool scalability (E17), vectored-executor throughput (E18),
 // crash-recovery torture under fault injection (E19), group-commit
-// throughput vs the serial flush baseline (E20), and the always-on flight
-// recorder's overhead and fidelity (E21).
+// throughput vs the serial flush baseline (E20), the always-on flight
+// recorder's overhead and fidelity (E21), and columnar segment scans with
+// zone-map predicate skipping vs the row heap (E22).
 //
 // Each experiment returns a Report: a paper-shaped table plus the key
 // metrics asserted by the benchmarks in bench_test.go and summarized in
@@ -71,19 +72,54 @@ func sortedKeys(m map[string]float64) []string {
 	return out
 }
 
-// All runs every experiment in order.
-func All() ([]*Report, error) {
-	runs := []func() (*Report, error){
-		E1CacheGovernor, E2DefaultDTT, E3CalibrateHDD, E4CalibrateSD,
-		E5RankPreservation, E6HundredWayJoin, E7DampingAblation,
-		E8GovernorQuota, E9HistogramFeedback, E10AdaptiveHashJoin,
-		E11LowMemory, E12Parallelism, E13Replacement, E14PlanCache,
-		E15IndexConsultant, E16CEMode, E17PoolScalability, E18ExecThroughput,
-		E19CrashRecovery, E20CommitThroughput, E21ObservabilityOverhead,
+// Entry is one registered experiment.
+type Entry struct {
+	ID    string
+	Title string // short label for listings
+	Run   func() (*Report, error)
+}
+
+// Registry is the single ordered list of every experiment. All, ByID,
+// IDRange, and cmd/repro all derive from it, so adding an experiment means
+// adding exactly one entry here.
+var Registry = []Entry{
+	{"E1", "cache governor", E1CacheGovernor},
+	{"E2", "default DTT", E2DefaultDTT},
+	{"E3", "calibrated HDD DTT", E3CalibrateHDD},
+	{"E4", "calibrated SD DTT", E4CalibrateSD},
+	{"E5", "cost-model rank preservation", E5RankPreservation},
+	{"E6", "100-way join", E6HundredWayJoin},
+	{"E7", "damping ablation", E7DampingAblation},
+	{"E8", "optimizer governor quota", E8GovernorQuota},
+	{"E9", "histogram feedback", E9HistogramFeedback},
+	{"E10", "adaptive hash join", E10AdaptiveHashJoin},
+	{"E11", "low-memory fallbacks", E11LowMemory},
+	{"E12", "intra-query parallelism", E12Parallelism},
+	{"E13", "page replacement", E13Replacement},
+	{"E14", "plan cache", E14PlanCache},
+	{"E15", "Index Consultant", E15IndexConsultant},
+	{"E16", "CE-mode governor", E16CEMode},
+	{"E17", "buffer-pool scalability", E17PoolScalability},
+	{"E18", "vectored-executor throughput", E18ExecThroughput},
+	{"E19", "crash-recovery torture", E19CrashRecovery},
+	{"E20", "group-commit throughput", E20CommitThroughput},
+	{"E21", "observability overhead", E21ObservabilityOverhead},
+	{"E22", "columnar scan with zone-map skipping", E22ColumnarScan},
+}
+
+// IDRange describes the registered id span ("E1..E22") for usage strings.
+func IDRange() string {
+	if len(Registry) == 0 {
+		return ""
 	}
+	return Registry[0].ID + ".." + Registry[len(Registry)-1].ID
+}
+
+// All runs every experiment in registry order.
+func All() ([]*Report, error) {
 	var out []*Report
-	for _, run := range runs {
-		r, err := run()
+	for _, e := range Registry {
+		r, err := e.Run()
 		if err != nil {
 			return out, err
 		}
@@ -92,21 +128,13 @@ func All() ([]*Report, error) {
 	return out, nil
 }
 
-// ByID runs one experiment by id ("E1".."E21").
+// ByID runs one experiment by id.
 func ByID(id string) (*Report, error) {
-	m := map[string]func() (*Report, error){
-		"E1": E1CacheGovernor, "E2": E2DefaultDTT, "E3": E3CalibrateHDD,
-		"E4": E4CalibrateSD, "E5": E5RankPreservation, "E6": E6HundredWayJoin,
-		"E7": E7DampingAblation, "E8": E8GovernorQuota, "E9": E9HistogramFeedback,
-		"E10": E10AdaptiveHashJoin, "E11": E11LowMemory, "E12": E12Parallelism,
-		"E13": E13Replacement, "E14": E14PlanCache, "E15": E15IndexConsultant,
-		"E16": E16CEMode, "E17": E17PoolScalability, "E18": E18ExecThroughput,
-		"E19": E19CrashRecovery, "E20": E20CommitThroughput,
-		"E21": E21ObservabilityOverhead,
+	id = strings.ToUpper(id)
+	for _, e := range Registry {
+		if e.ID == id {
+			return e.Run()
+		}
 	}
-	run, ok := m[strings.ToUpper(id)]
-	if !ok {
-		return nil, fmt.Errorf("experiments: unknown id %q", id)
-	}
-	return run()
+	return nil, fmt.Errorf("experiments: unknown id %q (have %s)", id, IDRange())
 }

@@ -156,6 +156,34 @@ func TestExpensiveExperiments(t *testing.T) {
 	}
 }
 
+// TestE22ColumnarScaled drives the E22 harness at a reduced size: the
+// speedup and skip-fraction acceptance gates plus full differential
+// bit-identity (filters, join, aggregate, non-empty delta tail). The
+// full-size (10M-row) run is exercised by BenchmarkE22ColumnarScan and
+// cmd/repro.
+func TestE22ColumnarScaled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("columnar scan experiment: run without -short or via cmd/repro")
+	}
+	r, err := e22Run(120_000, 2_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := r.Metrics
+	if m["differential_ok"] != 1 {
+		t.Fatalf("columnar and heap paths diverged:\n%s", r.Table)
+	}
+	if m["skip_frac"] < 0.9 {
+		t.Fatalf("zone maps should skip >=90%% of segments on a point predicate: %v", m)
+	}
+	if m["speedup_zone"] < 3 {
+		t.Fatalf("columnar+zone scan should be >=3x the heap scan: %v", m)
+	}
+	if m["telemetry_skipped"] <= 0 {
+		t.Fatalf("colseg.segments_skipped telemetry did not move: %v", m)
+	}
+}
+
 func TestByIDUnknown(t *testing.T) {
 	if _, err := ByID("E99"); err == nil {
 		t.Fatal("unknown id should error")

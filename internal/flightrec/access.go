@@ -1,0 +1,111 @@
+package flightrec
+
+import (
+	"sort"
+	"sync"
+)
+
+// Per-table access digests: the workload evidence the storage reorganizer
+// acts on. The executor reports every table scan (with the rows it
+// produced) and the DML layer every write; the scan-to-write ratio over
+// these aggregates is what promotes a table to columnar storage — the
+// engine picks physical layout from observed workload rather than asking
+// the DBA (§1, and the same workload-driven reconfiguration argument as
+// the statement digests).
+
+// DefaultAccessCap bounds the access table's distinct table names.
+const DefaultAccessCap = 256
+
+// AccessStat is one table's access aggregate, as surfaced by the
+// reorganizer and sys.tables.
+type AccessStat struct {
+	Table    string
+	Scans    int64 // full-scan opens observed
+	ScanRows int64 // rows produced by those scans
+	Writes   int64 // insert/update/delete statements touching the table
+}
+
+// AccessTable aggregates per-table access patterns, bounded like the
+// statement digest table (entries past the cap are dropped: a reorganizer
+// working from the first N hot tables is the intended degradation).
+type AccessTable struct {
+	mu sync.Mutex
+	m  map[string]*AccessStat
+	c  int
+}
+
+// NewAccessTable builds an empty table (cap <= 0 selects
+// DefaultAccessCap).
+func NewAccessTable(cap int) *AccessTable {
+	if cap <= 0 {
+		cap = DefaultAccessCap
+	}
+	return &AccessTable{m: make(map[string]*AccessStat), c: cap}
+}
+
+func (t *AccessTable) get(name string) *AccessStat {
+	s, ok := t.m[name]
+	if !ok {
+		if len(t.m) >= t.c {
+			return nil
+		}
+		s = &AccessStat{Table: name}
+		t.m[name] = s
+	}
+	return s
+}
+
+// NoteScan records one full table scan producing rows.
+func (t *AccessTable) NoteScan(name string, rows int64) {
+	t.mu.Lock()
+	if s := t.get(name); s != nil {
+		s.Scans++
+		s.ScanRows += rows
+	}
+	t.mu.Unlock()
+}
+
+// NoteWrite records one write statement against the table.
+func (t *AccessTable) NoteWrite(name string) {
+	t.mu.Lock()
+	if s := t.get(name); s != nil {
+		s.Writes++
+	}
+	t.mu.Unlock()
+}
+
+// Get returns a copy of one table's aggregate.
+func (t *AccessTable) Get(name string) (AccessStat, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.m[name]
+	if !ok {
+		return AccessStat{}, false
+	}
+	return *s, true
+}
+
+// Reset drops every aggregate (the reorganizer resets after acting so its
+// ratios reflect the current workload phase, not all of history).
+func (t *AccessTable) Reset() {
+	t.mu.Lock()
+	t.m = make(map[string]*AccessStat)
+	t.mu.Unlock()
+}
+
+// Snapshot returns every table's aggregate, most-scanned first.
+func (t *AccessTable) Snapshot() []AccessStat {
+	t.mu.Lock()
+	out := make([]AccessStat, 0, len(t.m))
+	for _, s := range t.m {
+		out = append(out, *s)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ScanRows != out[j].ScanRows {
+			return out[i].ScanRows > out[j].ScanRows
+		}
+		return out[i].Table < out[j].Table
+	})
+	return out
+}

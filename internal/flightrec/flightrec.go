@@ -239,6 +239,7 @@ type Collector struct {
 
 	waits   Waits
 	digests *DigestTable
+	access  *AccessTable
 
 	// txnMu guards the txn→span attribution map. Bind/unbind run at
 	// statement rate and lookups only on (already slow) blocked paths.
@@ -274,6 +275,7 @@ func New(size int, now func() int64) *Collector {
 		mask:     uint64(n - 1),
 		now:      now,
 		digests:  NewDigestTable(DefaultDigestCap),
+		access:   NewAccessTable(DefaultAccessCap),
 		txnSpans: make(map[uint64]*Span),
 	}
 	if c.now == nil {
@@ -295,6 +297,11 @@ func (c *Collector) Waits() *Waits { return &c.waits }
 
 // Digests exposes the workload digest table.
 func (c *Collector) Digests() *DigestTable { return c.digests }
+
+// Access exposes the per-table access digest (the reorganizer's input).
+// Unlike spans it is recorded even with the recorder disabled: layout
+// decisions must not depend on whether observability capture is on.
+func (c *Collector) Access() *AccessTable { return c.access }
 
 // SpansRecorded reports the number of finished spans.
 func (c *Collector) SpansRecorded() int64 { return c.spans.Load() }

@@ -536,10 +536,10 @@ func (b *blockBuilder) accessOp(st Step, isFirst bool) (exec.Operator, error) {
 			break
 		}
 		if op == nil {
-			op = &exec.TableScan{Table: qt.Table}
+			op = b.tableScanOp(st)
 		}
 	} else {
-		op = &exec.TableScan{Table: qt.Table}
+		op = b.tableScanOp(st)
 	}
 
 	// Residual local predicates.
@@ -554,6 +554,37 @@ func (b *blockBuilder) accessOp(st Step, isFirst bool) (exec.Operator, error) {
 		op = &exec.Filter{Input: op, Pred: p, Obs: b.observerFor(cj)}
 	}
 	return op, nil
+}
+
+// tableScanOp builds a heap/columnar table scan, pushing one sargable
+// local conjunct (col <op> const) down as a zone-map hint: when the table
+// carries sealed column segments, segments whose min/max range cannot
+// satisfy the conjunct are skipped before decode. The conjunct is NOT
+// consumed — the exact Filter above the scan still evaluates it — so the
+// hint can only remove guaranteed non-matches. Equality is preferred (the
+// tightest zone test); otherwise the first range comparison wins.
+func (b *blockBuilder) tableScanOp(st Step) exec.Operator {
+	q := b.q
+	qt := q.Quants[st.Quant]
+	scan := &exec.TableScan{Table: qt.Table, ZoneCol: -1}
+	for _, cj := range q.LocalConjunctsOf(st.Quant, true) {
+		col, lit, opName, ok := colOpLitConj(q, cj)
+		if !ok {
+			continue
+		}
+		switch opName {
+		case "=", "<>", "<", "<=", ">", ">=":
+		default:
+			continue
+		}
+		if scan.ZoneOp == "" || (opName == "=" && scan.ZoneOp != "=") {
+			scan.ZoneCol, scan.ZoneOp, scan.ZoneConst = col.C, opName, lit
+		}
+		if scan.ZoneOp == "=" {
+			break
+		}
+	}
+	return scan
 }
 
 // observerFor wires execution feedback into the histogram of the predicate

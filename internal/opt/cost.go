@@ -113,8 +113,33 @@ func (e *Env) residentBoost(actualResident float64, tablePages float64) float64 
 	return math.Max(actualResident, opt)
 }
 
-// seqScanCost is the I/O+CPU cost of one full sequential scan.
+// colSegRowCostFactor is the per-row CPU of the columnar batch decode
+// loops relative to the heap scan's per-row slot walk + varint decode.
+const colSegRowCostFactor = 0.25
+
+// colScanCost prices a scan over a table's columnar segments. The segment
+// snapshot is memory-resident once attached, so the heap's page-I/O term
+// vanishes; bulk decode costs a fraction of the heap per-row CPU; and zone
+// maps let the scan skip whole segments whose [min,max] excludes the
+// predicate, modeled by scaling decoded rows by the local selectivity
+// (floored at one segment: a matching value always decodes its segment).
+// The delta tail is unaccounted — it is small by construction (the
+// reorganizer rebuilds when it grows) and shrinking its cost to zero never
+// flips a plan choice the wrong way.
+func (e *Env) colScanCost(t *table.Table, sel float64) float64 {
+	rows := float64(t.RowCount())
+	segs := math.Max(float64(t.SegmentCount()), 1)
+	frac := math.Min(math.Max(sel, 1/segs), 1)
+	return e.cpuCost(rows*frac) * colSegRowCostFactor
+}
+
+// seqScanCost is the I/O+CPU cost of one full sequential scan. Tables with
+// a columnar snapshot are priced as segment scans (no predicate context
+// here, so no zone skipping is assumed).
 func (e *Env) seqScanCost(t *table.Table, repeated bool) float64 {
+	if t.SegmentCount() > 0 {
+		return e.colScanCost(t, 1)
+	}
 	pages := float64(t.PageCount())
 	res := t.ResidentFraction()
 	if repeated {
@@ -203,6 +228,15 @@ func (e *Env) stepCost(q *Query, placed map[int]bool, leftCard float64, st Step)
 		}
 		if st.Index != nil {
 			return e.indexProbeCost(qt.Table, st.Index, localCard), math.Max(localCard, 1)
+		}
+		if qt.Table.SegmentCount() > 0 {
+			// Zone-map skipping: the local predicate's selectivity is
+			// the expected fraction of segments that survive pruning.
+			sel := 1.0
+			if rc := float64(qt.Table.RowCount()); rc > 0 {
+				sel = localCard / rc
+			}
+			return e.colScanCost(qt.Table, sel), math.Max(localCard, 1)
 		}
 		return e.seqScanCost(qt.Table, false), math.Max(localCard, 1)
 	}

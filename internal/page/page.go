@@ -31,9 +31,12 @@ const (
 	TypeCatalog
 	TypeTemp
 	TypeLockTable
+	// TypeColSeg holds a chunk of a table's serialized columnar segment
+	// blob (see internal/colseg); chained like catalog pages.
+	TypeColSeg
 )
 
-var typeNames = [...]string{"free", "table", "index", "heap", "undo", "redo", "bitmap", "catalog", "temp", "locktable"}
+var typeNames = [...]string{"free", "table", "index", "heap", "undo", "redo", "bitmap", "catalog", "temp", "locktable", "colseg"}
 
 func (t Type) String() string {
 	if int(t) < len(typeNames) {

@@ -38,7 +38,8 @@ var keywords = map[string]bool{
 	"DATABASE": true, "INT": true, "INTEGER": true, "BIGINT": true,
 	"DOUBLE": true, "REAL": true, "FLOAT": true, "VARCHAR": true,
 	"CHAR": true, "TEXT": true, "STRING": true, "LOAD": true,
-	"EXPLAIN": true, "ANALYZE": true,
+	"EXPLAIN": true, "ANALYZE": true, "ALTER": true, "STORE": true,
+	"COLUMNAR": true, "ROW": true,
 }
 
 type lexer struct {

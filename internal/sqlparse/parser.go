@@ -8,14 +8,25 @@ import (
 	"anywheredb/internal/val"
 )
 
-// LoadTable is LOAD TABLE name FROM 'path' (CSV, §3.2 builds statistics
-// during the load).
+// LoadTable is LOAD TABLE name FROM 'path' [STORE COLUMNAR] (CSV, §3.2
+// builds statistics during the load; the optional suffix seals the loaded
+// rows into column segments immediately).
 type LoadTable struct {
-	Table string
-	Path  string
+	Table         string
+	Path          string
+	StoreColumnar bool
 }
 
 func (*LoadTable) stmtNode() {}
+
+// AlterTableStore is ALTER TABLE name STORE COLUMNAR|ROW: switch the
+// table's scan layout between heap-only and heap+column-segments.
+type AlterTableStore struct {
+	Table    string
+	Columnar bool
+}
+
+func (*AlterTableStore) stmtNode() {}
 
 // Parse parses one SQL statement.
 func Parse(src string) (Statement, error) {
@@ -135,7 +146,32 @@ func (p *parser) parseStatement() (Statement, error) {
 		if !p.at(tokString, "") {
 			return nil, p.errf("expected file path string")
 		}
-		return &LoadTable{Table: name, Path: p.next().text}, nil
+		lt := &LoadTable{Table: name, Path: p.next().text}
+		if p.accept(tokKeyword, "STORE") {
+			if _, err := p.expect(tokKeyword, "COLUMNAR"); err != nil {
+				return nil, err
+			}
+			lt.StoreColumnar = true
+		}
+		return lt, nil
+	case p.accept(tokKeyword, "ALTER"):
+		if _, err := p.expect(tokKeyword, "TABLE"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "STORE"); err != nil {
+			return nil, err
+		}
+		switch {
+		case p.accept(tokKeyword, "COLUMNAR"):
+			return &AlterTableStore{Table: name, Columnar: true}, nil
+		case p.accept(tokKeyword, "ROW"):
+			return &AlterTableStore{Table: name}, nil
+		}
+		return nil, p.errf("expected COLUMNAR or ROW")
 	}
 	return nil, p.errf("unexpected statement start %q", p.cur().text)
 }

@@ -96,6 +96,17 @@ type Table struct {
 	rows  atomic.Int64
 	pages atomic.Int64
 
+	// colstate is the immutable columnar snapshot (nil = row-only); colGen
+	// (under mu) counts update/delete mutations so an in-flight build can
+	// detect that it raced a writer. See colseg.go.
+	colstate atomic.Pointer[ColState]
+	colGen   uint64
+	// SegmentRows overrides the rows per sealed segment (0 = default).
+	SegmentRows int
+	// OnColsegDrop, when set (by core), is called after a hot-path
+	// invalidation so the engine can count it and de-promote the table.
+	OnColsegDrop func()
+
 	// Hists holds one self-managing histogram per column.
 	Hists []*stats.Histogram
 	// StrStats holds long-string statistics for string columns (nil for
@@ -293,6 +304,10 @@ func (t *Table) insertBytes(tx *txn.Txn, enc []byte) (RID, error) {
 
 // undoInsert compensates an insert during rollback.
 func (t *Table) undoInsert(rid RID, row []val.Value) error {
+	// The compensated insert always lives in the delta tail, but a build
+	// may have sealed the chain between insert and rollback; invalidate
+	// conservatively rather than reason about the boundary.
+	t.invalidateColumnar(nil)
 	if err := t.removeRow(rid); err != nil {
 		return err
 	}
@@ -351,6 +366,10 @@ func (t *Table) Delete(tx *txn.Txn, rid RID) error {
 			return err
 		}
 	}
+	// The row may be covered by sealed column segments: drop them (WAL-
+	// logged before the delete record) so no scan — live or replayed —
+	// can see the stale columnar image.
+	t.invalidateColumnar(tx)
 	if err := t.removeRow(rid); err != nil {
 		return err
 	}
@@ -416,6 +435,8 @@ func (t *Table) Update(tx *txn.Txn, rid RID, newRow []val.Value) (RID, error) {
 	if len(newEnc) > page.Size-page.HeaderSize-8 {
 		return RID{}, ErrRowTooLarge
 	}
+	// As in Delete: sealed segments may cover this row.
+	t.invalidateColumnar(tx)
 
 	newRID := rid
 	f, err := t.pool.Get(rid.Page)
@@ -474,7 +495,20 @@ func (t *Table) Scan(fn func(rid RID, row []val.Value) (bool, error)) error {
 	t.mu.Lock()
 	cur := t.first
 	t.mu.Unlock()
-	for cur != 0 {
+	return t.scanRange(cur, 0, fn)
+}
+
+// ScanFrom scans live rows starting at a chain page (the columnar delta
+// tail begins at ColState.DeltaStart).
+func (t *Table) ScanFrom(start store.PageID, fn func(rid RID, row []val.Value) (bool, error)) error {
+	return t.scanRange(start, 0, fn)
+}
+
+// scanRange walks chain pages from start until stop (exclusive; 0 = end of
+// chain), calling fn per live row.
+func (t *Table) scanRange(start, stop store.PageID, fn func(rid RID, row []val.Value) (bool, error)) error {
+	cur := start
+	for cur != 0 && cur != stop {
 		f, err := t.pool.Get(cur)
 		if err != nil {
 			return err

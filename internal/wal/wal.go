@@ -47,13 +47,20 @@ const (
 	// truncated by an earlier checkpoint, and no amount of replay can bring
 	// them back.
 	RecPageImage
+	// RecColSegDrop invalidates a table's columnar segments: Table is the
+	// owner. It is logged before the data record of any update/delete that
+	// touches a columnar table, and recovery honors it unconditionally —
+	// even for losers — because dropping a valid acceleration structure is
+	// harmless while scanning a stale one is not. The row heap stays
+	// authoritative either way.
+	RecColSegDrop
 )
 
 var recNames = map[RecType]string{
 	RecBegin: "begin", RecCommit: "commit", RecRollback: "rollback",
 	RecInsert: "insert", RecDelete: "delete", RecUpdate: "update",
 	RecCheckpoint: "checkpoint", RecPageLink: "pagelink",
-	RecPageImage: "pageimage",
+	RecPageImage: "pageimage", RecColSegDrop: "colsegdrop",
 }
 
 func (t RecType) String() string {
@@ -608,6 +615,10 @@ type RecoveryPlan struct {
 	// in-place write, then lets the conditional redo/undo passes replay the
 	// changes logged after the image was taken.
 	Images map[store.PageID]*Record
+	// ColSegDrops is the set of table ids whose columnar segments were
+	// invalidated by any logged RecColSegDrop, honored unconditionally
+	// (see RecColSegDrop).
+	ColSegDrops map[uint64]bool
 	// Committed is the set of committed transaction ids.
 	Committed map[uint64]bool
 }
@@ -615,8 +626,9 @@ type RecoveryPlan struct {
 // Analyze scans the log and partitions work into redo and undo sets.
 func (l *Log) Analyze() (*RecoveryPlan, error) {
 	plan := &RecoveryPlan{
-		Committed: map[uint64]bool{},
-		Images:    map[store.PageID]*Record{},
+		Committed:   map[uint64]bool{},
+		Images:      map[store.PageID]*Record{},
+		ColSegDrops: map[uint64]bool{},
 	}
 	var all []*Record
 	err := l.Scan(func(_ LSN, r *Record) error {
@@ -634,6 +646,8 @@ func (l *Log) Analyze() (*RecoveryPlan, error) {
 			plan.Links = append(plan.Links, r)
 		case RecPageImage:
 			plan.Images[r.Page] = r // later image supersedes earlier
+		case RecColSegDrop:
+			plan.ColSegDrops[r.Table] = true
 		}
 		return nil
 	})

@@ -70,6 +70,13 @@ func BenchmarkE21ObservabilityOverhead(b *testing.B) { runExp(b, "E21") }
 // (speedup_zone / speedup_decode / skip_frac / differential_ok).
 func BenchmarkE22ColumnarScan(b *testing.B) { runExp(b, "E22") }
 
+// BenchmarkE23SnapshotReads reports paced-reader throughput against 1..16
+// transfer-writers on the snapshot-read engine vs the LockingReads 2PL
+// baseline (snap_reads_per_sec_* / lock_reads_per_sec_* /
+// snap_retention_16w / lock_retention_16w; the snapshot reader must
+// accrue zero lock-wait time, enforced inside the experiment).
+func BenchmarkE23SnapshotReads(b *testing.B) { runExp(b, "E23") }
+
 // --- Micro-benchmarks over the public API ---------------------------------
 
 func benchDB(b *testing.B) (*DB, *Conn) {

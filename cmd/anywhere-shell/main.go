@@ -70,18 +70,29 @@ func main() {
 }
 
 // printStats dumps the engine's full telemetry registry (the same rows
-// SELECT * FROM sys.properties returns), then the top statements by
-// total elapsed time from the flight recorder's digest table.
+// SELECT * FROM sys.properties returns), an MVCC snapshot-read summary,
+// then the top statements by total elapsed time from the flight
+// recorder's digest table.
 func printStats(conn *core.Conn) {
 	rows, err := conn.Query("SELECT * FROM sys.properties")
 	if err != nil {
 		fmt.Println("error:", err)
 		return
 	}
+	mvcc := map[string]int64{}
 	for rows.Next() {
 		r := rows.Row()
 		fmt.Printf("%-40s %-10s %d\n", r[0].String(), r[1].String(), r[2].I)
+		switch name := r[0].String(); name {
+		case "txn.snapshot_reads", "txn.versions_reclaimed",
+			"txn.oldest_snapshot", "txn.snapshots_active", "txn.version_entries":
+			mvcc[name] = r[2].I
+		}
 	}
+	fmt.Printf("\nmvcc: %d snapshot reads, %d versions reclaimed, %d live version entries, %d snapshots active (oldest watermark %d)\n",
+		mvcc["txn.snapshot_reads"], mvcc["txn.versions_reclaimed"],
+		mvcc["txn.version_entries"], mvcc["txn.snapshots_active"],
+		mvcc["txn.oldest_snapshot"])
 
 	rows, err = conn.Query(
 		"SELECT fingerprint, calls, rows, total_us, p95_us FROM sys.statements")

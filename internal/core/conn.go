@@ -14,6 +14,7 @@ import (
 	"anywheredb/internal/dtt"
 	"anywheredb/internal/exec"
 	"anywheredb/internal/flightrec"
+	"anywheredb/internal/mvcc"
 	"anywheredb/internal/opt"
 	"anywheredb/internal/sqlparse"
 	"anywheredb/internal/store"
@@ -36,6 +37,15 @@ type Conn struct {
 	// curSpan is the flight-recorder span of the statement currently
 	// running on this connection (nil with the recorder disabled).
 	curSpan *flightrec.Span
+	// curSnap is the MVCC snapshot of the statement currently running on
+	// this connection: reads under it resolve row versions instead of
+	// taking lock-manager locks. Nil when the statement reads the latest
+	// data under locks (LockingReads mode, or DML target collection).
+	curSnap *mvcc.Snapshot
+	// lockTx is the implicit read-only transaction owning the shared table
+	// locks of an autocommit query in LockingReads mode (the 2PL read
+	// baseline). Nil outside that mode.
+	lockTx *txn.Txn
 	// Workers overrides the database's default intra-query parallelism.
 	Workers int
 }
@@ -110,12 +120,17 @@ func (c *Conn) execCtx(task interface {
 	if workers <= 0 {
 		workers = c.db.opts.Workers
 	}
+	tx := c.tx
+	if tx == nil {
+		tx = c.lockTx
+	}
 	ctx := &exec.Ctx{
 		Pool:           c.db.pool,
 		St:             c.db.st,
 		Clk:            c.db.clk,
 		Context:        c.stmtCtx,
-		Tx:             c.tx,
+		Tx:             tx,
+		Snap:           c.curSnap,
 		Workers:        workers,
 		CPURowCost:     c.db.opts.CPURowCost,
 		ForceBatchSize: c.db.opts.ExecBatchSize,
@@ -253,13 +268,35 @@ func (c *Conn) run(ctx context.Context, sql string, params []val.Value, wantRows
 		}
 	}
 
+	if c.tx != nil && c.tx.ReadOnly() {
+		// BEGIN READ ONLY: refuse anything that would write before it runs.
+		if werr := rejectInReadOnlyTxn(stmt); werr != nil {
+			return Result{}, nil, werr
+		}
+	}
+
+	if fin := c.beginReadPath(stmt, sp); fin != nil {
+		defer fin()
+	}
+
 	start := c.db.clk.Now()
 	switch s := stmt.(type) {
 	case *sqlparse.Begin:
 		if c.tx != nil {
 			return Result{}, nil, fmt.Errorf("core: transaction already open")
 		}
-		c.tx = c.db.txns.Begin()
+		if s.ReadOnly {
+			// Snapshot transaction: one watermark for its whole lifetime
+			// gives repeatable reads with zero lock-manager traffic. In
+			// LockingReads mode there is no snapshot — reads hold shared
+			// locks to commit instead, which is 2PL repeatable read.
+			c.tx = c.db.txns.BeginRO()
+			if !c.db.opts.LockingReads {
+				c.tx.BindSnapshot(c.acquireSnapshot(0, sp))
+			}
+		} else {
+			c.tx = c.db.txns.Begin()
+		}
 		if sp != nil {
 			boundTxn = c.tx.ID()
 			c.db.flight.BindTxn(boundTxn, sp)
@@ -384,6 +421,110 @@ func (c *Conn) autoTxn() (*txn.Txn, func(err error) error) {
 		}
 		return err
 	}
+}
+
+// beginReadPath prepares the read path for one statement and returns the
+// cleanup to run at statement end (nil when the statement needs none).
+//
+// Default engine: queries read under an MVCC snapshot (c.curSnap) and make
+// zero lock-manager calls — a statement-lifetime snapshot in autocommit and
+// read-write transactions (Self = the open transaction, so a transaction's
+// reads see its own uncommitted writes), or the transaction-lifetime
+// snapshot of BEGIN READ ONLY. INSERT ... SELECT reads its source under a
+// statement snapshot too. UPDATE / DELETE never get one: they must target
+// the latest committed rows, which their row X locks then protect.
+//
+// LockingReads engine (the E23 2PL baseline): no snapshots anywhere; an
+// autocommit query instead runs inside a short read-only transaction so
+// table scans take shared locks, released at statement end.
+func (c *Conn) beginReadPath(stmt sqlparse.Statement, sp *flightrec.Span) func() {
+	isQuery := false
+	switch s := stmt.(type) {
+	case *sqlparse.Select:
+		isQuery = true
+	case *sqlparse.Explain:
+		if _, ok := s.Stmt.(*sqlparse.Select); !ok {
+			return nil
+		}
+		isQuery = true
+	case *sqlparse.Insert:
+		if s.Query == nil {
+			return nil
+		}
+	default:
+		return nil
+	}
+
+	if c.db.opts.LockingReads {
+		if !isQuery || c.tx != nil {
+			return nil // in-transaction reads lock under the ambient txn
+		}
+		t := c.db.txns.BeginRO()
+		if sp != nil {
+			c.db.flight.BindTxn(t.ID(), sp)
+		}
+		c.lockTx = t
+		return func() {
+			c.lockTx = nil
+			_ = t.Rollback() // releases the read locks; writes nothing
+			if sp != nil {
+				c.db.flight.UnbindTxn(t.ID())
+			}
+		}
+	}
+
+	if isQuery {
+		c.db.snapReads.Inc()
+	}
+	if c.tx != nil && c.tx.ReadOnly() {
+		// Reuse the transaction-lifetime snapshot: every statement in the
+		// transaction reads the same watermark (repeatable reads).
+		c.curSnap = c.tx.Snapshot()
+		return func() { c.curSnap = nil }
+	}
+	var self uint64
+	if c.tx != nil {
+		self = c.tx.ID()
+	}
+	snap := c.acquireSnapshot(self, sp)
+	c.curSnap = snap
+	return func() {
+		c.curSnap = nil
+		c.db.txns.ReleaseSnapshot(snap)
+	}
+}
+
+// acquireSnapshot takes an MVCC snapshot, charging the acquisition to the
+// txn.snapshot wait event. The event is recorded even at zero measured
+// microseconds: the count then reads as "snapshots acquired", and a
+// contended snapshot registry shows up as nonzero time.
+func (c *Conn) acquireSnapshot(self uint64, sp *flightrec.Span) *mvcc.Snapshot {
+	start := time.Now()
+	snap := c.db.txns.AcquireSnapshot(self)
+	if c.db.flight.Enabled() {
+		us := time.Since(start).Microseconds()
+		c.db.flight.ObserveWait(flightrec.WaitSnapshot, us)
+		if sp != nil {
+			sp.AddWait(flightrec.WaitSnapshot, us)
+		}
+	}
+	return snap
+}
+
+// rejectInReadOnlyTxn returns an error for statements that would write
+// inside a BEGIN READ ONLY transaction.
+func rejectInReadOnlyTxn(stmt sqlparse.Statement) error {
+	switch s := stmt.(type) {
+	case *sqlparse.Insert, *sqlparse.Update, *sqlparse.Delete,
+		*sqlparse.CreateTable, *sqlparse.CreateIndex, *sqlparse.DropTable,
+		*sqlparse.LoadTable, *sqlparse.AlterTableStore, *sqlparse.Calibrate:
+		return ErrReadOnlyTxn
+	case *sqlparse.Explain:
+		if s.Analyze {
+			return rejectInReadOnlyTxn(s.Stmt)
+		}
+	}
+	return nil
 }
 
 // --- DDL -------------------------------------------------------------------

@@ -49,6 +49,10 @@ import (
 // already durable or cached, writes are refused rather than risked).
 var ErrReadOnly = errors.New("core: database is in read-only degraded mode")
 
+// ErrReadOnlyTxn is returned for write statements inside a BEGIN READ
+// ONLY transaction.
+var ErrReadOnlyTxn = errors.New("core: transaction is read-only")
+
 // Options configures a database instance.
 type Options struct {
 	// Dir holds the database files; empty runs fully in memory.
@@ -127,6 +131,17 @@ type Options struct {
 	// ReorgScanWriteRatio is the scans-per-write threshold for promotion
 	// (default 8). A table must also have been scanned at least once.
 	ReorgScanWriteRatio float64
+
+	// LockingReads disables MVCC snapshot reads: queries take shared table
+	// locks under two-phase locking instead of resolving row versions.
+	// This is the pre-MVCC behaviour, kept as the measured baseline for
+	// experiment E23 (readers block behind writers and vice versa).
+	LockingReads bool
+	// VacuumInterval is the period of the background version vacuum that
+	// reclaims row versions no live snapshot can need. 0 selects the
+	// 250ms default; negative disables the loop (VacuumOnce still works
+	// for explicit passes).
+	VacuumInterval time.Duration
 }
 
 func (o *Options) fill() {
@@ -159,6 +174,9 @@ func (o *Options) fill() {
 	}
 	if o.ReorgScanWriteRatio <= 0 {
 		o.ReorgScanWriteRatio = 8
+	}
+	if o.VacuumInterval == 0 {
+		o.VacuumInterval = 250 * time.Millisecond
 	}
 }
 
@@ -217,6 +235,13 @@ type DB struct {
 	reorgStop     chan struct{}
 	reorgDone     chan struct{}
 	reorgHalt     sync.Once
+
+	// MVCC counters and the version vacuum's stop plumbing.
+	snapReads  *telemetry.Counter
+	vacReclaim *telemetry.Counter
+	vacStop    chan struct{}
+	vacDone    chan struct{}
+	vacHalt    sync.Once
 
 	// colsegDrops carries table IDs whose columnar snapshot recovery
 	// invalidated (RecColSegDrop records, plus any table with loser
@@ -491,13 +516,105 @@ func Open(opts Options) (*DB, error) {
 		}
 		return n
 	})
+	// MVCC observability: snapshot-read traffic, vacuum progress, and the
+	// size of the in-memory version store.
+	db.snapReads = db.reg.Counter("txn.snapshot_reads")
+	db.vacReclaim = db.reg.Counter("txn.versions_reclaimed")
+	db.txns.SetReclaimObserver(func(n int) { db.vacReclaim.Add(uint64(n)) })
+	db.reg.GaugeFunc("txn.oldest_snapshot", func() int64 {
+		if csn, ok := db.txns.OldestSnapshot(); ok {
+			return int64(csn)
+		}
+		return int64(db.txns.CommitSeq())
+	})
+	db.reg.GaugeFunc("txn.snapshots_active", func() int64 {
+		return int64(len(db.txns.Snapshots()))
+	})
+	db.reg.GaugeFunc("txn.version_entries", func() int64 {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		var n int64
+		for _, t := range db.tables {
+			n += t.VersionCount()
+		}
+		return n
+	})
+	db.reg.GaugeFunc("txn.version_bytes", func() int64 {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		var n int64
+		for _, t := range db.tables {
+			n += t.VersionBytes()
+		}
+		return n
+	})
 
 	if opts.ReorgInterval > 0 {
 		db.reorgStop = make(chan struct{})
 		db.reorgDone = make(chan struct{})
 		go db.reorgLoop(opts.ReorgInterval)
 	}
+	if opts.VacuumInterval > 0 {
+		db.vacStop = make(chan struct{})
+		db.vacDone = make(chan struct{})
+		go db.vacuumLoop(opts.VacuumInterval)
+	}
 	return db, nil
+}
+
+// vacuumLoop is the background version vacuum: a periodic sweep freeing
+// row versions below the oldest-snapshot watermark.
+func (db *DB) vacuumLoop(every time.Duration) {
+	defer close(db.vacDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-db.vacStop:
+			return
+		case <-t.C:
+			db.VacuumOnce()
+		}
+	}
+}
+
+// stopVacuum halts the background vacuum and waits for an in-flight sweep,
+// so shutdown never races a chain unlink.
+func (db *DB) stopVacuum() {
+	db.vacHalt.Do(func() {
+		if db.vacStop != nil {
+			close(db.vacStop)
+			<-db.vacDone
+		}
+	})
+}
+
+// VacuumOnce runs one version-vacuum sweep over every table and reports
+// how many version entries were reclaimed. An entry is reclaimable when
+// its commit watermark is at or below every live snapshot's — no current
+// or future reader can resolve to it — or when its writer rolled back.
+func (db *DB) VacuumOnce() int {
+	if db.Closed() {
+		return 0
+	}
+	threshold := db.txns.VacuumThreshold()
+	db.mu.RLock()
+	tables := make([]*table.Table, 0, len(db.tables))
+	for _, t := range db.tables {
+		tables = append(tables, t)
+	}
+	db.mu.RUnlock()
+	reclaimed := 0
+	for _, t := range tables {
+		if t.VersionsEmpty() {
+			continue
+		}
+		reclaimed += t.VacuumVersions(threshold, db.txns.IsActive)
+	}
+	if reclaimed > 0 {
+		db.vacReclaim.Add(uint64(reclaimed))
+	}
+	return reclaimed
 }
 
 // reorgLoop is the background storage reorganizer: a periodic pass over
@@ -601,6 +718,8 @@ func (db *DB) FlightRecorder() *flightrec.Collector { return db.flight }
 //	sys.recent_statements — the flight-recorder ring of recent spans
 //	sys.tables            — per-table storage state (format, segments,
 //	                        residency) and observed access pattern
+//	sys.transactions      — live transactions (state, age, snapshot
+//	                        watermark, locks held, undo bytes)
 func (db *DB) VirtualRows(name string) ([]table.Column, []exec.Row, bool) {
 	switch name {
 	case "sys.properties":
@@ -734,6 +853,35 @@ func (db *DB) VirtualRows(name string) ([]table.Column, []exec.Row, bool) {
 			})
 		}
 		db.mu.RUnlock()
+		return cols, rows, true
+	case "sys.transactions":
+		// Live transactions only. Free-standing statement snapshots are
+		// deliberately excluded — the query reading this table holds one
+		// itself, so listing them would make the table self-polluting;
+		// their population is visible via the txn.snapshots_active gauge.
+		cols := []table.Column{
+			{Name: "id", Kind: val.KInt},
+			{Name: "state", Kind: val.KStr},
+			{Name: "age_us", Kind: val.KInt},
+			{Name: "snapshot_csn", Kind: val.KInt},
+			{Name: "locks_held", Kind: val.KInt},
+			{Name: "undo_bytes", Kind: val.KInt},
+		}
+		txns := db.txns.Transactions()
+		var rows []exec.Row
+		for _, t := range txns {
+			state := "active"
+			if t.ReadOnly {
+				state = "read-only"
+			}
+			held, _ := db.locks.Held(t.ID)
+			rows = append(rows, exec.Row{
+				val.NewInt(int64(t.ID)), val.NewStr(state),
+				val.NewInt(t.AgeUS), val.NewInt(int64(t.SnapshotCSN)),
+				val.NewInt(int64(held)), val.NewInt(t.UndoBytes),
+			})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i][0].I < rows[j][0].I })
 		return cols, rows, true
 	}
 	return nil, nil, false
@@ -1209,6 +1357,7 @@ func (db *DB) Close() error {
 	db.closed = true
 	db.mu.Unlock()
 	db.stopReorg()
+	db.stopVacuum()
 	if db.degraded.Load() {
 		db.log.CloseNoFlush()
 		return db.st.CloseNoSync()
@@ -1230,6 +1379,7 @@ func (db *DB) Crash() {
 	db.closed = true
 	db.mu.Unlock()
 	db.stopReorg()
+	db.stopVacuum()
 	db.log.CloseNoFlush()
 	_ = db.st.CloseNoSync()
 }

@@ -538,28 +538,41 @@ func (c *Conn) execUpdate(s *sqlparse.Update, params []val.Value) (Result, *opt.
 		}
 		setCols[i] = ci
 	}
-	rids, rows, err := collectTargets(tbl, acc)
+	rids, _, err := collectTargets(tbl, acc)
 	if err != nil {
 		return Result{}, nil, err
 	}
 	tx, done := c.autoTxn()
 	var n int64
-	for i, rid := range rids {
+	for _, rid := range rids {
 		if err := c.interrupted(); err != nil {
 			return Result{}, nil, done(err)
 		}
-		newRow := append([]val.Value(nil), rows[i]...)
-		for k, sc := range s.Set {
-			v, err := evalSimpleScalar(tbl, sc.Expr, rows[i], params)
-			if err != nil {
-				return Result{}, nil, done(err)
+		// Re-check the predicate and re-evaluate the SET expressions
+		// against the row as it stands under the X lock: the scanned image
+		// can be stale by the time the lock is granted, and computing from
+		// it would lose concurrent committed updates.
+		_, updated, err := tbl.UpdateChecked(tx, rid, acc.filter,
+			func(old []val.Value) ([]val.Value, error) {
+				newRow := append([]val.Value(nil), old...)
+				for k, sc := range s.Set {
+					v, err := evalSimpleScalar(tbl, sc.Expr, old, params)
+					if err != nil {
+						return nil, err
+					}
+					newRow[setCols[k]] = v
+				}
+				return newRow, nil
+			})
+		if err != nil {
+			if errors.Is(err, table.ErrNotFound) {
+				continue // deleted since the scan: nothing to update
 			}
-			newRow[setCols[k]] = v
-		}
-		if _, err := tbl.Update(tx, rid, newRow); err != nil {
 			return Result{}, nil, done(err)
 		}
-		n++
+		if updated {
+			n++
+		}
 	}
 	c.db.flight.Access().NoteWrite(s.Table)
 	return Result{RowsAffected: n}, plan, done(nil)
@@ -597,13 +610,18 @@ func (c *Conn) execDelete(s *sqlparse.Delete, params []val.Value) (Result, *opt.
 		if err := c.interrupted(); err != nil {
 			return Result{}, nil, done(err)
 		}
-		if err := tbl.Delete(tx, rid); err != nil {
+		// Same staleness guard as UPDATE: only delete rows that still
+		// match the predicate once the X lock is held.
+		deleted, err := tbl.DeleteChecked(tx, rid, acc.filter)
+		if err != nil {
 			if errors.Is(err, table.ErrNotFound) {
 				continue
 			}
 			return Result{}, nil, done(err)
 		}
-		n++
+		if deleted {
+			n++
+		}
 	}
 	c.db.flight.Access().NoteWrite(s.Table)
 	return Result{RowsAffected: n}, plan, done(nil)

@@ -2,10 +2,13 @@ package exec
 
 import (
 	"context"
+	"sort"
 
 	"anywheredb/internal/buffer"
 	"anywheredb/internal/flightrec"
+	"anywheredb/internal/lock"
 	"anywheredb/internal/mem"
+	"anywheredb/internal/mvcc"
 	"anywheredb/internal/store"
 	"anywheredb/internal/table"
 	"anywheredb/internal/telemetry"
@@ -21,6 +24,11 @@ type Ctx struct {
 	Clk  *vclock.Clock
 	Task *mem.Task // memory governor task; may be nil
 	Tx   *txn.Txn  // may be nil
+	// Snap, when set, makes every scan read the row versions visible to
+	// the snapshot with zero lock-manager calls. When Snap is nil but Tx
+	// is set, scans instead take a table-level Shared lock (the classic
+	// locking-read path, kept as the 2PL baseline).
+	Snap *mvcc.Snapshot
 	// Context carries the statement's cancellation/deadline signal; nil
 	// means uncancellable. Operators poll Interrupted at batch boundaries.
 	Context context.Context
@@ -123,18 +131,39 @@ type TableScan struct {
 	segsSkipped int
 }
 
+// lockForRead takes the locking-read table lock when the statement runs
+// without a snapshot inside a transaction. Snapshot reads skip the lock
+// manager entirely — that is the point of MVCC.
+func lockForRead(ctx *Ctx, t *table.Table) error {
+	if ctx.Snap != nil || ctx.Tx == nil {
+		return nil
+	}
+	return ctx.Tx.Lock(t.ID, nil, lock.Shared)
+}
+
 func (s *TableScan) Open(ctx *Ctx) error {
 	s.pos = 0
 	s.rows = s.rows[:0]
 	s.rids = s.rids[:0]
 	s.segsTotal, s.segsSkipped = 0, 0
+	if err := lockForRead(ctx, s.Table); err != nil {
+		return err
+	}
 	if !s.NoColumnar {
 		if cs := s.Table.Columnar(); cs != nil {
-			return s.openColumnar(ctx, cs)
+			// Under a snapshot the sealed segments are usable only while
+			// the table has no version chains: vacuum cannot reclaim an
+			// entry some live snapshot still needs, so an empty store
+			// (checked after grabbing cs — writers invalidate before they
+			// chain) proves every sealed row is visible to every live
+			// snapshot.
+			if ctx.Snap == nil || s.Table.VersionsEmpty() {
+				return s.openColumnar(ctx, cs)
+			}
 		}
 	}
 	n := 0
-	err := s.Table.Scan(func(rid table.RID, row Row) (bool, error) {
+	emit := func(rid table.RID, row Row) (bool, error) {
 		if n++; n%interruptEvery == 0 {
 			if err := ctx.Interrupted(); err != nil {
 				return false, err
@@ -143,7 +172,13 @@ func (s *TableScan) Open(ctx *Ctx) error {
 		s.rows = append(s.rows, row)
 		s.rids = append(s.rids, rid)
 		return true, nil
-	})
+	}
+	var err error
+	if ctx.Snap != nil {
+		err = s.Table.ScanSnapshot(ctx.Snap, emit)
+	} else {
+		err = s.Table.Scan(emit)
+	}
 	if err == nil && ctx.ScanObs != nil {
 		ctx.ScanObs(s.Table.Name, int64(len(s.rows)))
 	}
@@ -192,9 +227,11 @@ func (s *TableScan) openColumnar(ctx *Ctx, cs *table.ColState) error {
 		ctx.ColSegDecodeRows.Add(uint64(total))
 	}
 	// Delta tail: rows inserted after the segments were sealed live only
-	// in the heap and are scanned the classic way.
+	// in the heap and are scanned the classic way. Under a snapshot the
+	// tail stays version-aware — a writer may begin chaining rows here
+	// mid-scan even though the store was empty at Open.
 	n := 0
-	err := s.Table.ScanFrom(cs.DeltaStart, func(_ table.RID, row Row) (bool, error) {
+	emit := func(_ table.RID, row Row) (bool, error) {
 		if n++; n%interruptEvery == 0 {
 			if err := ctx.Interrupted(); err != nil {
 				return false, err
@@ -202,7 +239,13 @@ func (s *TableScan) openColumnar(ctx *Ctx, cs *table.ColState) error {
 		}
 		s.rows = append(s.rows, row)
 		return true, nil
-	})
+	}
+	var err error
+	if ctx.Snap != nil {
+		err = s.Table.ScanSnapshotFrom(cs.DeltaStart, ctx.Snap, emit)
+	} else {
+		err = s.Table.ScanFrom(cs.DeltaStart, emit)
+	}
 	if err == nil && ctx.ScanObs != nil {
 		ctx.ScanObs(s.Table.Name, int64(len(s.rows)))
 	}
@@ -255,6 +298,9 @@ func (s *IndexScan) Open(ctx *Ctx) error {
 	s.rows = s.rows[:0]
 	s.rids = s.rids[:0]
 	s.pos = 0
+	if err := lockForRead(ctx, s.Table); err != nil {
+		return err
+	}
 	var it interface {
 		Valid() bool
 		Key() []byte
@@ -273,6 +319,17 @@ func (s *IndexScan) Open(ctx *Ctx) error {
 		return err
 	}
 	defer it.Close()
+	// Under a snapshot the index is only a guide, not the truth: it tracks
+	// the newest row versions, so every probed row re-resolves through its
+	// version chain, its key is recomputed from the visible version and
+	// re-checked against the range, and rows the current index no longer
+	// points at (deleted, moved, or re-keyed by writers the snapshot does
+	// not see) are recovered from the version store afterwards.
+	var keys [][]byte
+	var visited map[table.RID]bool
+	if ctx.Snap != nil {
+		visited = make(map[table.RID]bool)
+	}
 	n := 0
 	for ; it.Valid(); it.Next() {
 		if n++; n%interruptEvery == 0 {
@@ -291,14 +348,97 @@ func (s *IndexScan) Open(ctx *Ctx) error {
 			}
 		}
 		rid := table.RIDFromBytes(it.Value())
-		row, err := s.Table.Get(rid)
+		if ctx.Snap == nil {
+			row, err := s.Table.Get(rid)
+			if err != nil {
+				return err
+			}
+			s.rows = append(s.rows, row)
+			s.rids = append(s.rids, rid)
+			continue
+		}
+		visited[rid] = true
+		row, ok, err := s.Table.GetVersioned(rid, ctx.Snap)
 		if err != nil {
 			return err
 		}
+		if !ok {
+			continue // not visible to the snapshot (e.g. uncommitted insert)
+		}
+		key := s.Index.Key(row)
+		if !s.keyInRange(key) {
+			continue // visible version has a different key, outside the range
+		}
 		s.rows = append(s.rows, row)
 		s.rids = append(s.rids, rid)
+		keys = append(keys, key)
 	}
-	return it.Err()
+	if err := it.Err(); err != nil {
+		return err
+	}
+	if ctx.Snap == nil || s.Table.VersionsEmpty() {
+		return nil
+	}
+	for _, rid := range s.Table.VersionRIDs() {
+		if visited[rid] {
+			continue
+		}
+		row, ok, err := s.Table.GetVersioned(rid, ctx.Snap)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		key := s.Index.Key(row)
+		if !s.keyInRange(key) {
+			continue
+		}
+		s.rows = append(s.rows, row)
+		s.rids = append(s.rids, rid)
+		keys = append(keys, key)
+	}
+	// Restore key order across probed and recovered rows.
+	sortByKey(keys, s.rows, s.rids)
+	return nil
+}
+
+// keyInRange checks a recomputed key against the scan's [Lo, Hi] bounds,
+// with the same prefix nuance the probe loop applies to Hi.
+func (s *IndexScan) keyInRange(key []byte) bool {
+	if s.Lo != nil && compareBytes(key, s.Lo) < 0 {
+		return false
+	}
+	if s.Hi != nil {
+		c := compareBytes(key, s.Hi)
+		if c > 0 || (c == 0 && !s.HiInc) {
+			if !(s.HiInc && hasPrefix(key, s.Hi)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// sortByKey co-sorts rows and rids by their recomputed index keys (stable,
+// so equal keys keep probe order).
+func sortByKey(keys [][]byte, rows []Row, rids []table.RID) {
+	if len(keys) < 2 {
+		return
+	}
+	idx := make([]int, len(keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return compareBytes(keys[idx[a]], keys[idx[b]]) < 0 })
+	rowsOut := make([]Row, len(rows))
+	ridsOut := make([]table.RID, len(rids))
+	for i, j := range idx {
+		rowsOut[i] = rows[j]
+		ridsOut[i] = rids[j]
+	}
+	copy(rows, rowsOut)
+	copy(rids, ridsOut)
 }
 
 func compareBytes(a, b []byte) int {

@@ -18,9 +18,11 @@ import (
 // flush, before checkpoint truncation, mid-columnar-segment-build, and
 // mid-recovery). Cycles also flip the table between row and columnar
 // storage, so recovery is exercised with sealed segments, invalidated
-// segments, and builds interrupted before their checkpoint. After every
-// cycle the database is reopened cleanly and the recovered contents are
-// compared against a model kept in plain memory:
+// segments, and builds interrupted before their checkpoint; and half the
+// cycles pin an MVCC snapshot across the writes, so crashes land with
+// version chains live and the pinned view is re-verified after every
+// commit. After every cycle the database is reopened cleanly and the
+// recovered contents are compared against a model kept in plain memory:
 //
 //   - durability: every acknowledged commit is present;
 //   - atomicity: no uncommitted transaction is visible, in full or part;
@@ -55,6 +57,7 @@ type CrashTortureResult struct {
 	Commits         int // transactions acknowledged committed
 	Rollbacks       int // transactions rolled back after a statement error
 	Indeterminate   int // commits with unknown fate (crash during COMMIT)
+	SnapshotChecks  int // repeatable-read verifications through a pinned snapshot
 
 	// Engine fault counters accumulated across all cycles.
 	Injected, Retried, GaveUp uint64
@@ -267,6 +270,50 @@ func CrashTorture(cfg CrashTortureConfig) (*CrashTortureResult, error) {
 			case p < 0.45:
 				_, _ = conn.Exec("ALTER TABLE kv STORE ROW")
 			}
+			// In half the cycles, pin an MVCC snapshot before the writes
+			// start. Every write then grows version chains the snapshot
+			// keeps alive, the pinned view is re-verified after each commit
+			// (repeatable read under churn), and when the cycle crashes the
+			// snapshot is still open — so recovery runs with version chains
+			// live, proving the WAL before-images (not the in-memory
+			// chains) are what durability rests on. Reads that fail under
+			// an injected fault are ignored; a *successful* read that shows
+			// the wrong rows is an isolation violation.
+			var snapConn *core.Conn
+			var pinned map[int64]int64
+			if wl.Float64() < 0.5 {
+				if c2, err := db.Connect(); err == nil {
+					if _, err := c2.Exec("BEGIN READ ONLY"); err == nil {
+						snapConn = c2
+						pinned = applyOps(model, nil)
+					} else {
+						c2.Close()
+					}
+				}
+			}
+			checkSnapshot := func() error {
+				if snapConn == nil {
+					return nil
+				}
+				rows, err := snapConn.Query("SELECT k, v FROM kv")
+				if err != nil {
+					return nil // transient fault or crash mid-read: no verdict
+				}
+				got := map[int64]int64{}
+				for _, r := range rows.All() {
+					got[r[0].I] = r[1].I
+				}
+				if !kvEqual(got, pinned) {
+					return fmt.Errorf("cycle %d: snapshot drifted: %d rows visible, pinned %d",
+						cycle, len(got), len(pinned))
+				}
+				res.SnapshotChecks++
+				return nil
+			}
+			if err := checkSnapshot(); err != nil {
+				db.Crash()
+				return res, err
+			}
 		workload:
 			for t := 0; t < cfg.OpsPerCycle; t++ {
 				if _, err := conn.Exec("BEGIN"); err != nil {
@@ -322,8 +369,19 @@ func CrashTorture(cfg CrashTortureConfig) (*CrashTortureResult, error) {
 				}
 				res.Commits++
 				model = work
+				if err := checkSnapshot(); err != nil {
+					db.Crash()
+					return res, err
+				}
 			}
 			harvest(db)
+			if snapConn != nil && !sched.Crashed() {
+				// Clean cycle: release the snapshot so Close can drain.
+				// Crashed cycles skip this on purpose — the snapshot (and
+				// the version chains it pins) stays live through db.Crash().
+				_, _ = snapConn.Exec("COMMIT")
+				snapConn.Close()
+			}
 			if sched.Crashed() {
 				res.Crashes++
 				db.Crash()
@@ -390,25 +448,28 @@ func E19CrashRecovery() (*Report, error) {
 			"commits acknowledged   %6d\n"+
 			"rollbacks              %6d\n"+
 			"indeterminate commits  %6d\n"+
+			"snapshot checks        %6d\n"+
 			"faults injected        %6d\n"+
 			"transient retries      %6d\n"+
 			"retries exhausted      %6d\n"+
 			"invariant violations        0",
 		res.Cycles, res.Crashes, res.RecoveryCrashes, res.Commits,
-		res.Rollbacks, res.Indeterminate, res.Injected, res.Retried, res.GaveUp)
+		res.Rollbacks, res.Indeterminate, res.SnapshotChecks,
+		res.Injected, res.Retried, res.GaveUp)
 
 	return &Report{
 		ID:    "E19",
 		Title: "Crash-recovery torture under deterministic fault injection",
 		Table: table,
 		Metrics: map[string]float64{
-			"cycles":         float64(res.Cycles),
-			"crashes":        float64(res.Crashes),
-			"commits":        float64(res.Commits),
-			"indeterminate":  float64(res.Indeterminate),
-			"fault_injected": float64(res.Injected),
-			"fault_retried":  float64(res.Retried),
-			"fault_gaveup":   float64(res.GaveUp),
+			"cycles":          float64(res.Cycles),
+			"crashes":         float64(res.Crashes),
+			"commits":         float64(res.Commits),
+			"snapshot_checks": float64(res.SnapshotChecks),
+			"indeterminate":   float64(res.Indeterminate),
+			"fault_injected":  float64(res.Injected),
+			"fault_retried":   float64(res.Retried),
+			"fault_gaveup":    float64(res.GaveUp),
 		},
 	}, nil
 }

@@ -142,7 +142,7 @@ func observeWaits() ([]flightrec.WaitStat, error) {
 
 	const writers = 8
 	var wg sync.WaitGroup
-	errs := make([]error, writers)
+	errs := make([]error, writers+1)
 	for w := 0; w < writers; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -162,6 +162,26 @@ func observeWaits() ([]flightrec.WaitStat, error) {
 			}
 		}(w)
 	}
+	// One reader alongside the writer storm: its queries acquire MVCC
+	// snapshots, exercising the txn.snapshot wait event.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rc, err := db.Connect()
+		if err != nil {
+			errs[writers] = err
+			return
+		}
+		defer rc.Close()
+		for i := 0; i < 25; i++ {
+			rows, err := rc.Query("SELECT COUNT(*) FROM t WHERE b = 0")
+			if err != nil {
+				errs[writers] = err
+				return
+			}
+			rows.Close()
+		}
+	}()
 	wg.Wait()
 	for _, e := range errs {
 		if e != nil {
@@ -174,7 +194,7 @@ func observeWaits() ([]flightrec.WaitStat, error) {
 // E21ObservabilityOverhead measures what the always-on flight recorder
 // costs (enabled vs compiled-in-but-disabled; budget ≤5% on both the
 // scan+filter stream and the 16-writer commit storm) and what it buys
-// (digest collapse across literals, three-way wait attribution under
+// (digest collapse across literals, full wait attribution under
 // contention).
 func E21ObservabilityOverhead() (*Report, error) {
 	offScan, err := observeScanRate(true)

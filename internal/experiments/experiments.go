@@ -9,8 +9,9 @@
 // buffer-pool scalability (E17), vectored-executor throughput (E18),
 // crash-recovery torture under fault injection (E19), group-commit
 // throughput vs the serial flush baseline (E20), the always-on flight
-// recorder's overhead and fidelity (E21), and columnar segment scans with
-// zone-map predicate skipping vs the row heap (E22).
+// recorder's overhead and fidelity (E21), columnar segment scans with
+// zone-map predicate skipping vs the row heap (E22), and MVCC snapshot
+// reads vs the locking-read baseline under write churn (E23).
 //
 // Each experiment returns a Report: a paper-shaped table plus the key
 // metrics asserted by the benchmarks in bench_test.go and summarized in
@@ -105,6 +106,7 @@ var Registry = []Entry{
 	{"E20", "group-commit throughput", E20CommitThroughput},
 	{"E21", "observability overhead", E21ObservabilityOverhead},
 	{"E22", "columnar scan with zone-map skipping", E22ColumnarScan},
+	{"E23", "MVCC snapshot reads vs locking reads", E23SnapshotReads},
 }
 
 // IDRange describes the registered id span ("E1..E22") for usage strings.

@@ -107,7 +107,7 @@ func TestExpensiveExperiments(t *testing.T) {
 	if testing.Short() {
 		t.Skip("expensive experiments: run without -short or via cmd/repro")
 	}
-	for _, id := range []string{"E1", "E5", "E6", "E8", "E12", "E14", "E15", "E17", "E21"} {
+	for _, id := range []string{"E1", "E5", "E6", "E8", "E12", "E14", "E15", "E17", "E21", "E23"} {
 		r, err := ByID(id)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
@@ -151,6 +151,18 @@ func TestExpensiveExperiments(t *testing.T) {
 			// statements into one digest row.
 			if r.Metrics["digest_calls"] != 900 {
 				t.Fatalf("E21 digest collapse wrong: %v", r.Metrics)
+			}
+		case "E23":
+			// Zero snapshot-reader lock waits and aggregate consistency are
+			// enforced inside the experiment. Here assert the comparative
+			// shape: the locking baseline actually blocked, and snapshot
+			// reads retained more of their 1-writer rate than locking reads
+			// did as the writer population grew to 16.
+			if r.Metrics["lock_reader_wait_us_16w"] <= 0 {
+				t.Fatalf("E23 locking baseline never blocked: %v", r.Metrics)
+			}
+			if r.Metrics["snap_retention_16w"] <= r.Metrics["lock_retention_16w"] {
+				t.Fatalf("E23 snapshot reads degraded more than locking reads: %v", r.Metrics)
 			}
 		}
 	}

@@ -55,9 +55,12 @@ func TestCrashTorture(t *testing.T) {
 	if res.Retried == 0 {
 		t.Error("no transient faults retried")
 	}
-	t.Logf("cycles=%d crashes=%d recoveryCrashes=%d commits=%d rollbacks=%d indeterminate=%d injected=%d retried=%d gaveup=%d",
+	if res.SnapshotChecks == 0 {
+		t.Error("no snapshot repeatable-read checks ran: version chains were never live at a crash")
+	}
+	t.Logf("cycles=%d crashes=%d recoveryCrashes=%d commits=%d rollbacks=%d indeterminate=%d snapshotChecks=%d injected=%d retried=%d gaveup=%d",
 		res.Cycles, res.Crashes, res.RecoveryCrashes, res.Commits,
-		res.Rollbacks, res.Indeterminate, res.Injected, res.Retried, res.GaveUp)
+		res.Rollbacks, res.Indeterminate, res.SnapshotChecks, res.Injected, res.Retried, res.GaveUp)
 }
 
 // TestCommitTortureMultiWriter runs the group-commit torture: several
@@ -128,7 +131,7 @@ func TestCrashTortureDeterministic(t *testing.T) {
 	a, b := run(), run()
 	if a.Crashes != b.Crashes || a.Commits != b.Commits ||
 		a.Rollbacks != b.Rollbacks || a.Indeterminate != b.Indeterminate ||
-		a.RecoveryCrashes != b.RecoveryCrashes {
+		a.RecoveryCrashes != b.RecoveryCrashes || a.SnapshotChecks != b.SnapshotChecks {
 		t.Fatalf("same seed diverged:\n  run1: %+v\n  run2: %+v", a, b)
 	}
 }

@@ -53,6 +53,11 @@ const (
 	// the page from the store, or a hit waiting on another goroutine's
 	// in-flight read of the same page.
 	WaitBufferIO
+	// WaitSnapshot is time spent acquiring an MVCC read snapshot: the
+	// commit-sequence read plus snapshot registration under the snapshot
+	// mutex. Normally sub-microsecond; it surfaces contention on the
+	// snapshot registry under heavy mixed workloads.
+	WaitSnapshot
 
 	// NumWaitKinds is the number of registered wait-event kinds.
 	NumWaitKinds
@@ -64,6 +69,7 @@ var waitNames = [NumWaitKinds]string{
 	WaitLock:     "lock.acquire",
 	WaitWALFlush: "wal.flush",
 	WaitBufferIO: "buffer.read",
+	WaitSnapshot: "txn.snapshot",
 }
 
 // Name returns the wait kind's registered event name.

@@ -28,13 +28,22 @@ const (
 	Shared Mode = iota
 	// Exclusive permits a single writer.
 	Exclusive
+	// IntentExclusive marks a coarser object (a table) as "rows below are
+	// being written": compatible with other writers' intents, conflicting
+	// with a Shared lock on the same object. Locking readers take table-S
+	// and block behind it; snapshot readers never call the lock manager.
+	IntentExclusive
 )
 
 func (m Mode) String() string {
-	if m == Shared {
+	switch m {
+	case Shared:
 		return "S"
+	case IntentExclusive:
+		return "IX"
+	default:
+		return "X"
 	}
-	return "X"
 }
 
 // ErrTimeout reports that a lock wait exceeded its deadline — the engine's
@@ -278,6 +287,10 @@ func compatible(es []entry, obj uint64, key []byte, txn uint64, mode Mode) bool 
 		if mode == Exclusive || e.mode == Exclusive {
 			return false
 		}
+		// Both in {S, IX}: S-S and IX-IX coexist, S-IX conflicts.
+		if mode != e.mode {
+			return false
+		}
 	}
 	return true
 }
@@ -286,7 +299,9 @@ func compatible(es []entry, obj uint64, key []byte, txn uint64, mode Mode) bool 
 func held(es []entry, obj uint64, key []byte, txn uint64, mode Mode) bool {
 	for _, e := range es {
 		if e.obj == obj && bytes.Equal(e.key, key) && e.txn == txn {
-			if mode == Shared || e.mode == Exclusive {
+			// Exclusive subsumes every mode; S and IX cover only themselves
+			// (a txn holding both is effectively SIX).
+			if e.mode == Exclusive || e.mode == mode {
 				return true
 			}
 		}
@@ -335,17 +350,21 @@ func (m *Manager) Lock(txn, obj uint64, key []byte, mode Mode) error {
 			return nil
 		}
 		if compatible(es, obj, key, txn, mode) {
-			// Upgrade: drop our weaker lock first.
-			kept := es[:0]
-			for _, e := range es {
-				if !(e.obj == obj && bytes.Equal(e.key, key) && e.txn == txn) {
-					kept = append(kept, e)
+			// Upgrade to Exclusive: drop our weaker locks first, since X
+			// subsumes them. S and IX are not ordered, so a txn adding one
+			// while holding the other keeps both entries (the SIX shape).
+			if mode == Exclusive {
+				kept := es[:0]
+				for _, e := range es {
+					if !(e.obj == obj && bytes.Equal(e.key, key) && e.txn == txn) {
+						kept = append(kept, e)
+					}
 				}
-			}
-			if len(kept) != len(es) {
-				if _, err := m.writeBucket(id, kept); err != nil {
-					m.mu.Unlock()
-					return err
+				if len(kept) != len(es) {
+					if _, err := m.writeBucket(id, kept); err != nil {
+						m.mu.Unlock()
+						return err
+					}
 				}
 			}
 			err := m.addEntry(entry{obj: obj, key: append([]byte(nil), key...), txn: txn, mode: mode})

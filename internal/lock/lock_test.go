@@ -301,3 +301,49 @@ func TestLockContentionNoPileup(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+func TestIntentExclusiveMatrix(t *testing.T) {
+	m := newManager(t)
+	m.Timeout = 50 * time.Millisecond
+	// Two writers declare intent on the same table: compatible.
+	if err := m.Lock(1, 10, nil, IntentExclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, 10, nil, IntentExclusive); err != nil {
+		t.Fatal(err)
+	}
+	// A locking reader's table-S blocks behind either intent.
+	if err := m.Lock(3, 10, nil, Shared); err != ErrTimeout {
+		t.Fatalf("S vs IX: want timeout, got %v", err)
+	}
+	// X blocks behind both intents too.
+	if err := m.Lock(3, 10, nil, Exclusive); err != ErrTimeout {
+		t.Fatalf("X vs IX: want timeout, got %v", err)
+	}
+	m.ReleaseAll(1)
+	m.ReleaseAll(2)
+	// With intents gone, readers share the table.
+	if err := m.Lock(3, 10, nil, Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(4, 10, nil, Shared); err != nil {
+		t.Fatal(err)
+	}
+	// And a writer's intent now blocks behind the readers.
+	if err := m.Lock(5, 10, nil, IntentExclusive); err != ErrTimeout {
+		t.Fatalf("IX vs S: want timeout, got %v", err)
+	}
+	// Once the other reader is gone, the sole S holder may add its own
+	// intent (SIX shape: reads the table, writes some rows).
+	m.ReleaseAll(4)
+	if err := m.Lock(3, 10, nil, IntentExclusive); err != nil {
+		t.Fatalf("self S+IX: %v", err)
+	}
+	// That SIX combination excludes both new readers and new writers.
+	if err := m.Lock(6, 10, nil, Shared); err != ErrTimeout {
+		t.Fatalf("S vs SIX: want timeout, got %v", err)
+	}
+	if err := m.Lock(6, 10, nil, IntentExclusive); err != ErrTimeout {
+		t.Fatalf("IX vs SIX: want timeout, got %v", err)
+	}
+}

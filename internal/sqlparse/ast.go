@@ -78,8 +78,11 @@ type Delete struct {
 	Where Expr
 }
 
-// Begin, Commit, Rollback control transactions.
-type Begin struct{}
+// Begin, Commit, Rollback control transactions. BEGIN READ ONLY starts a
+// snapshot transaction: repeatable reads, no locks, writes rejected.
+type Begin struct {
+	ReadOnly bool
+}
 type Commit struct{}
 type Rollback struct{}
 

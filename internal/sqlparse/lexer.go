@@ -39,7 +39,7 @@ var keywords = map[string]bool{
 	"DOUBLE": true, "REAL": true, "FLOAT": true, "VARCHAR": true,
 	"CHAR": true, "TEXT": true, "STRING": true, "LOAD": true,
 	"EXPLAIN": true, "ANALYZE": true, "ALTER": true, "STORE": true,
-	"COLUMNAR": true, "ROW": true,
+	"COLUMNAR": true, "ROW": true, "READ": true, "ONLY": true,
 }
 
 type lexer struct {

@@ -122,6 +122,12 @@ func (p *parser) parseStatement() (Statement, error) {
 	case p.accept(tokKeyword, "DELETE"):
 		return p.parseDelete()
 	case p.accept(tokKeyword, "BEGIN"):
+		if p.accept(tokKeyword, "READ") {
+			if _, err := p.expect(tokKeyword, "ONLY"); err != nil {
+				return nil, err
+			}
+			return &Begin{ReadOnly: true}, nil
+		}
 		return &Begin{}, nil
 	case p.accept(tokKeyword, "COMMIT"):
 		return &Commit{}, nil

@@ -124,7 +124,7 @@ func (t *Table) BuildColumnar(tx *txn.Txn, persist bool) (*ColState, error) {
 		kinds[i] = c.Kind
 	}
 	b := colseg.NewBuilder(kinds, t.SegmentRows)
-	if err := t.scanRange(first, delta, func(_ RID, row []val.Value) (bool, error) {
+	if err := t.scanRange(first, delta, nil, func(_ RID, row []val.Value) (bool, error) {
 		b.Add(row)
 		return true, nil
 	}); err != nil {

@@ -8,12 +8,14 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"anywheredb/internal/btree"
 	"anywheredb/internal/buffer"
 	"anywheredb/internal/lock"
+	"anywheredb/internal/mvcc"
 	"anywheredb/internal/page"
 	"anywheredb/internal/stats"
 	"anywheredb/internal/store"
@@ -107,6 +109,13 @@ type Table struct {
 	// invalidation so the engine can count it and de-promote the table.
 	OnColsegDrop func()
 
+	// versions holds the row version chains for snapshot reads: the
+	// pre-image of every in-flight (and not-yet-vacuumed committed) write,
+	// keyed by heap location. The heap always has the newest version;
+	// snapshot readers resolve backwards through here. Volatile by design:
+	// recovery resolves every transaction, so chains restart empty.
+	versions *mvcc.Store
+
 	// Hists holds one self-managing histogram per column.
 	Hists []*stats.Histogram
 	// StrStats holds long-string statistics for string columns (nil for
@@ -118,7 +127,7 @@ type Table struct {
 
 // Create makes an empty table with one (empty) page.
 func Create(pool *buffer.Pool, st *store.Store, file store.FileID, id uint64, name string, cols []Column) (*Table, error) {
-	t := &Table{ID: id, Name: name, Columns: cols, pool: pool, st: st, file: file}
+	t := &Table{ID: id, Name: name, Columns: cols, pool: pool, st: st, file: file, versions: mvcc.NewStore()}
 	f, err := pool.NewPage(file, page.TypeTable)
 	if err != nil {
 		return nil, err
@@ -133,7 +142,7 @@ func Create(pool *buffer.Pool, st *store.Store, file store.FileID, id uint64, na
 
 // Attach opens an existing table chain and recounts rows.
 func Attach(pool *buffer.Pool, st *store.Store, id uint64, name string, cols []Column, first store.PageID) (*Table, error) {
-	t := &Table{ID: id, Name: name, Columns: cols, pool: pool, st: st, file: first.File(), first: first, last: first}
+	t := &Table{ID: id, Name: name, Columns: cols, pool: pool, st: st, file: first.File(), first: first, last: first, versions: mvcc.NewStore()}
 	t.initStats()
 	// Walk the chain to find the tail and count rows/pages.
 	var rows, pages int64
@@ -230,6 +239,13 @@ func (t *Table) Insert(tx *txn.Txn, row []val.Value) (RID, error) {
 		}
 	}
 
+	if tx != nil {
+		// Declare write intent on the table before touching the heap, so
+		// locking readers (table-S) serialize against this writer.
+		if err := tx.Lock(t.ID, nil, lock.IntentExclusive); err != nil {
+			return RID{}, err
+		}
+	}
 	rid, err := t.insertBytes(tx, enc)
 	if err != nil {
 		return RID{}, err
@@ -270,6 +286,10 @@ func (t *Table) insertBytes(tx *txn.Txn, enc []byte) (RID, error) {
 	if slot >= 0 {
 		f.MarkDirty()
 		id := f.ID
+		// Push the insert marker ("no row existed here before this txn")
+		// while still holding the page latch: a snapshot reader that can
+		// see the new cell must also find the chain entry that hides it.
+		t.pushVersion(tx, RID{Page: id, Slot: slot}, nil, false)
 		f.Unlock()
 		t.pool.Unpin(f, true)
 		return RID{Page: id, Slot: slot}, nil
@@ -293,13 +313,31 @@ func (t *Table) insertBytes(tx *txn.Txn, enc []byte) (RID, error) {
 	}
 	t.last = nf.ID
 	t.pages.Add(1)
+	nf.Lock()
 	slot = nf.Data.Insert(enc)
 	id := nf.ID
+	if slot >= 0 {
+		t.pushVersion(tx, RID{Page: id, Slot: slot}, nil, false)
+	}
+	nf.Unlock()
 	t.pool.Unpin(nf, true)
 	if slot < 0 {
 		return RID{}, fmt.Errorf("table %s: fresh page rejected %d bytes", t.Name, len(enc))
 	}
 	return RID{Page: id, Slot: slot}, nil
+}
+
+// pushVersion prepends a pre-image entry to rid's version chain on behalf
+// of tx. No-op for non-transactional work (bulk load, rollback undo —
+// compensations restore state rather than create new versions).
+func (t *Table) pushVersion(tx *txn.Txn, rid RID, pre []val.Value, exists bool) {
+	if tx == nil {
+		return
+	}
+	e := &mvcc.Entry{Writer: tx.ID(), Row: pre, Exists: exists, Bytes: mvcc.SizeOf(pre)}
+	id := mvcc.RowID{Page: rid.Page, Slot: rid.Slot}
+	t.versions.Push(id, e)
+	tx.NoteVersion(t.versions, id, e)
 }
 
 // undoInsert compensates an insert during rollback.
@@ -356,20 +394,94 @@ func (t *Table) Get(rid RID) ([]val.Value, error) {
 }
 
 // Delete removes a row, maintaining indexes, histograms, and undo.
-func (t *Table) Delete(tx *txn.Txn, rid RID) error {
+// UpdateChecked updates rid by deriving the replacement row from the
+// current committed row under the row's exclusive lock. check sees the
+// fresh row and may veto the write (the caller's WHERE predicate no longer
+// matches because a concurrent writer got there first); compute builds the
+// new row from the same fresh image, so read-modify-write statements
+// (UPDATE ... SET x = x + 1) never lose a concurrent update committed
+// between the caller's target scan and the lock grant. Reports whether the
+// row was written.
+func (t *Table) UpdateChecked(tx *txn.Txn, rid RID,
+	check func(row []val.Value) (bool, error),
+	compute func(row []val.Value) ([]val.Value, error)) (RID, bool, error) {
+	if tx != nil {
+		if err := tx.Lock(t.ID, nil, lock.IntentExclusive); err != nil {
+			return RID{}, false, err
+		}
+		if err := tx.Lock(t.ID, rid.Bytes(), lock.Exclusive); err != nil {
+			return RID{}, false, err
+		}
+	}
+	old, err := t.Get(rid)
+	if err != nil {
+		return RID{}, false, err
+	}
+	if check != nil {
+		ok, err := check(old)
+		if err != nil || !ok {
+			return rid, false, err
+		}
+	}
+	newRow, err := compute(old)
+	if err != nil {
+		return RID{}, false, err
+	}
+	newRID, err := t.Update(tx, rid, newRow)
+	return newRID, err == nil, err
+}
+
+// DeleteChecked deletes rid if check approves the current committed row
+// under the row's exclusive lock (the same staleness guard as
+// UpdateChecked). Reports whether the row was deleted.
+func (t *Table) DeleteChecked(tx *txn.Txn, rid RID,
+	check func(row []val.Value) (bool, error)) (bool, error) {
+	if tx != nil {
+		if err := tx.Lock(t.ID, nil, lock.IntentExclusive); err != nil {
+			return false, err
+		}
+		if err := tx.Lock(t.ID, rid.Bytes(), lock.Exclusive); err != nil {
+			return false, err
+		}
+	}
 	row, err := t.Get(rid)
 	if err != nil {
-		return err
+		return false, err
 	}
+	if check != nil {
+		ok, err := check(row)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	if err := t.Delete(tx, rid); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+func (t *Table) Delete(tx *txn.Txn, rid RID) error {
+	// Lock before reading the pre-image, so the saved version cannot be
+	// stale by the time it lands on the chain.
 	if tx != nil {
+		if err := tx.Lock(t.ID, nil, lock.IntentExclusive); err != nil {
+			return err
+		}
 		if err := tx.Lock(t.ID, rid.Bytes(), lock.Exclusive); err != nil {
 			return err
 		}
+	}
+	row, err := t.Get(rid)
+	if err != nil {
+		return err
 	}
 	// The row may be covered by sealed column segments: drop them (WAL-
 	// logged before the delete record) so no scan — live or replayed —
 	// can see the stale columnar image.
 	t.invalidateColumnar(tx)
+	// Chain the pre-image before the cell disappears: a snapshot reader
+	// either sees the live cell, or resurrects it from here.
+	t.pushVersion(tx, rid, row, true)
 	if err := t.removeRow(rid); err != nil {
 		return err
 	}
@@ -422,14 +534,17 @@ func (t *Table) Update(tx *txn.Txn, rid RID, newRow []val.Value) (RID, error) {
 	if len(newRow) != len(t.Columns) {
 		return RID{}, fmt.Errorf("table %s: %d values for %d columns", t.Name, len(newRow), len(t.Columns))
 	}
-	oldRow, err := t.Get(rid)
-	if err != nil {
-		return RID{}, err
-	}
 	if tx != nil {
+		if err := tx.Lock(t.ID, nil, lock.IntentExclusive); err != nil {
+			return RID{}, err
+		}
 		if err := tx.Lock(t.ID, rid.Bytes(), lock.Exclusive); err != nil {
 			return RID{}, err
 		}
+	}
+	oldRow, err := t.Get(rid)
+	if err != nil {
+		return RID{}, err
 	}
 	newEnc := val.EncodeRow(newRow)
 	if len(newEnc) > page.Size-page.HeaderSize-8 {
@@ -437,6 +552,11 @@ func (t *Table) Update(tx *txn.Txn, rid RID, newRow []val.Value) (RID, error) {
 	}
 	// As in Delete: sealed segments may cover this row.
 	t.invalidateColumnar(tx)
+	// One pre-image entry at the original location covers both outcomes:
+	// updated in place (chain hides the new bytes) or moved away (chain
+	// resurrects the row where the cell used to be, and insertBytes chains
+	// a not-exists marker at the new location).
+	t.pushVersion(tx, rid, oldRow, true)
 
 	newRID := rid
 	f, err := t.pool.Get(rid.Page)
@@ -451,19 +571,30 @@ func (t *Table) Update(tx *txn.Txn, rid RID, newRow []val.Value) (RID, error) {
 	f.Unlock()
 	t.pool.Unpin(f, inPlace)
 	if !inPlace {
-		// Move: delete + reinsert.
+		// Move: delete + reinsert, logged as a delete/insert pair. A single
+		// RecUpdate at the new location would leave the old cell's removal
+		// unlogged: if the old page never reached disk before a crash, redo
+		// would resurrect the original row beside the moved copy.
 		if err := t.removeRow(rid); err != nil {
 			return RID{}, err
+		}
+		if tx != nil {
+			tx.Log(&wal.Record{Type: wal.RecDelete, Table: t.ID, Page: rid.Page, Slot: uint32(rid.Slot),
+				Before: val.EncodeRow(oldRow)})
 		}
 		newRID, err = t.insertBytes(tx, newEnc)
 		if err != nil {
 			return RID{}, err
 		}
-	}
-
-	if tx != nil {
+		if tx != nil {
+			tx.Log(&wal.Record{Type: wal.RecInsert, Table: t.ID, Page: newRID.Page, Slot: uint32(newRID.Slot),
+				After: newEnc})
+		}
+	} else if tx != nil {
 		tx.Log(&wal.Record{Type: wal.RecUpdate, Table: t.ID, Page: newRID.Page, Slot: uint32(newRID.Slot),
 			Before: val.EncodeRow(oldRow), After: newEnc})
+	}
+	if tx != nil {
 		tx.OnRollback(func() error {
 			_, err := t.Update(nil, newRID, oldRow)
 			return err
@@ -495,18 +626,40 @@ func (t *Table) Scan(fn func(rid RID, row []val.Value) (bool, error)) error {
 	t.mu.Lock()
 	cur := t.first
 	t.mu.Unlock()
-	return t.scanRange(cur, 0, fn)
+	return t.scanRange(cur, 0, nil, fn)
 }
 
 // ScanFrom scans live rows starting at a chain page (the columnar delta
 // tail begins at ColState.DeltaStart).
 func (t *Table) ScanFrom(start store.PageID, fn func(rid RID, row []val.Value) (bool, error)) error {
-	return t.scanRange(start, 0, fn)
+	return t.scanRange(start, 0, nil, fn)
+}
+
+// ScanSnapshot scans the version of every row visible to snap, in chain
+// order, without any lock-manager interaction: rows a concurrent writer has
+// touched resolve through their version chains, and rows it deleted or
+// moved are resurrected from their pre-images.
+func (t *Table) ScanSnapshot(snap *mvcc.Snapshot, fn func(rid RID, row []val.Value) (bool, error)) error {
+	t.mu.Lock()
+	cur := t.first
+	t.mu.Unlock()
+	return t.scanRange(cur, 0, snap, fn)
+}
+
+// ScanSnapshotFrom is ScanSnapshot starting at a chain page.
+func (t *Table) ScanSnapshotFrom(start store.PageID, snap *mvcc.Snapshot, fn func(rid RID, row []val.Value) (bool, error)) error {
+	return t.scanRange(start, 0, snap, fn)
+}
+
+// scanItem is one emitted row of a page scan.
+type scanItem struct {
+	slot int
+	row  []val.Value
 }
 
 // scanRange walks chain pages from start until stop (exclusive; 0 = end of
-// chain), calling fn per live row.
-func (t *Table) scanRange(start, stop store.PageID, fn func(rid RID, row []val.Value) (bool, error)) error {
+// chain), calling fn per live row — per visible row when snap is non-nil.
+func (t *Table) scanRange(start, stop store.PageID, snap *mvcc.Snapshot, fn func(rid RID, row []val.Value) (bool, error)) error {
 	cur := start
 	for cur != 0 && cur != stop {
 		f, err := t.pool.Get(cur)
@@ -515,11 +668,7 @@ func (t *Table) scanRange(start, stop store.PageID, fn func(rid RID, row []val.V
 		}
 		f.RLock()
 		n := f.Data.NumSlots()
-		type item struct {
-			slot int
-			row  []val.Value
-		}
-		items := make([]item, 0, n)
+		items := make([]scanItem, 0, n)
 		for s := 0; s < n; s++ {
 			cell := f.Data.Cell(s)
 			if cell == nil {
@@ -531,7 +680,12 @@ func (t *Table) scanRange(start, stop store.PageID, fn func(rid RID, row []val.V
 				t.pool.Unpin(f, false)
 				return fmt.Errorf("table %s: %v slot %d: %w", t.Name, cur, s, err)
 			}
-			items = append(items, item{s, row})
+			items = append(items, scanItem{s, row})
+		}
+		if snap != nil && !t.versions.Empty() {
+			// Resolve under the same latch hold that read the cells: heap
+			// content and chain heads stay mutually consistent.
+			items = t.applySnapshot(cur, items, snap)
 		}
 		next := f.Data.Next()
 		f.RUnlock()
@@ -548,6 +702,106 @@ func (t *Table) scanRange(start, stop store.PageID, fn func(rid RID, row []val.V
 		cur = store.PageID(next)
 	}
 	return nil
+}
+
+// applySnapshot rewrites one page's decoded rows through the version
+// chains: a row with a chain resolves to its visible version (possibly
+// vanishing), and a chain whose heap cell is gone resurrects the version a
+// concurrent delete or move hid. The caller holds the page latch shared.
+func (t *Table) applySnapshot(pg store.PageID, items []scanItem, snap *mvcc.Snapshot) []scanItem {
+	slots := t.versions.SlotsOnPage(pg)
+	if len(slots) == 0 {
+		return items
+	}
+	chained := make(map[int]bool, len(slots))
+	for _, s := range slots {
+		chained[s] = true
+	}
+	out := items[:0]
+	for _, it := range items {
+		if !chained[it.slot] {
+			out = append(out, it)
+			continue
+		}
+		chained[it.slot] = false
+		row, ok := t.versions.Resolve(mvcc.RowID{Page: pg, Slot: it.slot}, it.row, true, snap)
+		if ok {
+			out = append(out, scanItem{it.slot, copyRow(row)})
+		}
+	}
+	for _, s := range slots {
+		if !chained[s] {
+			continue
+		}
+		row, ok := t.versions.Resolve(mvcc.RowID{Page: pg, Slot: s}, nil, false, snap)
+		if ok {
+			out = append(out, scanItem{s, copyRow(row)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].slot < out[j].slot })
+	return out
+}
+
+// copyRow detaches a row that may alias a shared chain pre-image.
+func copyRow(r []val.Value) []val.Value { return append([]val.Value(nil), r...) }
+
+// GetVersioned reads the version of the row at rid visible to snap. The
+// bool result distinguishes "no visible row" from an error. A nil snap
+// reads the latest content, like Get, but without ErrNotFound.
+func (t *Table) GetVersioned(rid RID, snap *mvcc.Snapshot) ([]val.Value, bool, error) {
+	f, err := t.pool.Get(rid.Page)
+	if err != nil {
+		return nil, false, err
+	}
+	defer t.pool.Unpin(f, false)
+	f.RLock()
+	defer f.RUnlock()
+	var row []val.Value
+	exists := false
+	if cell := f.Data.Cell(rid.Slot); cell != nil {
+		if row, err = val.DecodeRow(cell); err != nil {
+			return nil, false, err
+		}
+		exists = true
+	}
+	if snap != nil && !t.versions.Empty() {
+		row, exists = t.versions.Resolve(mvcc.RowID{Page: rid.Page, Slot: rid.Slot}, row, exists, snap)
+		if exists {
+			row = copyRow(row)
+		}
+	}
+	if !exists {
+		return nil, false, nil
+	}
+	return row, true, nil
+}
+
+// VersionsEmpty reports whether the table has no live version chains —
+// the fast path that makes snapshot scans (and the columnar read path)
+// chain-free when no writer is in flight and vacuum has caught up.
+func (t *Table) VersionsEmpty() bool { return t.versions.Empty() }
+
+// VersionCount reports the number of live version-chain entries.
+func (t *Table) VersionCount() int64 { return t.versions.Count() }
+
+// VersionBytes reports the approximate memory held by version chains.
+func (t *Table) VersionBytes() int64 { return t.versions.Bytes() }
+
+// VersionRIDs lists every heap location with a live chain; index scans
+// under a snapshot probe these for rows the index no longer points at.
+func (t *Table) VersionRIDs() []RID {
+	ids := t.versions.RowIDs()
+	out := make([]RID, len(ids))
+	for i, id := range ids {
+		out[i] = RID{Page: id.Page, Slot: id.Slot}
+	}
+	return out
+}
+
+// VacuumVersions reclaims version entries no live or future snapshot can
+// reach (see mvcc.Store.Vacuum). active reports writer liveness.
+func (t *Table) VacuumVersions(threshold uint64, active func(txn uint64) bool) int {
+	return t.versions.Vacuum(threshold, active)
 }
 
 // AddIndex creates a new index and populates it from existing rows,

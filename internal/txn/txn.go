@@ -11,6 +11,7 @@ import (
 
 	"anywheredb/internal/faultinject"
 	"anywheredb/internal/lock"
+	"anywheredb/internal/mvcc"
 	"anywheredb/internal/wal"
 )
 
@@ -27,11 +28,46 @@ type Manager struct {
 	next   uint64
 	active map[uint64]*Txn
 
+	// commitMu serializes commit publication so the commit sequence is
+	// dense and every snapshot watermark is a consistent prefix: a commit
+	// stamps all its version entries with the next CSN, then advances
+	// commitSeq. Snapshots read commitSeq, so a half-stamped commit is
+	// always above their watermark (invisible) until published.
+	commitMu  sync.Mutex
+	commitSeq atomic.Uint64
+
+	// snapMu guards the registry of live snapshots (statement snapshots
+	// and BEGIN READ ONLY transaction snapshots); vacuum computes its
+	// reclaim threshold under the same mutex so a snapshot can never be
+	// acquired "in the past" of a concurrent vacuum pass.
+	snapMu sync.Mutex
+	snaps  map[uint64]snapState
+
 	// commitWaitObs, when set, is called with the transaction id and the
 	// wall-clock microseconds Commit/Rollback spent blocked in the WAL
 	// flush. The id lets the flight recorder attribute the wait to the
 	// statement span bound to the transaction.
 	commitWaitObs atomic.Pointer[func(txnID uint64, us int64)]
+
+	// reclaimObs, when set, receives the number of version entries each
+	// eager commit/rollback reclamation freed (telemetry).
+	reclaimObs atomic.Pointer[func(n int)]
+}
+
+// SetReclaimObserver installs (or replaces) the eager-reclaim observer. A
+// nil f uninstalls.
+func (m *Manager) SetReclaimObserver(f func(n int)) {
+	if f == nil {
+		m.reclaimObs.Store(nil)
+		return
+	}
+	m.reclaimObs.Store(&f)
+}
+
+func (m *Manager) noteReclaim(n int) {
+	if f := m.reclaimObs.Load(); f != nil {
+		(*f)(n)
+	}
 }
 
 // SetCommitWaitObserver installs (or replaces) the commit durability-wait
@@ -60,18 +96,31 @@ func (m *Manager) flushTo(id uint64, lsn wal.LSN) error {
 // NewManager builds a transaction manager. locks may be nil for a
 // single-user (embedded, exclusive) database.
 func NewManager(log *wal.Log, locks *lock.Manager) *Manager {
-	return &Manager{log: log, locks: locks, next: 1, active: map[uint64]*Txn{}}
+	return &Manager{log: log, locks: locks, next: 1, active: map[uint64]*Txn{},
+		snaps: map[uint64]snapState{}}
 }
 
-// Begin starts a transaction.
+// Begin starts a read-write transaction.
 func (m *Manager) Begin() *Txn {
+	t := m.begin(false)
+	m.log.Append(&wal.Record{Type: wal.RecBegin, Txn: t.id})
+	return t
+}
+
+// BeginRO starts a read-only transaction. It writes nothing to the WAL —
+// there is nothing to recover — and Commit/Rollback only release whatever
+// locks it took (none on the snapshot path) and deregister it.
+func (m *Manager) BeginRO() *Txn {
+	return m.begin(true)
+}
+
+func (m *Manager) begin(ro bool) *Txn {
 	m.mu.Lock()
 	id := m.next
 	m.next++
-	t := &Txn{id: id, m: m}
+	t := &Txn{id: id, m: m, ro: ro, began: time.Now()}
 	m.active[id] = t
 	m.mu.Unlock()
-	m.log.Append(&wal.Record{Type: wal.RecBegin, Txn: id})
 	return t
 }
 
@@ -80,6 +129,135 @@ func (m *Manager) Active() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.active)
+}
+
+// IsActive reports whether the given transaction is still in flight.
+// Vacuum uses it to distinguish a rolled-back version entry (writer gone,
+// CSN never published) from one whose writer may yet commit.
+func (m *Manager) IsActive(id uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.active[id]
+	return ok
+}
+
+// CommitSeq returns the published commit horizon.
+func (m *Manager) CommitSeq() uint64 { return m.commitSeq.Load() }
+
+// snapState is one live snapshot in the registry.
+type snapState struct {
+	csn   uint64
+	began time.Time
+}
+
+// AcquireSnapshot registers and returns a new snapshot at the current
+// commit horizon. self, when nonzero, is the read-write transaction the
+// snapshot serves (its own uncommitted writes stay visible to it). The
+// snapshot pins versions from reclamation until ReleaseSnapshot.
+func (m *Manager) AcquireSnapshot(self uint64) *mvcc.Snapshot {
+	m.mu.Lock()
+	id := m.next
+	m.next++
+	m.mu.Unlock()
+	m.snapMu.Lock()
+	csn := m.commitSeq.Load()
+	m.snaps[id] = snapState{csn: csn, began: time.Now()}
+	m.snapMu.Unlock()
+	return &mvcc.Snapshot{ID: id, CSN: csn, Self: self}
+}
+
+// ReleaseSnapshot unpins s. Safe on nil.
+func (m *Manager) ReleaseSnapshot(s *mvcc.Snapshot) {
+	if s == nil {
+		return
+	}
+	m.snapMu.Lock()
+	delete(m.snaps, s.ID)
+	m.snapMu.Unlock()
+}
+
+// VacuumThreshold returns the CSN at or below which every live and future
+// snapshot sees all commits: the oldest active snapshot's watermark, or
+// the commit horizon when no snapshot is open. Reading commitSeq under
+// snapMu (the same mutex AcquireSnapshot registers under) guarantees no
+// snapshot older than the returned threshold can appear afterwards.
+func (m *Manager) VacuumThreshold() uint64 {
+	m.snapMu.Lock()
+	defer m.snapMu.Unlock()
+	th := m.commitSeq.Load()
+	for _, s := range m.snaps {
+		if s.csn < th {
+			th = s.csn
+		}
+	}
+	return th
+}
+
+// OldestSnapshot returns the smallest watermark among live snapshots, and
+// whether any snapshot is live at all.
+func (m *Manager) OldestSnapshot() (uint64, bool) {
+	m.snapMu.Lock()
+	defer m.snapMu.Unlock()
+	var oldest uint64
+	found := false
+	for _, s := range m.snaps {
+		if !found || s.csn < oldest {
+			oldest, found = s.csn, true
+		}
+	}
+	return oldest, found
+}
+
+// TxnInfo is one row of sys.transactions: a live transaction as seen by
+// the manager.
+type TxnInfo struct {
+	ID          uint64
+	ReadOnly    bool
+	AgeUS       int64
+	SnapshotID  uint64 // registry id of the bound snapshot; 0 = none
+	SnapshotCSN uint64 // watermark of the bound snapshot; 0 = none
+	UndoBytes   int64
+}
+
+// SnapInfo is one live snapshot (possibly bound to a transaction).
+type SnapInfo struct {
+	ID    uint64
+	CSN   uint64
+	AgeUS int64
+}
+
+// Transactions lists the in-flight transactions.
+func (m *Manager) Transactions() []TxnInfo {
+	now := time.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]TxnInfo, 0, len(m.active))
+	for _, t := range m.active {
+		info := TxnInfo{
+			ID:        t.id,
+			ReadOnly:  t.ro,
+			AgeUS:     now.Sub(t.began).Microseconds(),
+			UndoBytes: t.undoBytes.Load(),
+		}
+		if s := t.snap.Load(); s != nil {
+			info.SnapshotID = s.ID
+			info.SnapshotCSN = s.CSN
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// Snapshots lists the live snapshots in the registry.
+func (m *Manager) Snapshots() []SnapInfo {
+	now := time.Now()
+	m.snapMu.Lock()
+	defer m.snapMu.Unlock()
+	out := make([]SnapInfo, 0, len(m.snaps))
+	for id, s := range m.snaps {
+		out = append(out, SnapInfo{ID: id, CSN: s.csn, AgeUS: now.Sub(s.began).Microseconds()})
+	}
+	return out
 }
 
 // Log exposes the transaction log (for checkpointing).
@@ -104,10 +282,28 @@ func (m *Manager) crashpoint(name string) error {
 
 // Txn is one transaction. A Txn is used by a single goroutine.
 type Txn struct {
-	id   uint64
-	m    *Manager
-	undo []func() error
-	done bool
+	id    uint64
+	m     *Manager
+	undo  []func() error
+	done  bool
+	ro    bool
+	began time.Time
+
+	// entries are the version-chain pre-images this transaction pushed;
+	// Commit stamps them all with one CSN, then eagerly reclaims the ones
+	// no live snapshot pins. undoBytes and snap are read by
+	// sys.transactions from other goroutines, hence atomic.
+	entries   []versionRef
+	undoBytes atomic.Int64
+	snap      atomic.Pointer[mvcc.Snapshot]
+}
+
+// versionRef locates one version entry this transaction pushed: the entry
+// itself for CSN stamping, plus its store and row for eager reclamation.
+type versionRef struct {
+	store *mvcc.Store
+	rid   mvcc.RowID
+	e     *mvcc.Entry
 }
 
 // ID returns the transaction id.
@@ -115,6 +311,70 @@ func (t *Txn) ID() uint64 { return t.id }
 
 // Done reports whether the transaction has finished.
 func (t *Txn) Done() bool { return t.done }
+
+// ReadOnly reports whether the transaction was started with BeginRO.
+func (t *Txn) ReadOnly() bool { return t.ro }
+
+// NoteVersion records a version-chain entry this transaction pushed into
+// store at rid, for CSN stamping at commit, eager reclamation, and
+// undo-arena accounting.
+func (t *Txn) NoteVersion(store *mvcc.Store, rid mvcc.RowID, e *mvcc.Entry) {
+	t.entries = append(t.entries, versionRef{store: store, rid: rid, e: e})
+	t.undoBytes.Add(e.Bytes)
+}
+
+// BindSnapshot associates a snapshot with the transaction (the repeatable-
+// read snapshot of BEGIN READ ONLY) so sys.transactions can show its
+// watermark.
+func (t *Txn) BindSnapshot(s *mvcc.Snapshot) { t.snap.Store(s) }
+
+// Snapshot returns the bound snapshot, or nil.
+func (t *Txn) Snapshot() *mvcc.Snapshot { return t.snap.Load() }
+
+// publish stamps every version entry the transaction pushed with the next
+// commit sequence number and advances the published horizon. It runs after
+// the commit record is durable and before locks are released: the row
+// locks guarantee chain order equals CSN order, and readers that saw the
+// pre-publication horizon simply keep resolving to the pre-images.
+func (t *Txn) publish() {
+	if len(t.entries) == 0 {
+		return
+	}
+	m := t.m
+	m.commitMu.Lock()
+	csn := m.commitSeq.Load() + 1
+	for _, r := range t.entries {
+		r.e.SetCSN(csn)
+	}
+	m.commitSeq.Store(csn)
+	m.commitMu.Unlock()
+}
+
+// reclaim eagerly drops this transaction's own version entries once they
+// are dead: committed entries no live snapshot predates (snapshots
+// acquired from here on get a watermark at or past the commit, so they
+// resolve to the heap content, not these pre-images), and rolled-back
+// entries (the undo restored the heap, and the transaction has been
+// deregistered, so vacuum's writer-gone rule applies). Without this the
+// common no-concurrent-reader case would leave chains — and the columnar
+// fast path's chain-free invariant — dirty until the next background
+// sweep.
+func (t *Txn) reclaim() {
+	if len(t.entries) == 0 {
+		return
+	}
+	threshold := t.m.VacuumThreshold()
+	n := 0
+	for _, r := range t.entries {
+		if c := r.e.CSN(); c != 0 && c > threshold {
+			continue // a snapshot older than our commit pins the chain
+		}
+		n += r.store.VacuumOne(r.rid, threshold, t.m.IsActive)
+	}
+	if n > 0 {
+		t.m.noteReclaim(n)
+	}
+}
 
 // Log appends a data record to the WAL on this transaction's behalf.
 func (t *Txn) Log(rec *wal.Record) {
@@ -156,6 +416,12 @@ func (t *Txn) Commit() error {
 		return ErrDone
 	}
 	t.done = true
+	if t.ro {
+		// Nothing was logged and nothing can have changed: just release
+		// locks (if the locking-read path took any) and deregister.
+		t.finish()
+		return nil
+	}
 	if err := t.m.crashpoint("commit.before_flush"); err != nil {
 		t.compensate()
 		t.finish()
@@ -167,6 +433,10 @@ func (t *Txn) Commit() error {
 		t.finish()
 		return err
 	}
+	// The commit is durable: publish its versions before anything else —
+	// even the indeterminate-commit path below must leave snapshot readers
+	// seeing the committed data, since it IS the durable state.
+	t.publish()
 	if err := t.m.crashpoint("commit.after_flush"); err != nil {
 		// The commit IS durable; only the caller's acknowledgement was
 		// lost. In-memory state already matches the durable state, so no
@@ -196,6 +466,10 @@ func (t *Txn) Rollback() error {
 		return ErrDone
 	}
 	t.done = true
+	if t.ro {
+		t.finish()
+		return nil
+	}
 	var firstErr error
 	for i := len(t.undo) - 1; i >= 0; i-- {
 		if err := t.undo[i](); err != nil && firstErr == nil {
@@ -211,11 +485,21 @@ func (t *Txn) Rollback() error {
 }
 
 func (t *Txn) finish() {
+	if s := t.snap.Swap(nil); s != nil {
+		// A BEGIN READ ONLY transaction owns its bound snapshot: dropping
+		// it here unpins the versions it held against vacuum.
+		t.m.ReleaseSnapshot(s)
+	}
 	if t.m.locks != nil {
 		_ = t.m.locks.ReleaseAll(t.id)
 	}
+	// Deregister after publish (Commit) and after undo (Rollback): vacuum
+	// checks liveness before reading an entry's CSN, so a writer observed
+	// "gone" with CSN zero has definitively rolled back.
 	t.m.mu.Lock()
 	delete(t.m.active, t.id)
 	t.m.mu.Unlock()
+	t.reclaim()
 	t.undo = nil
+	t.entries = nil
 }

@@ -1,0 +1,119 @@
+// Command anywhere-client is a line-oriented SQL client for
+// anywhere-server: statements read from -e or stdin are sent over the
+// wire protocol and results printed. Retryable refusals (admission shed,
+// server draining) are reported as such so scripted callers can loop.
+//
+// Usage:
+//
+//	anywhere-client [-addr host:port] [-token secret] [-deadline 0]
+//	                [-e "select ..."]
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"anywheredb/internal/server/client"
+	"anywheredb/internal/val"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7654", "server address")
+	token := flag.String("token", "", "auth token")
+	deadline := flag.Duration("deadline", 0, "per-statement deadline (0 = server default)")
+	exprs := flag.String("e", "", "statement(s) to run, ';'-separated; empty = read stdin")
+	flag.Parse()
+
+	c, err := client.Dial(*addr, client.Options{
+		Token:             *token,
+		Name:              "anywhere-client",
+		StatementDeadline: *deadline,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer c.Close()
+
+	run := func(sql string) bool {
+		sql = strings.TrimSpace(sql)
+		if sql == "" {
+			return true
+		}
+		start := time.Now()
+		rows, err := c.Query(sql)
+		switch {
+		case errors.Is(err, client.ErrRetryable):
+			fmt.Fprintln(os.Stderr, "retryable:", err)
+			return false
+		case err != nil:
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return false
+		}
+		if len(rows.Cols) > 0 {
+			fmt.Println(strings.Join(rows.Cols, " | "))
+			for _, r := range rows.Data {
+				cells := make([]string, len(r))
+				for i, v := range r {
+					cells[i] = formatVal(v)
+				}
+				fmt.Println(strings.Join(cells, " | "))
+			}
+		}
+		fmt.Printf("(%d rows, %s)\n", len(rows.Data), time.Since(start).Round(time.Microsecond))
+		return true
+	}
+
+	if *exprs != "" {
+		ok := true
+		for _, sql := range strings.Split(*exprs, ";") {
+			ok = run(sql) && ok
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	for {
+		if buf.Len() == 0 {
+			fmt.Print("sql> ")
+		} else {
+			fmt.Print("...> ")
+		}
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == `\q` || line == "quit" || line == "exit" {
+			break
+		}
+		buf.WriteString(line)
+		buf.WriteString(" ")
+		if strings.HasSuffix(line, ";") {
+			run(strings.TrimSuffix(strings.TrimSpace(buf.String()), ";"))
+			buf.Reset()
+		}
+	}
+}
+
+func formatVal(v val.Value) string {
+	switch v.Kind {
+	case val.KNull:
+		return "NULL"
+	case val.KInt:
+		return fmt.Sprintf("%d", v.I)
+	case val.KDouble:
+		return fmt.Sprintf("%g", v.F)
+	default:
+		return v.S
+	}
+}

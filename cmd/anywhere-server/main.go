@@ -1,0 +1,68 @@
+// Command anywhere-server runs the engine in network server mode: it
+// opens (or creates) a database and serves the length-prefixed
+// prepared-statement protocol on a TCP address. Admission control is
+// self-managing and on by default; SIGINT/SIGTERM triggers a graceful
+// drain (stop accepting, finish in-flight statements under the drain
+// deadline, checkpoint, exit).
+//
+// Usage:
+//
+//	anywhere-server [-dir path] [-addr host:port] [-token secret]
+//	                [-drain 5s] [-no-admission]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"anywheredb/internal/core"
+	"anywheredb/internal/server"
+)
+
+func main() {
+	dir := flag.String("dir", "", "database directory (empty = in-memory)")
+	addr := flag.String("addr", "127.0.0.1:7654", "TCP listen address")
+	token := flag.String("token", "", "auth token clients must present (empty = open)")
+	drain := flag.Duration("drain", 5*time.Second, "graceful drain deadline on shutdown")
+	noAdm := flag.Bool("no-admission", false, "disable self-managing admission control")
+	flag.Parse()
+
+	db, err := core.Open(core.Options{Dir: *dir})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	srv, err := server.Start(db, server.Options{
+		Addr:         *addr,
+		AuthToken:    *token,
+		DrainTimeout: *drain,
+		AdmissionOff: *noAdm,
+	})
+	if err != nil {
+		db.Close()
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("anywhere-server listening on %s (admission %s)\n",
+		srv.Addr(), map[bool]string{false: "on", true: "off"}[*noAdm])
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "anywhere-server: draining...")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*(*drain))
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "drain:", err)
+	}
+	if err := db.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "close:", err)
+		os.Exit(1)
+	}
+}

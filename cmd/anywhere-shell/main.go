@@ -94,6 +94,24 @@ func printStats(conn *core.Conn) {
 		mvcc["txn.version_entries"], mvcc["txn.snapshots_active"],
 		mvcc["txn.oldest_snapshot"])
 
+	// Network clients, when a server is attached (sys.connections is empty
+	// in a purely embedded process).
+	if rows, err := conn.Query(
+		"SELECT id, remote_addr, state, statements, bytes_sent, age_us FROM sys.connections"); err == nil {
+		n := 0
+		for rows.Next() {
+			r := rows.Row()
+			if n == 0 {
+				fmt.Printf("\nconnections:\n%-6s %-22s %-8s %-11s %-12s %s\n",
+					"id", "remote_addr", "state", "statements", "bytes_sent", "age_us")
+			}
+			fmt.Printf("%-6d %-22s %-8s %-11d %-12d %d\n",
+				r[0].I, r[1].String(), r[2].String(), r[3].I, r[4].I, r[5].I)
+			n++
+		}
+		fmt.Printf("\nconnections: %d network client(s)\n", n)
+	}
+
 	rows, err = conn.Query(
 		"SELECT fingerprint, calls, rows, total_us, p95_us FROM sys.statements")
 	if err != nil {

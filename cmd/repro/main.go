@@ -5,15 +5,19 @@
 //
 // Usage:
 //
-//	repro           # run everything
-//	repro -exp E5   # run one experiment
-//	repro -list     # list registered experiments
+//	repro                 # run everything
+//	repro -exp E5         # run one experiment
+//	repro -exp E24 -json  # run one experiment and write BENCH_e24.json
+//	repro -list           # list registered experiments
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 
 	"anywheredb/internal/experiments"
 )
@@ -21,6 +25,7 @@ import (
 func main() {
 	exp := flag.String("exp", "", fmt.Sprintf("experiment id (%s); empty = all", experiments.IDRange()))
 	list := flag.Bool("list", false, "list registered experiments and exit")
+	jsonOut := flag.Bool("json", false, "also write BENCH_<id>.json next to the working directory for each experiment run")
 	flag.Parse()
 
 	if *list {
@@ -36,14 +41,61 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(r)
+		if *jsonOut {
+			if err := writeBenchJSON(r); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
 		return
 	}
 	reports, err := experiments.All()
 	for _, r := range reports {
 		fmt.Println(r)
+		if *jsonOut {
+			if jerr := writeBenchJSON(r); jerr != nil {
+				fmt.Fprintln(os.Stderr, jerr)
+				os.Exit(1)
+			}
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// writeBenchJSON persists one report as BENCH_<id>.json — the
+// machine-readable artifact the EXPERIMENTS.md entries link to.
+func writeBenchJSON(r *experiments.Report) error {
+	doc := struct {
+		Experiment string             `json:"experiment"`
+		Title      string             `json:"title"`
+		Command    string             `json:"command"`
+		Host       map[string]any     `json:"host"`
+		Table      string             `json:"table"`
+		Metrics    map[string]float64 `json:"metrics"`
+		Acceptance map[string]string  `json:"acceptance,omitempty"`
+		Notes      string             `json:"notes,omitempty"`
+	}{
+		Experiment: r.ID,
+		Title:      r.Title,
+		Command:    "go run ./cmd/repro -exp " + r.ID + " -json",
+		Host: map[string]any{
+			"os":   runtime.GOOS,
+			"arch": runtime.GOARCH,
+			"go":   runtime.Version(),
+			"cpus": runtime.NumCPU(),
+		},
+		Table:      r.Table,
+		Metrics:    r.Metrics,
+		Acceptance: r.Acceptance,
+		Notes:      r.Notes,
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	name := "BENCH_" + strings.ToLower(r.ID) + ".json"
+	return os.WriteFile(name, append(b, '\n'), 0o644)
 }

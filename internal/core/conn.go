@@ -46,9 +46,19 @@ type Conn struct {
 	// locks of an autocommit query in LockingReads mode (the 2PL read
 	// baseline). Nil outside that mode.
 	lockTx *txn.Txn
+	// stmtTimeout, when positive, bounds each statement on this connection,
+	// overriding the database-wide Options.StatementTimeout. The network
+	// server sets it per connection from the client's hello.
+	stmtTimeout time.Duration
 	// Workers overrides the database's default intra-query parallelism.
 	Workers int
 }
+
+// SetStatementTimeout bounds each of this connection's statements to d of
+// wall-clock time (0 restores the database-wide default). Cancellation is
+// observed at batch boundaries and in lock waits, like any other
+// statement-context expiry.
+func (c *Conn) SetStatementTimeout(d time.Duration) { c.stmtTimeout = d }
 
 // Result reports a statement's effect.
 type Result struct {
@@ -172,6 +182,14 @@ func (c *Conn) ExecContext(ctx context.Context, sql string, params ...val.Value)
 	return res, err
 }
 
+// RunContext runs one statement and returns both its result and any rows.
+// This is the shape the network server needs: it does not parse SQL, so it
+// cannot choose between Exec and Query up front. rows is nil when the
+// statement produced none.
+func (c *Conn) RunContext(ctx context.Context, sql string, params ...val.Value) (Result, *Rows, error) {
+	return c.run(ctx, sql, params, true)
+}
+
 // Query runs a statement returning rows.
 func (c *Conn) Query(sql string, params ...val.Value) (*Rows, error) {
 	return c.QueryContext(context.Background(), sql, params...)
@@ -204,7 +222,11 @@ func (c *Conn) run(ctx context.Context, sql string, params []val.Value, wantRows
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if to := c.db.opts.StatementTimeout; to > 0 {
+	to := c.db.opts.StatementTimeout
+	if c.stmtTimeout > 0 {
+		to = c.stmtTimeout
+	}
+	if to > 0 {
 		if _, has := ctx.Deadline(); !has {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, to)

@@ -250,6 +250,12 @@ type DB struct {
 	// pointers.
 	colsegDrops map[uint64]bool
 
+	// virtMu guards the registered virtual-table providers: layers above
+	// core (the network server) publish introspection tables here without
+	// core depending on them.
+	virtMu sync.RWMutex
+	virt   map[string]VirtualTableFn
+
 	// mu guards the table map, connection count, and shutdown latch. The
 	// statement hot path takes it only in read mode (name resolution) —
 	// writers are DDL, connect/close, and checkpoint — so independent
@@ -854,6 +860,22 @@ func (db *DB) VirtualRows(name string) ([]table.Column, []exec.Row, bool) {
 		}
 		db.mu.RUnlock()
 		return cols, rows, true
+	case "sys.connections":
+		// Fed by the network server (RegisterVirtualTable); embedded
+		// databases answer the schema with zero rows so queries and shell
+		// .stats lines work either way.
+		if cols, rows, ok := db.registeredVirtual(name); ok {
+			return cols, rows, true
+		}
+		return []table.Column{
+			{Name: "id", Kind: val.KInt},
+			{Name: "remote_addr", Kind: val.KStr},
+			{Name: "state", Kind: val.KStr},
+			{Name: "statements", Kind: val.KInt},
+			{Name: "bytes_sent", Kind: val.KInt},
+			{Name: "fingerprint", Kind: val.KStr},
+			{Name: "age_us", Kind: val.KInt},
+		}, nil, true
 	case "sys.transactions":
 		// Live transactions only. Free-standing statement snapshots are
 		// deliberately excluded — the query reading this table holds one
@@ -884,7 +906,47 @@ func (db *DB) VirtualRows(name string) ([]table.Column, []exec.Row, bool) {
 		sort.Slice(rows, func(i, j int) bool { return rows[i][0].I < rows[j][0].I })
 		return cols, rows, true
 	}
-	return nil, nil, false
+	return db.registeredVirtual(name)
+}
+
+// VirtualTableFn produces one registered virtual table's snapshot.
+type VirtualTableFn func() ([]table.Column, []exec.Row)
+
+// RegisterVirtualTable publishes (or, with fn nil, withdraws) a virtual
+// table served by a layer above core — the network server feeds
+// sys.connections through this. Registered names resolve after the
+// built-in sys.* tables.
+func (db *DB) RegisterVirtualTable(name string, fn VirtualTableFn) {
+	name = strings.ToLower(name)
+	db.virtMu.Lock()
+	defer db.virtMu.Unlock()
+	if fn == nil {
+		delete(db.virt, name)
+		return
+	}
+	if db.virt == nil {
+		db.virt = map[string]VirtualTableFn{}
+	}
+	db.virt[name] = fn
+}
+
+// registeredVirtual resolves a registered virtual-table provider.
+func (db *DB) registeredVirtual(name string) ([]table.Column, []exec.Row, bool) {
+	db.virtMu.RLock()
+	fn := db.virt[name]
+	db.virtMu.RUnlock()
+	if fn == nil {
+		return nil, nil, false
+	}
+	cols, rows := fn()
+	return cols, rows, true
+}
+
+// ConnCount reports the number of open connections.
+func (db *DB) ConnCount() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.conns
 }
 
 // heapBytes estimates the server's main heap: active tasks' pages.
@@ -1165,10 +1227,20 @@ func (db *DB) applyRedo(r *wal.Record) error {
 		if cur != nil && string(cur) == string(r.After) {
 			return nil // already applied
 		}
+		// InsertSparse, not InsertAt: redo replays only committed inserts,
+		// so the slot sequence has holes where loser transactions' slots
+		// were. A strict insert would refuse the gap and silently drop a
+		// committed row (and break replay idempotency, since the undo pass
+		// can fill the hole and let a second pass succeed).
+		ok := false
 		if cur != nil {
-			f.Data.Update(int(r.Slot), r.After)
+			ok = f.Data.Update(int(r.Slot), r.After)
 		} else {
-			f.Data.InsertAt(int(r.Slot), r.After)
+			ok = f.Data.InsertSparse(int(r.Slot), r.After)
+		}
+		if !ok {
+			return faultinject.Corrupt(fmt.Errorf(
+				"core: recovery redo could not restore page %v slot %d", r.Page, r.Slot))
 		}
 		f.MarkDirty()
 	case wal.RecDelete:
@@ -1203,7 +1275,7 @@ func (db *DB) applyUndo(r *wal.Record) error {
 		}
 	case wal.RecDelete:
 		if f.Data.Cell(int(r.Slot)) == nil {
-			f.Data.InsertAt(int(r.Slot), r.Before)
+			f.Data.InsertSparse(int(r.Slot), r.Before)
 			f.MarkDirty()
 		}
 	case wal.RecUpdate:

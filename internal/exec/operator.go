@@ -138,7 +138,7 @@ func lockForRead(ctx *Ctx, t *table.Table) error {
 	if ctx.Snap != nil || ctx.Tx == nil {
 		return nil
 	}
-	return ctx.Tx.Lock(t.ID, nil, lock.Shared)
+	return ctx.Tx.LockCtx(ctx.Context, t.ID, nil, lock.Shared)
 }
 
 func (s *TableScan) Open(ctx *Ctx) error {

@@ -9,6 +9,8 @@ import (
 
 	"anywheredb/internal/core"
 	"anywheredb/internal/flightrec"
+	"anywheredb/internal/server"
+	"anywheredb/internal/server/client"
 	"anywheredb/internal/val"
 )
 
@@ -20,7 +22,8 @@ import (
 // 16-writer commit storm), each against an engine built with the recorder
 // compiled in but disabled, and then checks fidelity: same-shape
 // statements collapse into one digest row, and a contended run attributes
-// wait time to all three wait classes.
+// wait time to every wait class in the taxonomy (locks, WAL flush, buffer
+// reads, snapshot acquisition, and the network server's send path).
 
 // observeScanRun is one statement-stream measurement.
 type observeScanRun struct {
@@ -188,6 +191,24 @@ func observeWaits() ([]flightrec.WaitStat, error) {
 			return nil, e
 		}
 	}
+
+	// The network server's send path is part of the wait taxonomy too
+	// (net.send accrues on every result-frame flush): attach an in-proc
+	// server and pull one result set through a real socket.
+	srv, err := server.Start(db, server.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	cl, err := client.Dial(srv.Addr().String(), client.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	if _, err := cl.Query("SELECT COUNT(*) FROM t"); err != nil {
+		return nil, err
+	}
+
 	return db.FlightRecorder().Waits().Snapshot(), nil
 }
 

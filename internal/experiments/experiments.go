@@ -10,8 +10,9 @@
 // crash-recovery torture under fault injection (E19), group-commit
 // throughput vs the serial flush baseline (E20), the always-on flight
 // recorder's overhead and fidelity (E21), columnar segment scans with
-// zone-map predicate skipping vs the row heap (E22), and MVCC snapshot
-// reads vs the locking-read baseline under write churn (E23).
+// zone-map predicate skipping vs the row heap (E22), MVCC snapshot
+// reads vs the locking-read baseline under write churn (E23), and the
+// network server's admission control under 4× overload (E24).
 //
 // Each experiment returns a Report: a paper-shaped table plus the key
 // metrics asserted by the benchmarks in bench_test.go and summarized in
@@ -34,6 +35,13 @@ type Report struct {
 	// Telemetry is the engine counter movement the experiment caused
 	// (registry deltas), printed alongside the paper-shaped table.
 	Telemetry []telemetry.Sample
+	// Acceptance maps each of the experiment's acceptance criteria to a
+	// pass/fail note; experiments that hard-fail their criteria in Run fill
+	// this only on success. Emitted in cmd/repro's -json artifact.
+	Acceptance map[string]string
+	// Notes is free-form context for the -json artifact (host caveats,
+	// measurement methodology).
+	Notes string
 }
 
 func (r *Report) String() string {
@@ -107,6 +115,7 @@ var Registry = []Entry{
 	{"E21", "observability overhead", E21ObservabilityOverhead},
 	{"E22", "columnar scan with zone-map skipping", E22ColumnarScan},
 	{"E23", "MVCC snapshot reads vs locking reads", E23SnapshotReads},
+	{"E24", "network server admission control under overload", E24ServerOverload},
 }
 
 // IDRange describes the registered id span ("E1..E22") for usage strings.

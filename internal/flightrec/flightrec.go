@@ -58,6 +58,11 @@ const (
 	// mutex. Normally sub-microsecond; it surfaces contention on the
 	// snapshot registry under heavy mixed workloads.
 	WaitSnapshot
+	// WaitNetSend is time the network server spent blocked writing result
+	// frames to a client socket (flushes of the bounded per-connection
+	// send buffer). A slow or stalled client shows up here before the
+	// server disconnects it.
+	WaitNetSend
 
 	// NumWaitKinds is the number of registered wait-event kinds.
 	NumWaitKinds
@@ -70,6 +75,7 @@ var waitNames = [NumWaitKinds]string{
 	WaitWALFlush: "wal.flush",
 	WaitBufferIO: "buffer.read",
 	WaitSnapshot: "txn.snapshot",
+	WaitNetSend:  "net.send",
 }
 
 // Name returns the wait kind's registered event name.

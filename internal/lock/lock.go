@@ -6,6 +6,7 @@ package lock
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -310,17 +311,27 @@ func held(es []entry, obj uint64, key []byte, txn uint64, mode Mode) bool {
 }
 
 // newWaitTimer builds the single wait-deadline timer a contended Lock call
-// uses. A test seam: the regression test swaps it to count allocations —
-// the retry loop must create at most one timer per Lock call, not one per
-// wake-up (time.After in the loop leaked a timer every iteration, each
-// lingering until the full Timeout elapsed).
+// uses. A test seam: the regression test swaps it to count allocations and
+// observe Stop — the retry loop must create at most one timer per Lock
+// call, not one per wake-up (time.After in the loop leaked a timer every
+// iteration, each lingering until the full Timeout elapsed), and the timer
+// must be stopped on every exit path, including a context cancellation
+// that lands between a wake-up and the re-check under the mutex.
 var newWaitTimer = time.NewTimer
 
 // Lock acquires (or upgrades to) the given mode for txn, waiting up to
-// Timeout for conflicting holders to release. The wait uses one timer for
-// the whole call, stopped on return, no matter how many times the waiter
-// is woken and re-blocked.
+// Timeout for conflicting holders to release.
 func (m *Manager) Lock(txn, obj uint64, key []byte, mode Mode) error {
+	return m.LockCtx(context.Background(), txn, obj, key, mode)
+}
+
+// LockCtx is Lock under a context: a cancelled or expired ctx aborts the
+// wait with ctx's error (the statement-deadline path of the network
+// server rides this). The wait uses one timer for the whole call, stopped
+// on return no matter how many times the waiter is woken and re-blocked
+// and no matter which path — grant, timeout, error, or cancellation
+// observed either in the select or at the re-check — exits the loop.
+func (m *Manager) LockCtx(ctx context.Context, txn, obj uint64, key []byte, mode Mode) error {
 	deadline := time.Now().Add(m.Timeout)
 	var timer *time.Timer
 	var expired <-chan time.Time
@@ -335,7 +346,19 @@ func (m *Manager) Lock(txn, obj uint64, key []byte, mode Mode) error {
 			}
 		}
 	}()
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
 	for {
+		// Re-check cancellation before taking the mutex: a waiter woken by
+		// a release races the canceller, and the statement must not acquire
+		// a lock its context has already abandoned.
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		m.mu.Lock()
 		h := hashLock(obj, key)
 		id := m.bucketFor(h)
@@ -393,6 +416,8 @@ func (m *Manager) Lock(txn, obj uint64, key []byte, mode Mode) error {
 		select {
 		case <-ch:
 			// Locks were released somewhere; retry.
+		case <-done:
+			return ctx.Err()
 		case <-expired:
 			m.timeouts.Add(1)
 			return ErrTimeout

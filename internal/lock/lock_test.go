@@ -1,6 +1,7 @@
 package lock
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -345,5 +346,123 @@ func TestIntentExclusiveMatrix(t *testing.T) {
 	}
 	if err := m.Lock(6, 10, nil, IntentExclusive); err != ErrTimeout {
 		t.Fatalf("IX vs SIX: want timeout, got %v", err)
+	}
+}
+
+// TestLockCtxCancelStopsTimer pins the context-cancellation exit paths of
+// LockCtx: a waiter whose context is cancelled — including the window
+// between a broadcast wake-up and the re-check under the mutex — must
+// return the context error without acquiring the lock, and must stop its
+// single wait timer on the way out (the seam would otherwise leak one
+// timer per cancelled waiter, each lingering until the full Timeout).
+func TestLockCtxCancelStopsTimer(t *testing.T) {
+	m := newManager(t)
+	m.Timeout = 30 * time.Second
+
+	var mu sync.Mutex
+	var timers []*time.Timer
+	orig := newWaitTimer
+	newWaitTimer = func(d time.Duration) *time.Timer {
+		tm := time.NewTimer(d)
+		mu.Lock()
+		timers = append(timers, tm)
+		mu.Unlock()
+		return tm
+	}
+	defer func() { newWaitTimer = orig }()
+
+	hot := []byte("hot-row")
+	waitForBlock := func(n uint64) {
+		deadline := time.Now().Add(10 * time.Second)
+		for m.waits.Load() < n {
+			if time.Now().After(deadline) {
+				t.Fatalf("contender reached %d waits, want %d", m.waits.Load(), n)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+
+	const rounds = 50
+	for i := 0; i < rounds; i++ {
+		if err := m.Lock(1, 10, hot, Exclusive); err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() { done <- m.LockCtx(ctx, 2, 10, hot, Exclusive) }()
+		waitForBlock(uint64(i + 1))
+
+		// Cancel first, then wake the waiter. The cancellation
+		// happens-before the broadcast, so whichever select arm fires —
+		// the done channel, or the broadcast followed by the re-check —
+		// the waiter must come back cancelled, never granted. Alternate
+		// between a wake that would have granted the lock (ReleaseAll)
+		// and a spurious wake on an unrelated key, which forces the
+		// woken waiter through the cancelled re-check.
+		cancel()
+		if i%2 == 0 {
+			if err := m.ReleaseAll(1); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := m.Lock(3, 99, []byte("cold"), Shared); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Unlock(3, 99, []byte("cold")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		err := <-done
+		if err != context.Canceled {
+			t.Fatalf("round %d: LockCtx returned %v, want context.Canceled", i, err)
+		}
+		if n, _ := m.Held(2); n != 0 {
+			t.Fatalf("round %d: cancelled waiter holds %d locks", i, n)
+		}
+		if err := m.ReleaseAll(1); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.ReleaseAll(3); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(timers) != rounds {
+		t.Fatalf("created %d timers across %d cancelled waits, want exactly %d", len(timers), rounds, rounds)
+	}
+	for i, tm := range timers {
+		// Stop reports false when the timer was already stopped (it cannot
+		// have fired: the deadline was 30s away). A true return means the
+		// cancelled exit path left it running — the leak.
+		if tm.Stop() {
+			t.Fatalf("timer %d was still running after LockCtx returned: leaked on the cancellation path", i)
+		}
+	}
+}
+
+// TestLockCtxAlreadyCancelled: a context cancelled before the call must
+// fail fast without creating a timer or blocking.
+func TestLockCtxAlreadyCancelled(t *testing.T) {
+	m := newManager(t)
+	var created atomic.Int64
+	orig := newWaitTimer
+	newWaitTimer = func(d time.Duration) *time.Timer {
+		created.Add(1)
+		return time.NewTimer(d)
+	}
+	defer func() { newWaitTimer = orig }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := m.LockCtx(ctx, 1, 10, []byte("k"), Exclusive); err != context.Canceled {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if n, _ := m.Held(1); n != 0 {
+		t.Fatalf("cancelled call acquired %d locks", n)
+	}
+	if created.Load() != 0 {
+		t.Fatalf("cancelled call created %d timers", created.Load())
 	}
 }

@@ -201,6 +201,41 @@ func (p Buf) InsertAt(slot int, cell []byte) bool {
 	return true
 }
 
+// InsertSparse places a cell into a specific slot like InsertAt, but also
+// accepts a slot past the end of the slot array: intermediate slots are
+// created empty (deleted). Crash recovery needs this — redo replays only
+// committed inserts, so the slot sequence it sees has holes where loser
+// transactions' slots were, and refusing the gap would silently drop a
+// committed row. The padded slots are exactly the state the losers' slots
+// end up in anyway (allocated, empty, reusable).
+func (p Buf) InsertSparse(slot int, cell []byte) bool {
+	n := p.NumSlots()
+	if slot < 0 {
+		return false
+	}
+	if slot < n {
+		return p.InsertAt(slot, cell)
+	}
+	grow := (slot + 1 - n) * slotSize
+	contig := int(p.cellStart()) - (HeaderSize + n*slotSize)
+	if contig+int(p.garbage()) < grow+len(cell) {
+		return false
+	}
+	if contig < grow+len(cell) {
+		p.Compact()
+	}
+	// Zero the new slot-array region: it may hold stale cell bytes.
+	for i := n; i <= slot; i++ {
+		p.setSlot(i, 0, 0)
+	}
+	p.setNumSlots(slot + 1)
+	start := p.cellStart() - uint16(len(cell))
+	copy(p[start:], cell)
+	p.setCellStart(start)
+	p.setSlot(slot, start, uint16(len(cell)))
+	return true
+}
+
 // Cell returns the contents of slot i, or nil if the slot is deleted or out
 // of range. The returned slice aliases the page.
 func (p Buf) Cell(i int) []byte {

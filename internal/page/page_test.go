@@ -235,6 +235,46 @@ func TestFreeSpaceAccounting(t *testing.T) {
 	}
 }
 
+func TestInsertSparseFillsSlotGaps(t *testing.T) {
+	p := newPage(TypeTable)
+	if !p.InsertSparse(0, []byte("zero")) {
+		t.Fatal("sparse insert at 0")
+	}
+	// Slot 5 with 1..4 never allocated: the gap a recovery redo pass sees
+	// where loser transactions' slots were.
+	if !p.InsertSparse(5, []byte("five")) {
+		t.Fatal("sparse insert past the end")
+	}
+	if p.NumSlots() != 6 {
+		t.Fatalf("NumSlots = %d, want 6", p.NumSlots())
+	}
+	for i := 1; i < 5; i++ {
+		if p.Cell(i) != nil {
+			t.Fatalf("padded slot %d not empty: %q", i, p.Cell(i))
+		}
+	}
+	if string(p.Cell(0)) != "zero" || string(p.Cell(5)) != "five" {
+		t.Fatalf("cells corrupted: %q %q", p.Cell(0), p.Cell(5))
+	}
+	// Padded slots behave as ordinary deleted slots: InsertAt restores into
+	// them, Insert reuses them.
+	if !p.InsertAt(2, []byte("two")) {
+		t.Fatal("InsertAt into padded slot")
+	}
+	if s := p.Insert([]byte("reuse")); s != 1 {
+		t.Fatalf("Insert reused slot %d, want 1", s)
+	}
+	// Occupied target refuses.
+	if p.InsertSparse(5, []byte("clobber")) {
+		t.Fatal("sparse insert overwrote an occupied slot")
+	}
+	// No room for the grown slot array + cell: refuse, do not corrupt.
+	q := newPage(TypeTable)
+	if q.InsertSparse(2000, make([]byte, Size)) {
+		t.Fatal("sparse insert accepted an impossible fit")
+	}
+}
+
 func ExampleBuf() {
 	p := Buf(make([]byte, Size))
 	p.Init(TypeTable)

@@ -4,6 +4,7 @@
 package txn
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -395,6 +396,15 @@ func (t *Txn) Lock(obj uint64, key []byte, mode lock.Mode) error {
 		return nil
 	}
 	return t.m.locks.Lock(t.id, obj, key, mode)
+}
+
+// LockCtx is Lock under a context: a cancelled statement context aborts
+// the lock wait instead of parking until the deadlock timeout.
+func (t *Txn) LockCtx(ctx context.Context, obj uint64, key []byte, mode lock.Mode) error {
+	if t.m.locks == nil {
+		return nil
+	}
+	return t.m.locks.LockCtx(ctx, t.id, obj, key, mode)
 }
 
 // Commit makes the transaction durable: commit record, group flush, lock

@@ -82,6 +82,12 @@ type Record struct {
 	After  []byte
 }
 
+// ErrClosed is returned by flush paths once CloseNoFlush has run. Before
+// this sentinel existed, a flush racing Crash/Close could fall into the
+// memory-backed write path (l.f == nil looks exactly like mem mode), report
+// success, and acknowledge a commit whose bytes never reached disk.
+var ErrClosed = fmt.Errorf("wal: log is closed")
+
 // LSN is a log sequence number: a byte offset in the log. Append returns a
 // record's *end* LSN — the offset one past its frame — so the record is
 // durable exactly when FlushedLSN() >= that value, and FlushTo(lsn) is the
@@ -128,6 +134,8 @@ type Log struct {
 	f      *os.File // nil when memory-backed
 	mem    []byte
 	memMu  sync.Mutex // guards mem (written outside mu by the flush leader)
+	memLog bool       // created memory-backed (empty path); f is nil by design
+	closed bool       // CloseNoFlush ran: every later flush fails with ErrClosed
 	opts   Options
 	tail   uint64 // durable end offset (advanced only after a synced flush)
 	end    uint64 // next append offset: tail + len(sealed) + len(buffer)
@@ -203,6 +211,7 @@ func Open(path string) (*Log, error) { return OpenOptions(path, Options{}) }
 func OpenOptions(path string, opts Options) (*Log, error) {
 	l := &Log{opts: opts}
 	if path == "" {
+		l.memLog = true
 		return l, nil
 	}
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
@@ -363,6 +372,9 @@ func (l *Log) FlushTo(lsn LSN) error {
 	}
 	if l.opts.SerialFlush {
 		defer l.mu.Unlock()
+		if l.closed {
+			return ErrClosed
+		}
 		if len(l.buffer) > 0 {
 			blockStart, blocked = time.Now(), true
 		}
@@ -372,6 +384,12 @@ func (l *Log) FlushTo(lsn LSN) error {
 		if l.tail >= lsn {
 			l.mu.Unlock()
 			return nil
+		}
+		// Checked after the tail: records that were durable before the close
+		// still report success; anything needing a new flush fails.
+		if l.closed {
+			l.mu.Unlock()
+			return ErrClosed
 		}
 		g := l.inflight
 		if g == nil {
@@ -511,6 +529,11 @@ func (l *Log) writeRaw(base uint64, b []byte) error {
 			return fmt.Errorf("wal: sync: %w", err)
 		}
 		return nil
+	}
+	if !l.memLog {
+		// File-backed log whose file is gone: the log was closed under us.
+		// Falling through to the memory buffer would fake durability.
+		return ErrClosed
 	}
 	l.memMu.Lock()
 	if need := int(base) + len(b); need > len(l.mem) {
@@ -674,6 +697,9 @@ func (l *Log) Truncate() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.drainLocked()
+	if l.closed {
+		return ErrClosed
+	}
 	l.buffer = l.buffer[:0]
 	l.tail = 0
 	l.end = 0
@@ -706,6 +732,11 @@ func (l *Log) CloseNoFlush() error {
 	l.drainLocked()
 	l.buffer = l.buffer[:0]
 	l.end = l.tail
+	// Latch closed before the file goes away: a commit racing this close
+	// must fail its flush (and ack nothing) rather than write into thin
+	// air. Applies to memory-backed logs too — a crashed instance must not
+	// keep acknowledging commits into its own vanishing heap.
+	l.closed = true
 	if l.f != nil {
 		err := l.f.Close()
 		l.f = nil

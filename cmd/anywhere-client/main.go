@@ -1,12 +1,15 @@
 // Command anywhere-client is a line-oriented SQL client for
 // anywhere-server: statements read from -e or stdin are sent over the
 // wire protocol and results printed. Retryable refusals (admission shed,
-// server draining) are reported as such so scripted callers can loop.
+// server draining) are retried with bounded exponential backoff before
+// giving up — the server sheds load precisely so that clients come back
+// a moment later, so a client that treats a shed as a hard failure
+// defeats the admission controller.
 //
 // Usage:
 //
 //	anywhere-client [-addr host:port] [-token secret] [-deadline 0]
-//	                [-e "select ..."]
+//	                [-retries 5] [-e "select ..."]
 package main
 
 import (
@@ -26,6 +29,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7654", "server address")
 	token := flag.String("token", "", "auth token")
 	deadline := flag.Duration("deadline", 0, "per-statement deadline (0 = server default)")
+	retries := flag.Int("retries", 5, "retry attempts for retryable refusals (admission shed, drain)")
 	exprs := flag.String("e", "", "statement(s) to run, ';'-separated; empty = read stdin")
 	flag.Parse()
 
@@ -46,12 +50,10 @@ func main() {
 			return true
 		}
 		start := time.Now()
-		rows, err := c.Query(sql)
-		switch {
-		case errors.Is(err, client.ErrRetryable):
-			fmt.Fprintln(os.Stderr, "retryable:", err)
-			return false
-		case err != nil:
+		rows, err := queryWithRetry(c.Query, sql, *retries, retryBaseBackoff, func(attempt int, wait time.Duration, err error) {
+			fmt.Fprintf(os.Stderr, "retryable (attempt %d/%d, retrying in %s): %v\n", attempt, *retries, wait, err)
+		})
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			return false
 		}
@@ -101,6 +103,32 @@ func main() {
 		if strings.HasSuffix(line, ";") {
 			run(strings.TrimSuffix(strings.TrimSpace(buf.String()), ";"))
 			buf.Reset()
+		}
+	}
+}
+
+const (
+	retryBaseBackoff = 100 * time.Millisecond
+	retryMaxBackoff  = 2 * time.Second
+)
+
+// queryWithRetry runs a statement, retrying client.ErrRetryable refusals
+// with doubling backoff up to `retries` extra attempts. Any other error —
+// and a refusal that outlives the budget — is returned as-is.
+func queryWithRetry(query func(string, ...val.Value) (*client.Rows, error), sql string,
+	retries int, backoff time.Duration, note func(attempt int, wait time.Duration, err error)) (*client.Rows, error) {
+	for attempt := 0; ; attempt++ {
+		rows, err := query(sql)
+		if err == nil || !errors.Is(err, client.ErrRetryable) || attempt >= retries {
+			return rows, err
+		}
+		if note != nil {
+			note(attempt+1, backoff, err)
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > retryMaxBackoff {
+			backoff = retryMaxBackoff
 		}
 	}
 }

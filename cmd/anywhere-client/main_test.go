@@ -1,0 +1,59 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"anywheredb/internal/server/client"
+	"anywheredb/internal/val"
+)
+
+func TestQueryWithRetryRecoversFromShedding(t *testing.T) {
+	calls := 0
+	q := func(sql string, _ ...val.Value) (*client.Rows, error) {
+		calls++
+		if calls < 3 {
+			return nil, fmt.Errorf("server shed: %w", client.ErrRetryable)
+		}
+		return &client.Rows{Cols: []string{"k"}}, nil
+	}
+	rows, err := queryWithRetry(q, "SELECT 1", 5, time.Microsecond, nil)
+	if err != nil || rows == nil {
+		t.Fatalf("retry did not recover: rows=%v err=%v", rows, err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3 (two sheds, one success)", calls)
+	}
+}
+
+func TestQueryWithRetryGivesUpAfterBudget(t *testing.T) {
+	calls := 0
+	q := func(sql string, _ ...val.Value) (*client.Rows, error) {
+		calls++
+		return nil, fmt.Errorf("server shed: %w", client.ErrRetryable)
+	}
+	_, err := queryWithRetry(q, "SELECT 1", 2, time.Microsecond, nil)
+	if !errors.Is(err, client.ErrRetryable) {
+		t.Fatalf("want ErrRetryable after budget, got %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3 (initial + 2 retries)", calls)
+	}
+}
+
+func TestQueryWithRetryPassesHardErrorsThrough(t *testing.T) {
+	calls := 0
+	hard := errors.New("syntax error")
+	q := func(sql string, _ ...val.Value) (*client.Rows, error) {
+		calls++
+		return nil, hard
+	}
+	if _, err := queryWithRetry(q, "SELEC", 5, time.Microsecond, nil); !errors.Is(err, hard) {
+		t.Fatalf("want hard error through unretried, got %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (hard errors never retry)", calls)
+	}
+}

@@ -1,0 +1,60 @@
+// Command anywhere-replica runs a self-managing read replica: it connects
+// to a primary's replication listener, pulls a snapshot, applies the
+// shipped WAL stream, and serves read-only SQL on its own address. There
+// is nothing to configure beyond the addresses — the replica resyncs
+// itself whenever its position stops being valid (restart, missed
+// truncation, DDL on the primary) and reconnects through primary
+// restarts until stopped.
+//
+// Usage:
+//
+//	anywhere-replica -dir path -primary host:port [-listen host:port]
+//	                 [-token secret] [-name replica1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"anywheredb/internal/repl"
+)
+
+func main() {
+	dir := flag.String("dir", "", "replica data directory (disposable; resynced from the primary)")
+	primary := flag.String("primary", "", "primary replication address (anywhere-server -repl-listen)")
+	listen := flag.String("listen", "127.0.0.1:0", "read-only SQL listen address")
+	token := flag.String("token", "", "auth token shared with the primary")
+	name := flag.String("name", "", "replica name shown in the primary's sys.replicas")
+	flag.Parse()
+
+	if *dir == "" || *primary == "" {
+		fmt.Fprintln(os.Stderr, "anywhere-replica: -dir and -primary are required")
+		os.Exit(2)
+	}
+	r, err := repl.StartReplica(repl.ReplicaOptions{
+		Dir:         *dir,
+		PrimaryAddr: *primary,
+		ReadListen:  *listen,
+		Token:       *token,
+		Name:        *name,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if r.WaitReady(60 * time.Second) {
+		fmt.Printf("anywhere-replica serving reads on %s (primary %s)\n", r.ReadAddr(), *primary)
+	} else {
+		fmt.Fprintf(os.Stderr, "anywhere-replica: primary %s unreachable, still retrying\n", *primary)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "anywhere-replica: stopping")
+	r.Stop()
+}

@@ -9,6 +9,12 @@
 //
 //	anywhere-server [-dir path] [-addr host:port] [-token secret]
 //	                [-drain 5s] [-no-admission]
+//	                [-repl-listen host:port] [-repl-sync]
+//
+// With -repl-listen the server also accepts log-shipping replicas
+// (anywhere-replica) and automatically routes read-only statements to the
+// least-loaded caught-up replica; -repl-sync makes commits wait for one
+// replica acknowledgement.
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"time"
 
 	"anywheredb/internal/core"
+	"anywheredb/internal/repl"
 	"anywheredb/internal/server"
 )
 
@@ -30,6 +37,8 @@ func main() {
 	token := flag.String("token", "", "auth token clients must present (empty = open)")
 	drain := flag.Duration("drain", 5*time.Second, "graceful drain deadline on shutdown")
 	noAdm := flag.Bool("no-admission", false, "disable self-managing admission control")
+	replListen := flag.String("repl-listen", "", "replication listen address for replicas (empty = off)")
+	replSync := flag.Bool("repl-sync", false, "commits wait for one replica acknowledgement")
 	flag.Parse()
 
 	db, err := core.Open(core.Options{Dir: *dir})
@@ -37,19 +46,40 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	srv, err := server.Start(db, server.Options{
+	var prim *repl.Primary
+	srvOpts := server.Options{
 		Addr:         *addr,
 		AuthToken:    *token,
 		DrainTimeout: *drain,
 		AdmissionOff: *noAdm,
-	})
+	}
+	if *replListen != "" {
+		prim, err = repl.StartPrimary(db, repl.PrimaryOptions{
+			Addr:       *replListen,
+			AuthToken:  *token,
+			SyncCommit: *replSync,
+		})
+		if err != nil {
+			db.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		srvOpts.RouteRead = prim.RouteRead
+	}
+	srv, err := server.Start(db, srvOpts)
 	if err != nil {
+		if prim != nil {
+			prim.Close()
+		}
 		db.Close()
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	fmt.Printf("anywhere-server listening on %s (admission %s)\n",
 		srv.Addr(), map[bool]string{false: "on", true: "off"}[*noAdm])
+	if prim != nil {
+		fmt.Printf("anywhere-server shipping WAL on %s (sync %v)\n", prim.Addr(), *replSync)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -60,6 +90,9 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "drain:", err)
+	}
+	if prim != nil {
+		prim.Close()
 	}
 	if err := db.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "close:", err)

@@ -995,9 +995,20 @@ func (p *Pool) ResidentPages(owner uint64) int {
 	for _, s := range p.shards {
 		s.rlock()
 		for _, f := range s.frames {
-			if f.valid && f.Data != nil && f.Data.Owner() == owner {
+			if !f.valid || f.Data == nil {
+				continue
+			}
+			// The owner field is page content, so reading it needs the
+			// content latch; TryRLock keeps this scan non-blocking — a
+			// frame latched exclusively is mid-modification, and skipping
+			// it only perturbs a residency estimate.
+			if !f.mu.TryRLock() {
+				continue
+			}
+			if f.Data.Owner() == owner {
 				n++
 			}
+			f.mu.RUnlock()
 		}
 		s.mu.RUnlock()
 	}

@@ -60,6 +60,12 @@ type Conn struct {
 // statement-context expiry.
 func (c *Conn) SetStatementTimeout(d time.Duration) { c.stmtTimeout = d }
 
+// InTxn reports whether an explicit transaction is open on the connection.
+// The network server's read router consults it: a statement inside an
+// explicit transaction must run locally, on the transaction's snapshot,
+// never on a replica.
+func (c *Conn) InTxn() bool { return c.tx != nil }
+
 // Result reports a statement's effect.
 type Result struct {
 	RowsAffected int64
@@ -287,6 +293,16 @@ func (c *Conn) run(ctx context.Context, sql string, params []val.Value, wantRows
 			*sqlparse.Update, *sqlparse.Delete, *sqlparse.Calibrate,
 			*sqlparse.AlterTableStore:
 			return Result{}, nil, ErrReadOnly
+		}
+	}
+	if c.db.opts.ReplicaMode {
+		// Replica latch: the only SQL a replica runs is reads. BEGIN READ
+		// ONLY is allowed (snapshot transactions are the replica's whole
+		// point); a read-write BEGIN is refused up front rather than at its
+		// first write, so applications learn they are on a replica before
+		// queueing work behind a doomed transaction.
+		if werr := rejectOnReplica(stmt); werr != nil {
+			return Result{}, nil, werr
 		}
 	}
 
@@ -531,6 +547,27 @@ func (c *Conn) acquireSnapshot(self uint64, sp *flightrec.Span) *mvcc.Snapshot {
 		}
 	}
 	return snap
+}
+
+// rejectOnReplica returns ErrReplica for statements a read replica cannot
+// run: anything that would write, plus read-write BEGIN. BEGIN READ ONLY,
+// queries, EXPLAIN, COMMIT/ROLLBACK (of read-only transactions) pass.
+func rejectOnReplica(stmt sqlparse.Statement) error {
+	switch s := stmt.(type) {
+	case *sqlparse.Begin:
+		if !s.ReadOnly {
+			return ErrReplica
+		}
+	case *sqlparse.Insert, *sqlparse.Update, *sqlparse.Delete,
+		*sqlparse.CreateTable, *sqlparse.CreateIndex, *sqlparse.DropTable,
+		*sqlparse.LoadTable, *sqlparse.AlterTableStore, *sqlparse.Calibrate:
+		return ErrReplica
+	case *sqlparse.Explain:
+		if s.Analyze {
+			return rejectOnReplica(s.Stmt)
+		}
+	}
+	return nil
 }
 
 // rejectInReadOnlyTxn returns an error for statements that would write

@@ -53,6 +53,17 @@ var ErrReadOnly = errors.New("core: database is in read-only degraded mode")
 // ONLY transaction.
 var ErrReadOnlyTxn = errors.New("core: transaction is read-only")
 
+// ErrReplica is returned for write statements on a read replica: the only
+// writes a replica accepts are the shipped WAL records it applies.
+var ErrReplica = errors.New("core: database is a read replica (writes go to the primary)")
+
+// ReplicaIDBase is the floor of locally issued transaction and snapshot
+// ids on a replica. Primary transaction ids arrive verbatim in the shipped
+// stream and are pushed into version chains as entry writers; a local id
+// colliding with one would make Snapshot.Self match a streaming writer and
+// expose its uncommitted versions.
+const ReplicaIDBase = uint64(1) << 48
+
 // Options configures a database instance.
 type Options struct {
 	// Dir holds the database files; empty runs fully in memory.
@@ -131,6 +142,21 @@ type Options struct {
 	// ReorgScanWriteRatio is the scans-per-write threshold for promotion
 	// (default 8). A table must also have been scanned at least once.
 	ReorgScanWriteRatio float64
+
+	// ReplicaMode opens the database as a log-shipping read replica: SQL
+	// writes are refused (ErrReplica), the storage reorganizer never runs,
+	// and index trees are not attached — the replica must never allocate
+	// pages in main.db, or its allocations would collide with page ids the
+	// primary assigns in the shipped stream. Shipped WAL records are applied
+	// through the Applier (replica.go); reads run as heap scans under MVCC
+	// snapshots. Local transaction and snapshot ids start at ReplicaIDBase
+	// so they can never equal a primary transaction id in the stream.
+	ReplicaMode bool
+	// RebuildIndexesOnOpen forces a full index rebuild (and checkpoint)
+	// after attach, regardless of whether recovery ran. Promotion of a
+	// replica opens the data directory with this set: the catalog's index
+	// roots predate the shipped stream and the trees are stale.
+	RebuildIndexesOnOpen bool
 
 	// LockingReads disables MVCC snapshot reads: queries take shared table
 	// locks under two-phase locking instead of resolving row versions.
@@ -355,6 +381,9 @@ func Open(opts Options) (*DB, error) {
 	}
 	db.txns = txn.NewManager(log, db.locks)
 	db.txns.SetInjector(db.inj)
+	if opts.ReplicaMode {
+		db.txns.StartIDsAt(ReplicaIDBase)
+	}
 
 	// DTT model: calibrated model from the catalog, else the generic
 	// default (§4.2).
@@ -389,6 +418,11 @@ func Open(opts Options) (*DB, error) {
 	// After a non-trivial replay the index trees (not WAL-logged) may be
 	// stale relative to the heaps: rebuild them from heap scans, then
 	// checkpoint so the recovered state is durable and the log is clear.
+	// RebuildIndexesOnOpen forces the same pass unconditionally (replica
+	// promotion: the catalog's roots predate the shipped stream).
+	if opts.RebuildIndexesOnOpen {
+		recovered = true
+	}
 	if recovered {
 		for _, tbl := range db.tables {
 			if err := tbl.RebuildIndexes(); err != nil {
@@ -555,7 +589,7 @@ func Open(opts Options) (*DB, error) {
 		return n
 	})
 
-	if opts.ReorgInterval > 0 {
+	if opts.ReorgInterval > 0 && !opts.ReplicaMode {
 		db.reorgStop = make(chan struct{})
 		db.reorgDone = make(chan struct{})
 		go db.reorgLoop(opts.ReorgInterval)
@@ -657,7 +691,7 @@ func (db *DB) stopReorg() {
 // scan) and the table is big enough to matter; the access digests are
 // reset after a promotion so later ratios reflect the new workload phase.
 func (db *DB) ReorgOnce() int {
-	if db.degraded.Load() || db.Closed() {
+	if db.degraded.Load() || db.Closed() || db.opts.ReplicaMode {
 		return 0
 	}
 	promoted := 0
@@ -972,11 +1006,18 @@ func (db *DB) attachTable(tm *catalog.TableMeta) error {
 			tbl.Hists[i] = h
 		}
 	}
-	for _, im := range tm.Indexes {
-		tree := btree.Attach(db.pool, db.st, im.Root, im.ID)
-		tbl.Indexes = append(tbl.Indexes, &table.Index{
-			ID: im.ID, Name: im.Name, Cols: im.Cols, Unique: im.Unique, Tree: tree,
-		})
+	// A replica attaches no index trees: it must never allocate pages in
+	// main.db (a btree split would collide with primary-assigned ids), and
+	// the primary's tree pages go stale the moment the stream applies a
+	// logical change. Reads heap-scan under snapshots; the catalog keeps
+	// the index definitions for promotion (Checkpoint preserves them).
+	if !db.opts.ReplicaMode {
+		for _, im := range tm.Indexes {
+			tree := btree.Attach(db.pool, db.st, im.Root, im.ID)
+			tbl.Indexes = append(tbl.Indexes, &table.Index{
+				ID: im.ID, Name: im.Name, Cols: im.Cols, Unique: im.Unique, Tree: tree,
+			})
+		}
 	}
 	tbl.OnColsegDrop = func() {
 		if db.colInvalid != nil {
@@ -1387,11 +1428,16 @@ func (db *DB) Checkpoint() error {
 			tm.SegHead = 0
 			tm.SegDeltaStart = 0
 		}
-		tm.Indexes = tm.Indexes[:0]
-		for _, ix := range tbl.Indexes {
-			tm.Indexes = append(tm.Indexes, catalog.IndexMeta{
-				ID: ix.ID, Name: ix.Name, Cols: ix.Cols, Unique: ix.Unique, Root: ix.Tree.Root(),
-			})
+		// A replica attaches no trees (see attachTable): keep the catalog's
+		// index definitions as shipped so a later promotion can rebuild them,
+		// instead of erasing them from the empty in-memory list.
+		if !db.opts.ReplicaMode {
+			tm.Indexes = tm.Indexes[:0]
+			for _, ix := range tbl.Indexes {
+				tm.Indexes = append(tm.Indexes, catalog.IndexMeta{
+					ID: ix.ID, Name: ix.Name, Cols: ix.Cols, Unique: ix.Unique, Root: ix.Tree.Root(),
+				})
+			}
 		}
 		db.cat.PutTable(tm)
 	}

@@ -9,6 +9,7 @@ import (
 
 	"anywheredb/internal/core"
 	"anywheredb/internal/flightrec"
+	"anywheredb/internal/repl"
 	"anywheredb/internal/server"
 	"anywheredb/internal/server/client"
 	"anywheredb/internal/val"
@@ -207,6 +208,32 @@ func observeWaits() ([]flightrec.WaitStat, error) {
 	defer cl.Close()
 	if _, err := cl.Query("SELECT COUNT(*) FROM t"); err != nil {
 		return nil, err
+	}
+
+	// So is the replication shipper's (net.ship accrues on every frame the
+	// primary pushes): attach a log-shipping replica and let it sync over
+	// the WAL the writer storm produced.
+	replDir, err := os.MkdirTemp("", "anywheredb-e21-repl-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(replDir)
+	prim, err := repl.StartPrimary(db, repl.PrimaryOptions{})
+	if err != nil {
+		return nil, err
+	}
+	defer prim.Close()
+	rep, err := repl.StartReplica(repl.ReplicaOptions{
+		Dir:         replDir,
+		PrimaryAddr: prim.Addr().String(),
+		Name:        "e21-witness",
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer rep.Stop()
+	if !rep.WaitReady(30 * time.Second) {
+		return nil, fmt.Errorf("E21: replica never caught up")
 	}
 
 	return db.FlightRecorder().Waits().Snapshot(), nil

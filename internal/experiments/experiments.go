@@ -11,8 +11,10 @@
 // throughput vs the serial flush baseline (E20), the always-on flight
 // recorder's overhead and fidelity (E21), columnar segment scans with
 // zone-map predicate skipping vs the row heap (E22), MVCC snapshot
-// reads vs the locking-read baseline under write churn (E23), and the
-// network server's admission control under 4× overload (E24).
+// reads vs the locking-read baseline under write churn (E23), the
+// network server's admission control under 4× overload (E24), and
+// WAL-shipping replication — zero lost acks through a primary kill plus
+// autonomic read-replica scaling (E25).
 //
 // Each experiment returns a Report: a paper-shaped table plus the key
 // metrics asserted by the benchmarks in bench_test.go and summarized in
@@ -116,6 +118,7 @@ var Registry = []Entry{
 	{"E22", "columnar scan with zone-map skipping", E22ColumnarScan},
 	{"E23", "MVCC snapshot reads vs locking reads", E23SnapshotReads},
 	{"E24", "network server admission control under overload", E24ServerOverload},
+	{"E25", "WAL-shipping replication: lost-ack kill test, read-replica scaling", E25Replication},
 }
 
 // IDRange describes the registered id span ("E1..E22") for usage strings.

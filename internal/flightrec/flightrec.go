@@ -63,6 +63,11 @@ const (
 	// send buffer). A slow or stalled client shows up here before the
 	// server disconnects it.
 	WaitNetSend
+	// WaitNetShip is time the primary's log shipper spent blocked sending
+	// sealed WAL frames to a replica, or a synchronous commit spent waiting
+	// for replica acknowledgement. A slow or stalled replica shows up here
+	// before replication degrades to asynchronous.
+	WaitNetShip
 
 	// NumWaitKinds is the number of registered wait-event kinds.
 	NumWaitKinds
@@ -76,6 +81,7 @@ var waitNames = [NumWaitKinds]string{
 	WaitBufferIO: "buffer.read",
 	WaitSnapshot: "txn.snapshot",
 	WaitNetSend:  "net.send",
+	WaitNetShip:  "net.ship",
 }
 
 // Name returns the wait kind's registered event name.

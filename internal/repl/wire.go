@@ -1,0 +1,255 @@
+// Package repl implements WAL-shipping replication: a primary streams its
+// sealed log frames over the network server's wire framing to read
+// replicas, which ingest them into their own logs (durability for the
+// synchronous-commit acknowledgement) and replay them through the engine's
+// streaming applier (core.Applier). Replicas self-register on connect,
+// publish their apply lag back to the primary, and serve snapshot reads;
+// the primary's read router forwards read-only statements to the
+// least-loaded caught-up replica, so read capacity scales by starting
+// processes — no placement or routing knobs, in the spirit of the paper's
+// no-DBA philosophy.
+//
+// The stream protocol rides the same length-prefixed frames as the client
+// protocol (server.WriteFrame/ReadFrame) with its own message-type space:
+//
+//	replica → primary
+//	  0x40 hello     ver | token | name | logID | epoch | lsn
+//	  0x41 ack       epoch | durableLSN | appliedLSN
+//	  0x42 readAddr  addr          (the replica's SQL endpoint, "" = none)
+//	primary → replica
+//	  0x50 resume    (empty)       hello position accepted; shipping follows
+//	  0x51 snapBegin logID | epoch full resync: identity of the snapshot
+//	  0x52 snapFile  name | off | bytes   one chunk of a store file
+//	  0x53 snapWAL   bytes         one chunk of the WAL prefix [0, prefixEnd)
+//	  0x54 snapEnd   prefixEnd     snapshot complete; shipping resumes there
+//	  0x55 ship      startLSN | bytes     raw sealed frames (byte-aligned,
+//	                                      not frame-aligned: replicas buffer
+//	                                      partial frames)
+//	  0x56 epoch     newEpoch | oldEnd    the primary truncated its log; a
+//	                                      replica that ingested exactly
+//	                                      oldEnd crosses in place, anyone
+//	                                      else resyncs
+//	  0x86 error     server.MsgError, shared status codes
+//
+// Positions are (logID, epoch, LSN) triples as defined by the wal package:
+// logID names one primary Open, epoch counts truncations, LSN is a byte
+// offset. A replica persists no position — its in-memory stream state dies
+// with the process and a restarted replica always resyncs — but a live
+// replica reconnecting across a dropped TCP session resumes in place when
+// the primary's identity still matches.
+package repl
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"anywheredb/internal/server"
+)
+
+// Replication message types (disjoint from the client protocol's 0x0_/0x8_
+// spaces so a cross-wired client fails fast with a protocol error).
+const (
+	msgHello    byte = 0x40
+	msgAck      byte = 0x41
+	msgReadAddr byte = 0x42
+
+	msgResume    byte = 0x50
+	msgSnapBegin byte = 0x51
+	msgSnapFile  byte = 0x52
+	msgSnapWAL   byte = 0x53
+	msgSnapEnd   byte = 0x54
+	msgShip      byte = 0x55
+	msgEpoch     byte = 0x56
+)
+
+// replProtoVersion versions the replication handshake independently of the
+// client protocol.
+const replProtoVersion = 1
+
+func appendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// reader consumes a payload sequentially; the first malformed field poisons
+// every later read, so callers check err once at the end.
+type reader struct {
+	b   []byte
+	err error
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.err = fmt.Errorf("repl: truncated uvarint")
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *reader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if uint64(len(r.b)) < n {
+		r.err = fmt.Errorf("repl: truncated string")
+		return ""
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s
+}
+
+// rest returns whatever follows the structured fields (raw chunk bytes).
+func (r *reader) rest() []byte {
+	if r.err != nil {
+		return nil
+	}
+	return r.b
+}
+
+// helloMsg is the replica's opening message: who it is and where its
+// in-memory stream position stands (all-zero = no position, snapshot me).
+type helloMsg struct {
+	Version uint64
+	Token   string
+	Name    string
+	LogID   uint64
+	Epoch   uint64
+	LSN     uint64
+}
+
+func (m helloMsg) encode() []byte {
+	b := appendUvarint(nil, m.Version)
+	b = appendString(b, m.Token)
+	b = appendString(b, m.Name)
+	b = appendUvarint(b, m.LogID)
+	b = appendUvarint(b, m.Epoch)
+	return appendUvarint(b, m.LSN)
+}
+
+func decodeHello(payload []byte) (helloMsg, error) {
+	r := &reader{b: payload}
+	m := helloMsg{
+		Version: r.uvarint(),
+		Token:   r.str(),
+		Name:    r.str(),
+		LogID:   r.uvarint(),
+		Epoch:   r.uvarint(),
+		LSN:     r.uvarint(),
+	}
+	return m, r.err
+}
+
+// ackMsg reports replica progress: durable is the primary-stream LSN whose
+// bytes are in the replica's own synced log; applied is the LSN through
+// which records have been replayed into the engine. durable ≥ applied never
+// holds — the replica ingests then applies before acking, so the two move
+// together; both are carried for observability.
+type ackMsg struct {
+	Epoch   uint64
+	Durable uint64
+	Applied uint64
+}
+
+func (m ackMsg) encode() []byte {
+	b := appendUvarint(nil, m.Epoch)
+	b = appendUvarint(b, m.Durable)
+	return appendUvarint(b, m.Applied)
+}
+
+func decodeAck(payload []byte) (ackMsg, error) {
+	r := &reader{b: payload}
+	m := ackMsg{Epoch: r.uvarint(), Durable: r.uvarint(), Applied: r.uvarint()}
+	return m, r.err
+}
+
+// snapFileMsg carries one chunk of a store file during a full resync.
+type snapFileMsg struct {
+	Name  string
+	Off   uint64
+	Chunk []byte
+}
+
+func (m snapFileMsg) encode() []byte {
+	b := appendString(nil, m.Name)
+	b = appendUvarint(b, m.Off)
+	return append(b, m.Chunk...)
+}
+
+func decodeSnapFile(payload []byte) (snapFileMsg, error) {
+	r := &reader{b: payload}
+	m := snapFileMsg{Name: r.str(), Off: r.uvarint()}
+	m.Chunk = r.rest()
+	return m, r.err
+}
+
+// shipMsg carries raw sealed WAL frames starting at StartLSN. Chunks are
+// byte-aligned reads of the durable log, so a frame may straddle messages.
+type shipMsg struct {
+	StartLSN uint64
+	Frames   []byte
+}
+
+func (m shipMsg) encode() []byte {
+	b := appendUvarint(nil, m.StartLSN)
+	return append(b, m.Frames...)
+}
+
+func decodeShip(payload []byte) (shipMsg, error) {
+	r := &reader{b: payload}
+	m := shipMsg{StartLSN: r.uvarint()}
+	m.Frames = r.rest()
+	return m, r.err
+}
+
+// epochMsg announces a primary log truncation: the old epoch ended at
+// OldEnd, the stream continues at (NewEpoch, 0).
+type epochMsg struct {
+	NewEpoch uint64
+	OldEnd   uint64
+}
+
+func (m epochMsg) encode() []byte {
+	b := appendUvarint(nil, m.NewEpoch)
+	return appendUvarint(b, m.OldEnd)
+}
+
+func decodeEpoch(payload []byte) (epochMsg, error) {
+	r := &reader{b: payload}
+	m := epochMsg{NewEpoch: r.uvarint(), OldEnd: r.uvarint()}
+	return m, r.err
+}
+
+// snapBegin / snapEnd payloads are two and one uvarints.
+
+func encodeSnapBegin(logID, epoch uint64) []byte {
+	return appendUvarint(appendUvarint(nil, logID), epoch)
+}
+
+func decodeSnapBegin(payload []byte) (logID, epoch uint64, err error) {
+	r := &reader{b: payload}
+	logID, epoch = r.uvarint(), r.uvarint()
+	return logID, epoch, r.err
+}
+
+func encodeErr(code byte, msg string) []byte {
+	b := []byte{code}
+	return appendString(b, msg)
+}
+
+// wireErr turns a received MsgError payload into an error.
+func wireErr(payload []byte) error {
+	code, msg, err := server.DecodeError(payload)
+	if err != nil {
+		return err
+	}
+	return fmt.Errorf("repl: primary error (code %d): %s", code, msg)
+}

@@ -42,6 +42,24 @@ type Options struct {
 	// AdmissionOff disables the admission gate — the experiment baseline,
 	// like Options.SerialWALFlush for group commit.
 	AdmissionOff bool
+
+	// RouteRead, when non-nil, is consulted for every statement that
+	// arrives outside an explicit transaction, before the admission gate:
+	// a handled=true return means the statement was served elsewhere (the
+	// replication layer forwards read-only statements to the least-lagged
+	// replica) and the returned result is streamed to the client without
+	// this instance spending an admission slot or an executor on it. A
+	// handled=false return runs the statement locally, so a router that
+	// cannot place a statement degrades to normal service, never an error.
+	RouteRead func(sql string, params []val.Value) (*RoutedResult, bool)
+}
+
+// RoutedResult is a statement result produced by an external read router
+// instead of the local engine (see Options.RouteRead).
+type RoutedResult struct {
+	Cols         []string
+	Rows         [][]val.Value
+	RowsAffected int64
 }
 
 func (o *Options) fill() {
@@ -423,6 +441,18 @@ func (c *srvConn) runStatement(m execMsg) error {
 
 	c.fp.Store(fingerprint(sql))
 
+	// Read routing, ahead of admission: a statement the router can serve on
+	// a replica never competes for this instance's admission width. Only
+	// statements outside an explicit transaction are offered — an open
+	// transaction's snapshot lives here.
+	if rt := s.opts.RouteRead; rt != nil && !c.core.InTxn() {
+		if rr, handled := rt(sql, m.Params); handled {
+			s.stStmts.Inc()
+			c.nRun.Add(1)
+			return c.streamResult(rr.Cols, rr.Rows, rr.RowsAffected)
+		}
+	}
+
 	// Admission: the self-managing gate queues or sheds when the memory
 	// governor's concurrency budget (MPL) is spoken for.
 	var release func(int64)
@@ -467,13 +497,23 @@ func (c *srvConn) runStatement(m execMsg) error {
 		return c.flush()
 	}
 
-	// Stream the result: header, then row batches chunked at the engine's
-	// batch size, each flushed under the slow-client write deadline.
-	if rows != nil && len(rows.Columns()) > 0 {
-		if err := c.send(msgRowHeader, encodeRowHeader(rows.Columns())); err != nil {
+	var cols []string
+	var all [][]val.Value
+	if rows != nil {
+		cols = rows.Columns()
+		all = rows.All()
+	}
+	return c.streamResult(cols, all, res.RowsAffected)
+}
+
+// streamResult streams one statement result: header, then row batches
+// chunked at the engine's batch size, each flushed under the slow-client
+// write deadline, then done.
+func (c *srvConn) streamResult(cols []string, all [][]val.Value, affected int64) error {
+	if len(cols) > 0 {
+		if err := c.send(msgRowHeader, encodeRowHeader(cols)); err != nil {
 			return err
 		}
-		all := rows.All()
 		for pos := 0; pos < len(all); pos += exec.DefaultBatchSize {
 			end := pos + exec.DefaultBatchSize
 			if end > len(all) {
@@ -487,7 +527,7 @@ func (c *srvConn) runStatement(m execMsg) error {
 			}
 		}
 	}
-	if err := c.send(msgDone, appendVarint(nil, res.RowsAffected)); err != nil {
+	if err := c.send(msgDone, appendVarint(nil, affected)); err != nil {
 		return err
 	}
 	return c.flush()

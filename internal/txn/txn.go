@@ -29,6 +29,13 @@ type Manager struct {
 	next   uint64
 	active map[uint64]*Txn
 
+	// applied tracks primary transaction ids currently being replayed by a
+	// replica's streaming applier. They have no *Txn — the applier drives
+	// them record by record — but vacuum's writer-gone rule must still see
+	// them as in flight, or it would reclaim their uncommitted version
+	// entries mid-replay.
+	applied map[uint64]struct{}
+
 	// commitMu serializes commit publication so the commit sequence is
 	// dense and every snapshot watermark is a consistent prefix: a commit
 	// stamps all its version entries with the next CSN, then advances
@@ -98,7 +105,20 @@ func (m *Manager) flushTo(id uint64, lsn wal.LSN) error {
 // single-user (embedded, exclusive) database.
 func NewManager(log *wal.Log, locks *lock.Manager) *Manager {
 	return &Manager{log: log, locks: locks, next: 1, active: map[uint64]*Txn{},
-		snaps: map[uint64]snapState{}}
+		applied: map[uint64]struct{}{}, snaps: map[uint64]snapState{}}
+}
+
+// StartIDsAt raises the local id sequence floor to base. A replica calls it
+// so locally issued ids (read-only transactions, snapshots) can never
+// collide with the primary transaction ids arriving in the shipped WAL
+// stream — a collision would make Snapshot.Self match a streaming writer
+// and expose its uncommitted versions to a local reader.
+func (m *Manager) StartIDsAt(base uint64) {
+	m.mu.Lock()
+	if m.next < base {
+		m.next = base
+	}
+	m.mu.Unlock()
 }
 
 // Begin starts a read-write transaction.
@@ -138,8 +158,43 @@ func (m *Manager) Active() int {
 func (m *Manager) IsActive(id uint64) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	_, ok := m.active[id]
+	if _, ok := m.active[id]; ok {
+		return true
+	}
+	_, ok := m.applied[id]
 	return ok
+}
+
+// BeginApplied registers a primary transaction id a streaming applier is
+// replaying, so IsActive covers it (see the applied field).
+func (m *Manager) BeginApplied(id uint64) {
+	m.mu.Lock()
+	m.applied[id] = struct{}{}
+	m.mu.Unlock()
+}
+
+// FinishApplied deregisters an applied transaction after its commit has
+// been published (or its rollback undone).
+func (m *Manager) FinishApplied(id uint64) {
+	m.mu.Lock()
+	delete(m.applied, id)
+	m.mu.Unlock()
+}
+
+// PublishApplied stamps a replayed transaction's version entries with the
+// next commit sequence number and advances the published horizon — the
+// applier-side twin of Txn.publish, with the same dense-CSN invariant.
+func (m *Manager) PublishApplied(entries []*mvcc.Entry) {
+	if len(entries) == 0 {
+		return
+	}
+	m.commitMu.Lock()
+	csn := m.commitSeq.Load() + 1
+	for _, e := range entries {
+		e.SetCSN(csn)
+	}
+	m.commitSeq.Store(csn)
+	m.commitMu.Unlock()
 }
 
 // CommitSeq returns the published commit horizon.

@@ -7,6 +7,7 @@
 package wal
 
 import (
+	"crypto/rand"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -88,6 +89,14 @@ type Record struct {
 // success, and acknowledge a commit whose bytes never reached disk.
 var ErrClosed = fmt.Errorf("wal: log is closed")
 
+// ErrEpoch is returned by ReadChunk when the caller's (logID, epoch)
+// no longer names this log: the log was truncated (epoch bumped) or belongs
+// to a different Open (logID mismatch). A log-shipping consumer that sees
+// it must renegotiate its position — resuming at a byte offset from the old
+// epoch would silently re-read or skip records, since Truncate resets LSNs
+// to zero.
+var ErrEpoch = fmt.Errorf("wal: log position is from a different epoch")
+
 // LSN is a log sequence number: a byte offset in the log. Append returns a
 // record's *end* LSN — the offset one past its frame — so the record is
 // durable exactly when FlushedLSN() >= that value, and FlushTo(lsn) is the
@@ -141,6 +150,34 @@ type Log struct {
 	end    uint64 // next append offset: tail + len(sealed) + len(buffer)
 	buffer []byte // active (unsealed) pending bytes; appends land here
 	sealed []byte // buffer owned by the in-flight flush leader (nil if none)
+
+	// Log identity for the shipping handshake: logID is a random value per
+	// Open (a restarted primary is a different log even at the same path);
+	// epoch counts truncations. An (epoch, LSN) pair names a byte position
+	// unambiguously for the lifetime of one logID. Guarded by mu; durTail
+	// mirrors tail so ReadChunk can bound lock-free reads.
+	logID   uint64
+	epoch   uint64
+	durTail atomic.Uint64
+
+	// tailCh is closed and replaced whenever the durable tail advances, the
+	// log truncates, or the log closes — the shipping loop's wakeup.
+	tailCh chan struct{}
+
+	// commitHook, when set, is called by the group-commit flush leader after
+	// each successful non-empty flush, outside l.mu, before the group's
+	// waiters are released. Synchronous replication rides it: the hook
+	// blocks until a replica acknowledges the group's end LSN, so every
+	// committer in the group observes the replica ack before its Commit
+	// returns.
+	commitHook atomic.Pointer[func(epoch uint64, end LSN)]
+
+	// truncBarrier, when set, is called by Truncate before the reset,
+	// outside l.mu: it gives log shippers a bounded window to drain the old
+	// epoch's bytes (they read via ReadChunk, which never needs this
+	// goroutine's locks) so caught-up replicas cross the epoch without a
+	// full resync.
+	truncBarrier atomic.Pointer[func(epoch uint64, end LSN)]
 
 	inflight *flushGroup // the in-flight group commit (nil if none)
 
@@ -209,7 +246,7 @@ func Open(path string) (*Log, error) { return OpenOptions(path, Options{}) }
 
 // OpenOptions opens the log with explicit options.
 func OpenOptions(path string, opts Options) (*Log, error) {
-	l := &Log{opts: opts}
+	l := &Log{opts: opts, logID: randomID()}
 	if path == "" {
 		l.memLog = true
 		return l, nil
@@ -227,36 +264,89 @@ func OpenOptions(path string, opts Options) (*Log, error) {
 	// Rewind the append position to the end of the valid record prefix:
 	// a crash can leave a torn frame at the tail, and appending after it
 	// would strand the new records behind garbage Scan refuses to cross.
+	// Damage that is provably mid-log — a complete-but-corrupt frame with
+	// intact records after it — is not a crash remnant and fails the open.
 	data := make([]byte, info.Size())
 	if _, err := f.ReadAt(data, 0); err != nil && info.Size() > 0 {
 		f.Close()
 		return nil, fmt.Errorf("wal: open scan: %w", err)
 	}
-	l.tail = validPrefix(data)
+	prefix, err := validPrefix(data)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	l.tail = prefix
 	l.end = l.tail
+	l.durTail.Store(l.tail)
 	return l, nil
 }
 
+// randomID draws the per-Open log identity.
+func randomID() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("wal: random log id: %v", err))
+	}
+	// Never zero: consumers use logID 0 as "no position yet".
+	return binary.LittleEndian.Uint64(b[:]) | 1
+}
+
 // validPrefix walks frames from the start and returns the byte offset just
-// past the last intact record; everything after is a torn/corrupt tail.
-func validPrefix(data []byte) uint64 {
+// past the last intact record. An incomplete final frame, or a damaged one
+// with nothing readable after it, is the unflushed remnant of a crash and
+// terminates the walk silently. A damaged frame followed by an intact
+// record is mid-log corruption — committed records live past the damage and
+// silently dropping them would un-commit acknowledged work — so that case
+// is a loud ErrCorrupt.
+func validPrefix(data []byte) (uint64, error) {
 	off := uint64(0)
 	for off+8 <= uint64(len(data)) {
 		n := binary.LittleEndian.Uint32(data[off:])
 		sum := binary.LittleEndian.Uint32(data[off+4:])
-		if off+8+uint64(n) > uint64(len(data)) {
-			break
+		end := off + 8 + uint64(n)
+		if end > uint64(len(data)) {
+			return off, nil // torn tail: the frame never finished landing
 		}
-		payload := data[off+8 : off+8+uint64(n)]
-		if crc32.ChecksumIEEE(payload) != sum {
-			break
+		payload := data[off+8 : end]
+		ok := crc32.ChecksumIEEE(payload) == sum
+		if ok {
+			if _, err := decode(payload); err != nil {
+				ok = false
+			}
 		}
-		if _, err := decode(payload); err != nil {
-			break
+		if !ok {
+			if frameIntactAt(data, end) {
+				return off, faultinject.Corrupt(fmt.Errorf(
+					"wal: corrupt record at offset %d with intact records after it (%d trailing bytes)",
+					off, uint64(len(data))-end))
+			}
+			return off, nil // corrupt tail: last flush died mid-write
 		}
-		off += 8 + uint64(n)
+		off = end
 	}
-	return off
+	return off, nil
+}
+
+// frameIntactAt reports whether a complete, CRC-valid, decodable frame
+// starts at off. validPrefix uses it to tell mid-log corruption (real
+// records continue after the damage) from a torn tail.
+func frameIntactAt(data []byte, off uint64) bool {
+	if off+8 > uint64(len(data)) {
+		return false
+	}
+	n := binary.LittleEndian.Uint32(data[off:])
+	sum := binary.LittleEndian.Uint32(data[off+4:])
+	end := off + 8 + uint64(n)
+	if end > uint64(len(data)) {
+		return false
+	}
+	payload := data[off+8 : end]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return false
+	}
+	_, err := decode(payload)
+	return err == nil
 }
 
 func encode(r *Record) []byte {
@@ -443,8 +533,10 @@ func (l *Log) FlushTo(lsn LSN) error {
 	}
 
 	l.mu.Lock()
+	hookEpoch, callHook := uint64(0), false
 	if err == nil {
 		l.tail = g.end
+		l.durTail.Store(g.end)
 		if len(sealed) > 0 {
 			l.flushes.Add(1)
 			if g.members > 1 {
@@ -453,6 +545,8 @@ func (l *Log) FlushTo(lsn LSN) error {
 			if h := l.commitsPerFlush.Load(); h != nil {
 				h.Observe(int64(g.members))
 			}
+			l.tailBroadcastLocked()
+			hookEpoch, callHook = l.epoch, true
 		}
 	} else {
 		// The group failed: its records stay pending ahead of anything
@@ -461,11 +555,70 @@ func (l *Log) FlushTo(lsn LSN) error {
 		l.buffer = append(sealed, l.buffer...)
 	}
 	l.sealed = nil
+	l.mu.Unlock()
+
+	// Synchronous-replication ack rides the leader: the group stays
+	// in-flight (followers blocked on done, late committers queue behind
+	// it) until the hook returns. The hook bounds its own wait, so a dead
+	// replica degrades the group to an async ack instead of wedging it.
+	if callHook {
+		if h := l.commitHook.Load(); h != nil {
+			(*h)(hookEpoch, g.end)
+		}
+	}
+
+	l.mu.Lock()
 	g.err = err
 	l.inflight = nil
 	close(g.done)
 	l.mu.Unlock()
 	return err
+}
+
+// tailBroadcastLocked wakes every TailChanged waiter. Called with l.mu held
+// whenever the durable tail moves, the log truncates, or the log closes.
+func (l *Log) tailBroadcastLocked() {
+	if l.tailCh != nil {
+		close(l.tailCh)
+		l.tailCh = nil
+	}
+}
+
+// TailChanged returns a channel that is closed the next time the durable
+// tail advances, the log truncates, or the log closes. The shipping loop
+// waits on it when it has drained the durable log, then re-reads Position.
+func (l *Log) TailChanged() <-chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		ch := make(chan struct{})
+		close(ch)
+		return ch
+	}
+	if l.tailCh == nil {
+		l.tailCh = make(chan struct{})
+	}
+	return l.tailCh
+}
+
+// SetCommitHook installs (or, with nil, removes) the synchronous-
+// replication commit hook; see the field comment.
+func (l *Log) SetCommitHook(f func(epoch uint64, end LSN)) {
+	if f == nil {
+		l.commitHook.Store(nil)
+		return
+	}
+	l.commitHook.Store(&f)
+}
+
+// SetTruncateBarrier installs (or, with nil, removes) the pre-truncate
+// drain barrier; see the field comment.
+func (l *Log) SetTruncateBarrier(f func(epoch uint64, end LSN)) {
+	if f == nil {
+		l.truncBarrier.Store(nil)
+		return
+	}
+	l.truncBarrier.Store(&f)
 }
 
 // flushSerialLocked is the pre-group-commit flush: write+sync the whole
@@ -481,11 +634,13 @@ func (l *Log) flushSerialLocked() error {
 		return err
 	}
 	l.tail += uint64(len(l.buffer))
+	l.durTail.Store(l.tail)
 	l.buffer = l.buffer[:0]
 	l.flushes.Add(1)
 	if h := l.commitsPerFlush.Load(); h != nil {
 		h.Observe(1)
 	}
+	l.tailBroadcastLocked()
 	return nil
 }
 
@@ -561,6 +716,25 @@ func (l *Log) PendingLSN() LSN {
 	return l.end
 }
 
+// Position reports the log's identity and durable tail as one consistent
+// triple — the primary's side of the shipping handshake.
+func (l *Log) Position() (logID, epoch uint64, durable LSN) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.logID, l.epoch, l.tail
+}
+
+// AdoptIdentity overwrites the log's (logID, epoch). A replica mirrors its
+// primary's identity so that, after mirroring a truncate or resyncing from
+// a snapshot, its persisted position names the same bytes the primary's log
+// holds.
+func (l *Log) AdoptIdentity(logID, epoch uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.logID = logID
+	l.epoch = epoch
+}
+
 // drainLocked waits until no flush is in flight. Called with l.mu held;
 // reacquires it before returning. Truncate and CloseNoFlush use it so the
 // file is never truncated or closed under an in-flight leader's WriteAt.
@@ -573,53 +747,241 @@ func (l *Log) drainLocked() {
 	}
 }
 
+// scanChunkSize is the read-window size for ScanFrom. A variable, not a
+// constant, so the allocation-bound regression test can shrink it and prove
+// the scan never materializes more than one window.
+var scanChunkSize = 256 << 10
+
 // Scan iterates over every durable record in LSN order. A truncated or
 // corrupt tail terminates the scan silently (it is the unflushed remnant of
-// a crash).
+// a crash); a damaged frame with durable records after it is mid-log
+// corruption and fails with an error wrapping faultinject.ErrCorrupt.
 func (l *Log) Scan(fn func(lsn LSN, r *Record) error) error {
+	return l.ScanFrom(0, fn)
+}
+
+// ScanFrom iterates over the durable records at and past LSN from (which
+// must be a frame boundary: zero, or an end-LSN from Append). It reads the
+// log in bounded windows rather than materializing it — peak memory is one
+// window (scanChunkSize, or one frame if larger) regardless of log size —
+// and holds no log mutex across reads: the durable range [0, tail) is
+// never rewritten, so the walk cannot race the flush leader. The replica
+// apply path tails the log with it; recovery's Analyze is ScanFrom(0).
+func (l *Log) ScanFrom(from LSN, fn func(lsn LSN, r *Record) error) error {
 	l.mu.Lock()
 	tail := l.tail
-	var data []byte
-	if l.f != nil {
-		data = make([]byte, tail)
-		if _, err := l.f.ReadAt(data, 0); err != nil {
+	f := l.f
+	epoch := l.epoch
+	l.mu.Unlock()
+	if from >= tail {
+		return nil
+	}
+
+	// read fills dst from absolute log offset at; offsets below tail are
+	// stable unless the log is truncated under us, which the epoch check
+	// turns into ErrEpoch rather than a misread.
+	read := func(dst []byte, at uint64) error {
+		var err error
+		if f != nil {
+			_, err = f.ReadAt(dst, int64(at))
+		} else {
+			l.memMu.Lock()
+			if at+uint64(len(dst)) <= uint64(len(l.mem)) {
+				copy(dst, l.mem[at:])
+			} else {
+				err = fmt.Errorf("wal: scan read past memory log end")
+			}
+			l.memMu.Unlock()
+		}
+		if err != nil {
+			l.mu.Lock()
+			changed := l.epoch != epoch
 			l.mu.Unlock()
+			if changed {
+				return ErrEpoch
+			}
 			return fmt.Errorf("wal: scan read: %w", err)
 		}
-	} else {
-		// Only [0, tail) is durable; a failed flush may have left torn
-		// bytes past it that the next flush attempt will overwrite.
-		l.memMu.Lock()
-		n := int(tail)
-		if n > len(l.mem) {
-			n = len(l.mem)
-		}
-		data = append([]byte(nil), l.mem[:n]...)
-		l.memMu.Unlock()
+		return nil
 	}
-	l.mu.Unlock()
 
-	off := uint64(0)
-	for off+8 <= uint64(len(data)) {
-		n := binary.LittleEndian.Uint32(data[off:])
-		sum := binary.LittleEndian.Uint32(data[off+4:])
-		if off+8+uint64(n) > uint64(len(data)) {
-			return nil // truncated tail
+	buf := make([]byte, scanChunkSize)
+	winStart, winLen := from, uint64(0) // buf[:winLen] mirrors log[winStart:winStart+winLen]
+	refill := func(at, need uint64) error {
+		if need > uint64(len(buf)) {
+			buf = make([]byte, need) // one oversized frame
 		}
-		payload := data[off+8 : off+8+uint64(n)]
-		if crc32.ChecksumIEEE(payload) != sum {
-			return nil // corrupt tail
+		n := tail - at
+		if n > uint64(len(buf)) {
+			n = uint64(len(buf))
 		}
-		r, err := decode(payload)
-		if err != nil {
-			return nil
+		if err := read(buf[:n], at); err != nil {
+			return err
+		}
+		winStart, winLen = at, n
+		return nil
+	}
+
+	off := from
+	for off+8 <= tail {
+		if off < winStart || off+8 > winStart+winLen {
+			if err := refill(off, 8); err != nil {
+				return err
+			}
+		}
+		rel := off - winStart
+		n := binary.LittleEndian.Uint32(buf[rel:])
+		sum := binary.LittleEndian.Uint32(buf[rel+4:])
+		end := off + 8 + uint64(n)
+		if end > tail {
+			return nil // incomplete frame at the durable tail
+		}
+		if end > winStart+winLen {
+			if err := refill(off, 8+uint64(n)); err != nil {
+				return err
+			}
+			rel = 0
+		}
+		payload := buf[rel+8 : rel+8+uint64(n)]
+		ok := crc32.ChecksumIEEE(payload) == sum
+		var r *Record
+		if ok {
+			var err error
+			if r, err = decode(payload); err != nil {
+				ok = false
+			}
+		}
+		if !ok {
+			if end < tail {
+				// Durable bytes continue past the damage: committed records
+				// would be silently dropped. Fail loudly instead.
+				return faultinject.Corrupt(fmt.Errorf(
+					"wal: corrupt record at lsn %d with %d durable bytes after it", off, tail-end))
+			}
+			return nil // corrupt final frame: crash remnant
 		}
 		if err := fn(off, r); err != nil {
 			return err
 		}
-		off += 8 + uint64(n)
+		off = end
 	}
 	return nil
+}
+
+// ReadChunk returns up to max raw durable bytes starting at LSN from, for
+// shipping to a replica. The caller names the position's identity; if the
+// log has been truncated or replaced since (epoch or logID mismatch) the
+// read fails with ErrEpoch and the shipper must renegotiate. A nil, nil
+// return means the shipper is caught up — wait on TailChanged. The byte
+// range is below the durable tail and therefore stable; no lock is held
+// during the file read.
+func (l *Log) ReadChunk(logID, epoch uint64, from LSN, max int) ([]byte, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if logID != l.logID || epoch != l.epoch || from > l.tail {
+		l.mu.Unlock()
+		return nil, ErrEpoch
+	}
+	tail := l.tail
+	f := l.f
+	l.mu.Unlock()
+	if from >= tail {
+		return nil, nil
+	}
+	n := tail - from
+	if uint64(max) < n {
+		n = uint64(max)
+	}
+	out := make([]byte, n)
+	var err error
+	if f != nil {
+		_, err = f.ReadAt(out, int64(from))
+	} else {
+		l.memMu.Lock()
+		if from+n <= uint64(len(l.mem)) {
+			copy(out, l.mem[from:])
+		} else {
+			err = fmt.Errorf("wal: chunk read past memory log end")
+		}
+		l.memMu.Unlock()
+	}
+	if err != nil {
+		l.mu.Lock()
+		changed := l.logID != logID || l.epoch != epoch
+		closed := l.closed
+		l.mu.Unlock()
+		if changed {
+			return nil, ErrEpoch
+		}
+		if closed {
+			return nil, ErrClosed
+		}
+		return nil, fmt.Errorf("wal: chunk read: %w", err)
+	}
+	return out, nil
+}
+
+// DecodeFrames walks the whole frames at the start of b — a byte range
+// shipped from another log via ReadChunk — calling fn with each frame's
+// total length (header plus payload) and decoded record. It returns the
+// number of bytes consumed: a trailing partial frame is left for the caller
+// to buffer until the rest arrives (ReadChunk windows cut at byte, not
+// frame, boundaries). A complete frame that fails its CRC or decode is a
+// transport-corruption error, never a torn tail — the primary only ships
+// bytes below its durable tail, which are always intact.
+func DecodeFrames(b []byte, fn func(frameLen int, r *Record) error) (consumed int, err error) {
+	off := 0
+	for off+8 <= len(b) {
+		n := int(binary.LittleEndian.Uint32(b[off:]))
+		sum := binary.LittleEndian.Uint32(b[off+4:])
+		end := off + 8 + n
+		if end > len(b) {
+			return off, nil // partial frame: wait for the rest of the chunk
+		}
+		payload := b[off+8 : end]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return off, faultinject.Corrupt(fmt.Errorf("wal: shipped frame at offset %d fails CRC", off))
+		}
+		r, derr := decode(payload)
+		if derr != nil {
+			return off, faultinject.Corrupt(fmt.Errorf("wal: shipped frame at offset %d undecodable", off))
+		}
+		if fn != nil {
+			if err := fn(end-off, r); err != nil {
+				return off, err
+			}
+		}
+		off = end
+	}
+	return off, nil
+}
+
+// IngestRaw appends pre-framed record bytes — a chunk shipped from a
+// primary's log — and flushes them to stable storage before returning.
+// nrecs is the number of records the chunk contains (counter bookkeeping
+// only). The chunk must hold whole frames: the replica's own appends (page
+// images from its buffer pool's write guard) interleave at frame
+// granularity, so a split frame would corrupt the local log mid-stream.
+// The applier buffers any partial frame and ingests it once complete.
+func (l *Log) IngestRaw(frames []byte, nrecs int) error {
+	if len(frames) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	l.buffer = append(l.buffer, frames...)
+	l.end += uint64(len(frames))
+	end := l.end
+	l.mu.Unlock()
+	l.records.Add(uint64(nrecs))
+	l.bytes.Add(uint64(len(frames)))
+	return l.FlushTo(end)
 }
 
 // RecoveryPlan summarizes a log scan for crash recovery.
@@ -690,19 +1052,42 @@ func (l *Log) Analyze() (*RecoveryPlan, error) {
 	return plan, nil
 }
 
-// Truncate discards the log after a checkpoint has made its contents
-// redundant. An in-flight group flush is drained first so the truncation
-// never races the leader's WriteAt.
+// Truncate discards the durable log after a checkpoint has made its
+// contents redundant, and bumps the truncate epoch: every LSN handed out
+// before the truncate names bytes that no longer exist, so consumers
+// holding one (the log shipper, a resuming replica) fail their next
+// ReadChunk with ErrEpoch instead of silently re-reading or skipping
+// records at a reused offset. An in-flight group flush is drained first so
+// the truncation never races the leader's WriteAt.
+//
+// Records appended after the checkpoint record but not yet flushed are
+// carried over into the new epoch at offset zero rather than discarded: a
+// committer racing the checkpoint has already been handed an LSN for them,
+// and its FlushTo (clamped to the shrunken end) must land the record, not
+// acknowledge a commit whose bytes vanished.
 func (l *Log) Truncate() error {
+	// Give the shipper a bounded window to drain the dying epoch so
+	// caught-up replicas cross it without a full resync. The barrier runs
+	// without l.mu (shippers need ReadChunk); flushes racing the barrier
+	// can advance the tail past the drained point, which the replica-side
+	// end-of-epoch check turns into a resync rather than silent loss.
+	if b := l.truncBarrier.Load(); b != nil {
+		l.mu.Lock()
+		l.drainLocked()
+		epoch, end := l.epoch, l.tail
+		l.mu.Unlock()
+		(*b)(epoch, end)
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.drainLocked()
 	if l.closed {
 		return ErrClosed
 	}
-	l.buffer = l.buffer[:0]
 	l.tail = 0
-	l.end = 0
+	l.durTail.Store(0)
+	l.end = uint64(len(l.buffer))
+	l.epoch++
 	l.memMu.Lock()
 	l.mem = nil
 	l.memMu.Unlock()
@@ -712,6 +1097,7 @@ func (l *Log) Truncate() error {
 			return fmt.Errorf("wal: truncate: %w", err)
 		}
 	}
+	l.tailBroadcastLocked()
 	return nil
 }
 
@@ -737,6 +1123,7 @@ func (l *Log) CloseNoFlush() error {
 	// air. Applies to memory-backed logs too — a crashed instance must not
 	// keep acknowledging commits into its own vanishing heap.
 	l.closed = true
+	l.tailBroadcastLocked()
 	if l.f != nil {
 		err := l.f.Close()
 		l.f = nil
